@@ -1,0 +1,92 @@
+"""E7 — Paper Figure 3: consumed vs produced difference errors.
+
+Figure 3 shows how one assignment derives two error statistics: the
+*consumed* error (difference between the float and fixed expression
+before quantization) and the *produced* error (after quantization).
+Section 5.2 then audits quantized signals by comparing consumed and
+produced precision.
+
+The bench reproduces the figure's exact scenario — ``a = fixed1 * fixed2``
+with ``a`` quantized through ``T = <7,5,tc>`` — and checks the audit
+classification over the LMS design.
+"""
+
+import math
+
+from conftest import once
+
+from repro.core.dtype import DType
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.refine import audit_precision, collect
+from repro.refine.flow import Annotations
+from repro.signal import DesignContext, Sig
+
+import numpy as np
+
+T = DType("t", 7, 5, "tc", "saturate", "round")
+
+
+def run_figure3_scenario():
+    """fixed1 * fixed2 -> Q -> a, collecting eps_c and eps_p."""
+    ctx = DesignContext("fig3", seed=3)
+    rng = np.random.default_rng(3)
+    with ctx:
+        f1 = Sig("fixed1", DType("t1", 8, 6))
+        f2 = Sig("fixed2", DType("t2", 8, 6))
+        a = Sig("a", T)
+        for _ in range(4000):
+            f1.assign(rng.uniform(-1, 1))
+            f2.assign(rng.uniform(-1, 1))
+            a.assign(f1 * f2)
+    return ctx
+
+
+def test_fig3_consumed_and_produced_errors(benchmark, save_result):
+    ctx = once(benchmark, run_figure3_scenario)
+    a = ctx.get("a")
+
+    # Consumed: product of two <8,6> quantized inputs.  Each input has
+    # uniform error with sigma q/sqrt(12); the product error sigma is
+    # roughly sqrt(2) * E[|x|] * sigma_in.
+    sigma_in = (2.0 ** -6) / math.sqrt(12)
+    assert a.err_consumed.count == 4000
+    assert 0.3 * sigma_in < a.err_consumed.std < 3 * sigma_in
+
+    # Produced adds a's own <7,5> rounding: dominated by q_a/sqrt(12).
+    sigma_a = (2.0 ** -5) / math.sqrt(12)
+    assert a.err_produced.std > a.err_consumed.std
+    assert 0.5 * sigma_a < a.err_produced.std < 2 * sigma_a
+
+    # Audit says this quantization loses precision (intentional here).
+    rec = collect(ctx)["a"]
+    assert audit_precision(rec) == "loss"
+
+    # Whole-design audit over the LMS example (inputs quantized only):
+    ctx2 = DesignContext("fig3-lms", seed=4)
+    with ctx2:
+        design = LmsEqualizerDesign()
+        design.build(ctx2)
+        Annotations(dtypes={"x": T}).apply(ctx2)
+        design.run(ctx2, 2000)
+    audits = {name: audit_precision(rec)
+              for name, rec in collect(ctx2).items()}
+    # Float signals consume exactly what they produce.
+    assert audits["v[3]"] == "float"
+    assert audits["w"] == "float"
+    # The quantized input is a precision loss point (its own rounding).
+    assert audits["x"] == "loss"
+
+    lines = [
+        "Figure 3: error statistics of a = Q(fixed1 * fixed2), T=<7,5,tc>",
+        "",
+        "  consumed  eps_c: n=%d mean=%+.3e sigma=%.3e max=%.3e" % (
+            a.err_consumed.count, a.err_consumed.mean,
+            a.err_consumed.std, a.err_consumed.max_abs),
+        "  produced  eps_p: n=%d mean=%+.3e sigma=%.3e max=%.3e" % (
+            a.err_produced.count, a.err_produced.mean,
+            a.err_produced.std, a.err_produced.max_abs),
+        "  audit: %s" % audit_precision(rec),
+        "",
+        "LMS design audit (x quantized <7,5,tc>, rest floating):",
+    ] + ["  %-6s %s" % (k, v) for k, v in audits.items()]
+    save_result("fig3_error_stats.txt", "\n".join(lines))

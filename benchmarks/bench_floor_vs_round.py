@@ -1,0 +1,107 @@
+"""A5 — The round -> floor retyping rule (paper Section 5.2).
+
+"The type refinement from the round-type to floor-type specification
+will bring a shift of the mean measure.  If such a shift is unacceptable
+the signal must stay round-typed, otherwise the floor-type is
+recommended as it leads to a cheaper hardware implementation."
+
+This bench refines the LMS equalizer twice — round everywhere versus
+floor everywhere — and reports the three quantities the rule trades
+off: the mean-error shift (bias approx -q/2 per quantizer), the output
+SQNR, and the estimated datapath cost (floor eliminates every increment
+adder).
+"""
+
+from conftest import once
+
+from repro.core.dtype import DType
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.refine import Annotations, FlowConfig, LsbPolicy, RefinementFlow
+from repro.refine.cost import estimate_cost
+from repro.refine.monitors import collect
+from repro.sfg import trace
+from repro.signal import DesignContext
+
+T_INPUT = DType("T_input", 7, 5, "tc", "saturate", "round")
+
+
+def refine(allow_floor):
+    flow = RefinementFlow(
+        design_factory=LmsEqualizerDesign,
+        input_types={"x": T_INPUT},
+        input_ranges={"x": (-1.5, 1.5)},
+        user_ranges={"b": (-0.2, 0.2)},
+        config=FlowConfig(n_samples=3000, auto_range=False, seed=1234,
+                          lsb_policy=LsbPolicy(allow_floor=allow_floor)),
+    )
+    return flow.run()
+
+
+def datapath_cost(types):
+    """Trace the design structure once and estimate its cost."""
+    ctx = DesignContext("cost-trace", seed=0)
+    with ctx:
+        design = LmsEqualizerDesign()
+        design.build(ctx)
+        Annotations(dtypes=types).apply(ctx)
+        with trace(ctx) as t:
+            for i, coef in enumerate(design.coefficients):
+                design.c[i] = coef
+            design.run(ctx, 3)
+    all_types = dict(types)
+    return estimate_cost(t.sfg, all_types, inputs=["x"], outputs=["y"])
+
+
+def run_comparison():
+    results = {}
+    for mode, allow in (("round", False), ("floor", True)):
+        res = refine(allow)
+        types = dict(res.types)
+        types["x"] = T_INPUT
+        cost = datapath_cost(types)
+        mean_v3 = res.verification.records["v[3]"].err_produced.mean
+        results[mode] = {
+            "sqnr": res.verification.output_sqnr_db,
+            "mean_v3": mean_v3,
+            "cost": cost,
+            "types": types,
+        }
+    return results
+
+
+def test_floor_vs_round(benchmark, save_result):
+    results = once(benchmark, run_comparison)
+    rnd = results["round"]
+    flr = results["floor"]
+
+    # Floor eliminates every rounding increment adder.
+    assert rnd["cost"].rounding_bits > 0
+    assert flr["cost"].rounding_bits == 0
+    assert flr["cost"].total() < rnd["cost"].total()
+
+    # ...but shifts the mean difference error (fl - fx) positive: the
+    # truncated values sit systematically below the reference (the
+    # paper's "shift of the mu measure").
+    assert flr["mean_v3"] > rnd["mean_v3"]
+    assert flr["mean_v3"] > 1e-4
+
+    # Quality cost of truncation is bounded (same wordlengths).
+    assert rnd["sqnr"] - flr["sqnr"] < 6.0
+
+    lines = [
+        "round vs floor retyping on the LMS equalizer (paper Section 5.2)",
+        "",
+        "                         round        floor",
+        "output SQNR              %7.2f dB   %7.2f dB"
+        % (rnd["sqnr"], flr["sqnr"]),
+        "mean error of v[3]       %+9.2e   %+9.2e"
+        % (rnd["mean_v3"], flr["mean_v3"]),
+        "rounding adder bits      %7d      %7d"
+        % (rnd["cost"].rounding_bits, flr["cost"].rounding_bits),
+        "weighted datapath cost   %7.1f      %7.1f"
+        % (rnd["cost"].total(), flr["cost"].total()),
+        "",
+        "round-mode cost breakdown:",
+        rnd["cost"].table(),
+    ]
+    save_result("floor_vs_round.txt", "\n".join(lines))

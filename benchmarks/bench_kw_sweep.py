@@ -1,0 +1,69 @@
+"""A2 — Ablation of the empirical constant ``k_w``.
+
+Paper Section 5.2: "The k_w is the empirical constant which was found to
+give optimal results for the range [1, 4].  The smaller k_w is applied,
+the more conservative determination of LSB is obtained."
+
+Sweeping ``k_w`` over [0.5 .. 8] on the LMS example shows the trade-off
+the paper describes: smaller k_w -> more fractional bits -> higher SQNR
+(diminishing returns below k_w ~ 1), larger k_w -> cheaper hardware with
+increasing SQNR cost.
+"""
+
+from conftest import once
+
+from repro.core.dtype import DType
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.refine import FlowConfig, LsbPolicy, RefinementFlow
+
+T_INPUT = DType("T_input", 7, 5, "tc", "saturate", "round")
+KWS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run_sweep():
+    rows = []
+    for k_w in KWS:
+        flow = RefinementFlow(
+            design_factory=LmsEqualizerDesign,
+            input_types={"x": T_INPUT},
+            input_ranges={"x": (-1.5, 1.5)},
+            user_ranges={"b": (-0.2, 0.2)},
+            config=FlowConfig(n_samples=3000, auto_range=False, seed=1234,
+                              lsb_policy=LsbPolicy(k_w=k_w)),
+        )
+        res = flow.run()
+        frac_bits = sum(dt.f for dt in res.types.values())
+        rows.append((k_w, frac_bits, res.total_bits(),
+                     res.verification.output_sqnr_db))
+    return rows
+
+
+def test_kw_sweep(benchmark, save_result):
+    rows = once(benchmark, run_sweep)
+
+    frac = [r[1] for r in rows]
+    sqnr = [r[3] for r in rows]
+    # Smaller k_w is more conservative: fractional bits never increase
+    # with k_w.
+    assert frac == sorted(frac, reverse=True)
+    # ...and the quality never improves when k_w grows.
+    assert sqnr[0] >= sqnr[-1]
+    # The paper's "optimal in [1, 4]" shape:
+    idx = {k: i for i, (k, *_rest) in enumerate(rows)}
+    # below 1: diminishing returns (extra bits buy almost nothing),
+    assert sqnr[idx[0.5]] - sqnr[idx[1.0]] < 1.0
+    # inside [1, 4]: moderate, controlled quality cost,
+    assert sqnr[idx[1.0]] - sqnr[idx[4.0]] < 6.0
+    # beyond 4: the quality falls off a cliff.
+    assert sqnr[idx[4.0]] - sqnr[idx[8.0]] > 3.0
+
+    lines = [
+        "k_w ablation on the LMS equalizer (paper: optimal in [1, 4])",
+        "",
+        "k_w    frac bits   total bits   output SQNR",
+    ]
+    for k_w, fb, tb, s in rows:
+        marker = "  <- paper range" if 1.0 <= k_w <= 4.0 else ""
+        lines.append("%-6g %9d   %10d   %8.2f dB%s" % (k_w, fb, tb, s,
+                                                       marker))
+    save_result("kw_sweep.txt", "\n".join(lines))

@@ -1,0 +1,76 @@
+"""A4 — Why the paper demands a final verification run (Section 4.2).
+
+"Quantizing feedback signal paths still requires the final verification
+of the system stability and precision.  This is due to effects like
+limit cycles."
+
+A high-Q low-pass biquad passes the LSB rule with flying colors — its
+error statistics are small and stationary — yet the rounded recursive
+node sustains a zero-input limit cycle that no statistic predicted.
+This bench quantifies the cycle amplitude versus fractional wordlength
+and shows the mean-error audit of the round->floor retyping rule.
+"""
+
+from conftest import once
+
+from repro.core.dtype import DType
+from repro.dsp.biquad import (Biquad, detect_limit_cycle,
+                              lowpass_coefficients, zero_input_response)
+from repro.signal import DesignContext
+
+COEF = lowpass_coefficients(0.02, q=5.0)
+FRACS = (6, 8, 10, 12, 14)
+
+
+def run_study():
+    rows = []
+    for f in (None,) + FRACS:
+        for lsbspec in (("round",) if f is None else ("round", "floor")):
+            ctx = DesignContext("lc-%s-%s" % (f, lsbspec), seed=0)
+            with ctx:
+                bq = Biquad("bq", COEF)
+                if f is not None:
+                    dt = DType("t", f + 4, f, "tc", "saturate", lsbspec)
+                    for s in bq.signals():
+                        s.set_dtype(dt)
+                resp = zero_input_response(bq, ctx, n_excite=64,
+                                           n_observe=1500)
+            lc = detect_limit_cycle(resp, settle_fraction=0.7)
+            rows.append((f, lsbspec, lc))
+    return rows
+
+
+def test_limit_cycles_require_final_verification(benchmark, save_result):
+    rows = once(benchmark, run_study)
+    by_key = {(f, m): lc for f, m, lc in rows}
+
+    # Float reference decays to silence.
+    assert by_key[(None, "round")] is None
+    # Every rounded fixed-point variant sustains a cycle...
+    for f in FRACS:
+        assert by_key[(f, "round")] is not None
+    # ...whose amplitude shrinks with the LSB.
+    amps = [by_key[(f, "round")].amplitude for f in FRACS]
+    assert amps == sorted(amps, reverse=True)
+
+    lines = [
+        "Zero-input limit cycles of a high-Q biquad (paper Section 4.2)",
+        "",
+        "poles at radius %.4f; impulse excitation, then zero input"
+        % (abs(COEF[4]) ** 0.5),
+        "",
+        "frac bits   rounding   zero-input steady state",
+        "float       -          decays to zero (no cycle)",
+    ]
+    for f in FRACS:
+        for mode in ("round", "floor"):
+            lc = by_key[(f, mode)]
+            desc = "decays to zero" if lc is None else str(lc)
+            lines.append("%-11s %-10s %s" % (f, mode, desc))
+    lines += [
+        "",
+        "The LSB statistics of this section are small and stationary —",
+        "only the explicit zero-input verification reveals the cycles,",
+        "which is exactly why the flow ends with a verification run.",
+    ]
+    save_result("limit_cycles.txt", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""E2 — Paper Table 2: LSB analysis of the LMS equalizer.
+
+Regenerates the worst-case LSB determination table: per-signal
+assignment counts, max-abs / mean / sigma of the produced difference
+error and the inferred LSB position, with the input quantized to the
+paper's ``<7,5,tc>`` format.
+
+Paper claims checked in-line:
+* one iteration resolves the LSB positions of all signals;
+* the slicer output ``y`` is error-free (all-zero statistics, LSB 0);
+* LSB positions track the error statistics (the paper's
+  ``2**l <= k_w * sigma`` rule with k_w in [1, 4]).
+"""
+
+from conftest import once
+
+from repro.core.dtype import DType
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.refine import FlowConfig, LsbPolicy, RefinementFlow
+
+T_INPUT = DType("T_input", 7, 5, "tc", "saturate", "round")
+
+
+def run_lsb_phase():
+    flow = RefinementFlow(
+        design_factory=LmsEqualizerDesign,
+        input_types={"x": T_INPUT},
+        input_ranges={"x": (-1.5, 1.5)},
+        user_ranges={"b": (-0.2, 0.2)},
+        config=FlowConfig(n_samples=4000, auto_range=False, seed=1234,
+                          lsb_policy=LsbPolicy(k_w=2.0)),
+    )
+    msb = flow.run_msb_phase()
+    return flow.run_lsb_phase(msb.annotations)
+
+
+def test_table2_lsb_analysis(benchmark, save_result):
+    lsb = once(benchmark, run_lsb_phase)
+
+    # Paper: "one iteration resolved LSB positions of all signals".
+    assert lsb.n_iterations == 1 and lsb.resolved
+
+    dec = lsb.final.decisions
+    # Paper Table 2: y row is all zeros with LSB 0.
+    assert dec["y"].max_abs == 0.0 and dec["y"].lsb == 0
+    # Error statistics drive the positions: the small-tap partial sum
+    # v[1] needs more fractional bits than the full sum v[3].
+    assert dec["v[1]"].lsb > dec["v[3]"].lsb
+    # Every exercised signal got an LSB.
+    assert all(d.lsb is not None for d in dec.values() if d.count > 0)
+
+    save_result("table2_lsb.txt", lsb.final.table())

@@ -1,0 +1,56 @@
+"""A3 — Performance of the quantization kernel and the monitored simulator.
+
+Not a paper artifact; establishes the cost envelope of this environment:
+
+* scalar quantization calls (the per-assignment hot path),
+* vectorized numpy quantization (block reference models),
+* monitored LMS simulation samples per second.
+
+These run under pytest-benchmark's normal statistics (multiple rounds).
+"""
+
+import numpy as np
+
+from repro.core.dtype import DType
+from repro.core.quantize import quantize, quantize_array
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.signal import DesignContext
+
+T = DType("T", 12, 8, "tc", "saturate", "round")
+
+
+def test_scalar_quantize(benchmark):
+    values = np.random.default_rng(0).uniform(-8, 8, size=1000).tolist()
+
+    def work():
+        total = 0.0
+        for v in values:
+            total += quantize(v, 12, 8)
+        return total
+
+    benchmark(work)
+
+
+def test_vector_quantize(benchmark):
+    values = np.random.default_rng(0).uniform(-8, 8, size=100_000)
+    result = benchmark(quantize_array, values, 12, 8)
+    assert result.shape == values.shape
+
+
+def test_dtype_quantize_array(benchmark):
+    values = np.random.default_rng(0).uniform(-8, 8, size=100_000)
+    benchmark(T.quantize_array, values)
+
+
+def test_monitored_lms_simulation(benchmark):
+    def run():
+        ctx = DesignContext("perf", seed=0)
+        with ctx:
+            d = LmsEqualizerDesign()
+            d.build(ctx)
+            ctx.get("x").set_dtype(DType("T_input", 7, 5))
+            d.run(ctx, 500)
+        return ctx
+
+    ctx = benchmark(run)
+    assert ctx.get("v[3]").range_stat.count == 500

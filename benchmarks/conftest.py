@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index), prints it, and archives it under
+``benchmarks/results/`` so the artifacts survive the pytest run even
+without ``-s``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Callable: save_result(name, text) -> path (also echoes to stdout)."""
+
+    def _save(name, text):
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print()
+        print("=" * 72)
+        print(text)
+        print("[saved to %s]" % path)
+        return path
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

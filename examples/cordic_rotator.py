@@ -1,0 +1,79 @@
+"""Refining a CORDIC rotator: shifts, selects and precision budgets.
+
+CORDIC is all shift-and-add — the operations whose wordlengths the
+refinement methodology prices directly.  This example refines a
+10-stage rotator, shows how the statistic-based monitor sees the
+self-correcting angle recursion shrink (while interval propagation,
+blind to the correlation, explodes and falls back to simulation-guarded
+saturation), and measures the rotation accuracy before and after
+quantization.
+
+Run:  python examples/cordic_rotator.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import DType
+from repro.dsp.cordic import CordicDesign, CordicRotator, rotate_reference
+from repro.refine import Annotations, FlowConfig, RefinementFlow
+from repro.signal import DesignContext
+
+T_IN = DType("T_in", 10, 8, "tc", "saturate", "round")
+T_ANG = DType("T_ang", 11, 8, "tc", "saturate", "round")
+N_STAGES = 10
+
+
+def main():
+    flow = RefinementFlow(
+        lambda: CordicDesign(n_stages=N_STAGES),
+        input_types={"xi": T_IN, "yi": T_IN, "zi": T_ANG},
+        input_ranges={"xi": (-1.0, 1.0), "yi": (-1.0, 1.0),
+                      "zi": (-1.6, 1.6)},
+        config=FlowConfig(n_samples=2000, seed=12),
+    )
+    result = flow.run()
+
+    print("MSB iterations: %d (iteration 1 exploded on: %s)"
+          % (result.msb.n_iterations,
+             ", ".join(result.msb.iterations[0].exploded) or "-"))
+    print()
+    print("angle residual chain (observed vs propagated MSB):")
+    for i in range(0, N_STAGES + 1, 2):
+        d = result.msb.final.decisions["cr.z[%d]" % i]
+        print("  z[%2d]  stat msb %3s   prop msb %3s   decided %3s (%s)"
+              % (i, d.stat_msb, d.prop_msb, d.msb, d.mode))
+    print()
+    print(result.summary())
+
+    # Accuracy of the fully quantized rotator.
+    all_types = dict(result.types)
+    all_types.update({"xi": T_IN, "yi": T_IN, "zi": T_ANG})
+    ctx = DesignContext("cordic-check", seed=3)
+    rng = np.random.default_rng(3)
+    errs = []
+    with ctx:
+        d = CordicDesign(n_stages=N_STAGES)
+        d.build(ctx)
+        Annotations(dtypes=all_types).apply(ctx)
+        for _ in range(300):
+            xv = float(rng.uniform(-0.7, 0.7))
+            yv = float(rng.uniform(-0.7, 0.7))
+            zv = float(rng.uniform(-1.5, 1.5))
+            d.xi.assign(xv)
+            d.yi.assign(yv)
+            d.zi.assign(zv)
+            d.cordic.step(d.xi, d.yi, d.zi)
+            ctx.tick()
+            xr, yr = rotate_reference(xv, yv, zv)
+            errs.append(math.hypot(d.cordic.xo.fx - xr,
+                                   d.cordic.yo.fx - yr))
+    print()
+    print("fixed-point rotation error: rms %.2e, max %.2e "
+          "(input grid %.1e)" % (float(np.sqrt(np.mean(np.square(errs)))),
+                                 max(errs), T_IN.eps))
+
+
+if __name__ == "__main__":
+    main()

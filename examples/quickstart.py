@@ -1,0 +1,85 @@
+"""Quickstart: fixed-point types, signals, and a first refinement.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DType, DesignContext, Sig
+from repro.refine import Design, FlowConfig, RefinementFlow
+
+
+def fixed_point_basics():
+    """The paper's dtype/sig objects in five lines."""
+    print("=== fixed-point basics " + "=" * 40)
+
+    # dtype T1("T1", 8, 5, tc, st, rd): 8 bits, 5 fractional,
+    # two's complement, saturating, rounding.
+    T1 = DType("T1", 8, 5, "tc", "saturate", "round")
+    print("T1 =", T1.spec(), "range [%g, %g], lsb weight %g"
+          % (T1.min_value, T1.max_value, T1.eps))
+
+    with DesignContext("quickstart", seed=1):
+        a = Sig("a", T1)
+        b = Sig("b", T1)
+        c = Sig("c", T1)
+        a.assign(0.4)            # quantized on assignment
+        b.assign(-1.25)          # exact on this grid
+        c.assign(a * b)          # float multiply, quantize on assign
+        print("a = %g (wanted 0.4, err %g)" % (a.fx, a.error()))
+        print("c = a*b = %g (float reference %g)" % (c.fx, c.fl))
+        print("c error statistics:", c.err_produced)
+
+
+class MovingAverage(Design):
+    """y = (x + x1 + x2 + x3) / 4 — a 4-tap boxcar to refine."""
+
+    name = "moving-average"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        from repro.signal import Reg
+        self.x = Sig("x")
+        self.x1 = Reg("x1")
+        self.x2 = Reg("x2")
+        self.x3 = Reg("x3")
+        self.y = Sig("y")
+        rng = np.random.default_rng(7)
+        self._stim = iter(rng.uniform(-1, 1, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.y.assign((self.x + self.x1 + self.x2 + self.x3) * 0.25)
+            self.x3.assign(self.x2 + 0.0)
+            self.x2.assign(self.x1 + 0.0)
+            self.x1.assign(self.x + 0.0)
+            ctx.tick()
+
+
+def first_refinement():
+    """Let the flow pick every wordlength of the moving average."""
+    print()
+    print("=== first refinement " + "=" * 42)
+
+    flow = RefinementFlow(
+        design_factory=MovingAverage,
+        input_types={"x": DType("T_in", 8, 6)},   # ADC: <8,6,tc>
+        input_ranges={"x": (-1.0, 1.0)},
+        config=FlowConfig(n_samples=3000, seed=3),
+    )
+    result = flow.run()
+
+    print(result.msb.final.table())
+    print()
+    print(result.lsb.final.table())
+    print()
+    print(result.types_table())
+    print()
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    fixed_point_basics()
+    first_refinement()

@@ -1,0 +1,24 @@
+"""Baseline refinement methods the paper compares against.
+
+* :class:`SimulationBasedOptimizer` — pure simulation search in the
+  style of Sung & Kum [1]: precise but needs one full simulation per
+  probe (slow convergence on big designs).
+* :class:`AnalyticalRefiner` — pure structural worst-case derivation in
+  the style of Willems et al. [3]: instant but conservative.
+
+The paper's contribution is the hybrid in :mod:`repro.refine`, which the
+benchmarks compare against both of these.
+"""
+
+from repro.baselines.analytical import (AnalyticalRefiner, AnalyticalResult,
+                                        propagate_error_bounds)
+from repro.baselines.simulation_based import (SimulationBasedOptimizer,
+                                              SimulationBasedResult)
+
+__all__ = [
+    "SimulationBasedOptimizer",
+    "SimulationBasedResult",
+    "AnalyticalRefiner",
+    "AnalyticalResult",
+    "propagate_error_bounds",
+]

@@ -1,0 +1,130 @@
+"""Pure simulation-based wordlength optimization baseline.
+
+Models the approach of Sung & Kum (1995), the paper's reference [1]: no
+range propagation, no error statistics — only end-to-end simulations
+with a quality criterion.  Wordlengths are found by search:
+
+1. **MSB**: one long simulation records min/max per signal; MSB comes
+   from the observed range plus a safety bit (no propagation guarantees,
+   hence the guard).
+2. **LSB**: starting from a uniform large fractional wordlength, each
+   signal's ``f`` is reduced by bisection while the output SQNR stays
+   above the requirement — one full simulation per probe.
+
+The point of the baseline is the *cost*: the number of complete
+simulations needed scales with the signal count (the paper's "long
+simulations in the case of slow convergence"), whereas the hybrid flow
+needs a handful of runs total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dtype import DType
+from repro.refine.flow import Annotations
+from repro.refine.monitors import collect
+from repro.signal.context import DesignContext
+
+__all__ = ["SimulationBasedOptimizer", "SimulationBasedResult"]
+
+
+@dataclass
+class SimulationBasedResult:
+    types: dict
+    n_simulations: int
+    output_sqnr_db: float
+    sqnr_target_db: float
+    history: list = field(default_factory=list)
+
+    def total_bits(self):
+        return sum(dt.n for dt in self.types.values())
+
+
+class SimulationBasedOptimizer:
+    """Heuristic wordlength search driven only by output quality."""
+
+    def __init__(self, design_factory, input_types, sqnr_target_db=35.0,
+                 n_samples=4000, f_max=16, safety_bits=1, seed=1234):
+        self.factory = design_factory
+        self.input_types = dict(input_types)
+        self.sqnr_target_db = float(sqnr_target_db)
+        self.n_samples = int(n_samples)
+        self.f_max = int(f_max)
+        self.safety_bits = int(safety_bits)
+        self.seed = seed
+        self.n_simulations = 0
+
+    # -- simulation probe ---------------------------------------------------
+
+    def _simulate(self, dtypes):
+        self.n_simulations += 1
+        ctx = DesignContext("simopt-%d" % self.n_simulations,
+                            seed=self.seed, overflow_action="record")
+        with ctx:
+            design = self.factory()
+            design.build(ctx)
+            Annotations(dtypes={**self.input_types, **dtypes}).apply(ctx)
+            design.run(ctx, self.n_samples)
+        records = collect(ctx)
+        output = getattr(design, "output", None)
+        sqnr = records[output].sqnr_db() if output else float("nan")
+        return records, sqnr
+
+    # -- search --------------------------------------------------------------
+
+    def _msb_from_observation(self, records):
+        """Observed-range MSB plus safety margin (no guarantees)."""
+        msbs = {}
+        for name, rec in records.items():
+            if name in self.input_types:
+                continue
+            m = rec.stat_msb()
+            if m is None:
+                m = 0
+            msbs[name] = m + self.safety_bits
+        return msbs
+
+    def _types_for(self, msbs, fracs):
+        types = {}
+        for name in msbs:
+            f = max(fracs[name], -msbs[name])  # keep the word >= 1 bit
+            types[name] = DType("%s_t" % name, msbs[name] + f + 1, f,
+                                "tc", "saturate", "round")
+        return types
+
+    def run(self):
+        """Execute the search; returns a :class:`SimulationBasedResult`."""
+        # Pass 1: range-recording float simulation for the MSBs.
+        records, _ = self._simulate({})
+        msbs = self._msb_from_observation(records)
+        names = sorted(msbs)
+
+        history = []
+
+        # Pass 2: uniform maximal fractional bits must meet the target.
+        fracs = {name: self.f_max for name in names}
+        _, best_sqnr = self._simulate(self._types_for(msbs, fracs))
+        history.append(("uniform-f%d" % self.f_max, best_sqnr))
+
+        # Pass 3: per-signal bisection on the fractional wordlength,
+        # holding the others at their current values.
+        for name in names:
+            lo, hi = max(0, -msbs[name]), fracs[name]  # hi is known-good
+            while lo < hi:
+                mid = (lo + hi) // 2
+                trial = dict(fracs)
+                trial[name] = mid
+                _, sqnr = self._simulate(self._types_for(msbs, trial))
+                if sqnr >= self.sqnr_target_db:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            fracs[name] = hi
+            history.append((name, fracs[name]))
+
+        # Final verification run.
+        types = self._types_for(msbs, fracs)
+        _, final_sqnr = self._simulate(types)
+        return SimulationBasedResult(types, self.n_simulations, final_sqnr,
+                                     self.sqnr_target_db, history)

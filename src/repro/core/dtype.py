@@ -1,0 +1,224 @@
+"""Fixed-point type objects — the paper's ``dtype``.
+
+A :class:`DType` carries the full fixed-point characteristic of a signal:
+
+* ``n`` — total wordlength in bits,
+* ``f`` — number of fractional bits (the LSB weight is ``2**-f``),
+* ``vtype`` — value representation, two's complement (``"tc"``) or
+  unsigned (``"us"``),
+* ``msbspec`` — overflow behaviour: ``"wrap"``, ``"saturate"`` or
+  ``"error"`` (simulation flags the overflow so the designer can widen
+  the type or change the mode),
+* ``lsbspec`` — rounding behaviour: ``"round"`` (round-half-up) or
+  ``"floor"`` (truncate toward minus infinity).
+
+Positions follow the binary-point convention of the paper: the MSB
+position of a two's-complement type is ``n - f - 1`` (weight of the sign
+bit) and the LSB position is ``f`` fractional bits (weight ``2**-f``).
+"""
+
+from __future__ import annotations
+
+from repro.core import quantize as _q
+from repro.core import word
+from repro.core.errors import DTypeError
+from repro.core.interval import Interval
+
+__all__ = ["DType"]
+
+_VTYPE_ALIASES = {
+    "tc": "tc", "twos_complement": "tc", "signed": "tc",
+    "us": "us", "unsigned": "us",
+}
+
+_MSB_ALIASES = {
+    "wr": "wrap", "wrap": "wrap", "wrap_around": "wrap",
+    "st": "saturate", "sat": "saturate", "saturate": "saturate",
+    "er": "error", "error": "error",
+}
+
+_LSB_ALIASES = {
+    "rd": "round", "round": "round", "round_off": "round",
+    "fl": "floor", "floor": "floor",
+    "ceil": "ceil", "trunc": "trunc",
+}
+
+
+class DType:
+    """Immutable fixed-point type descriptor.
+
+    Example (the paper's ``dtype T1("T1", 8, 5, ns, st, rd)``)::
+
+        T1 = DType("T1", 8, 5, "tc", "saturate", "round")
+        T1.quantize(0.123)   # -> 0.125
+    """
+
+    __slots__ = ("name", "n", "f", "vtype", "msbspec", "lsbspec")
+
+    def __init__(self, name, n, f, vtype="tc", msbspec="saturate",
+                 lsbspec="round"):
+        n = int(n)
+        f = int(f)
+        if n < 1:
+            raise DTypeError("wordlength must be >= 1, got %d" % n)
+        if vtype not in _VTYPE_ALIASES:
+            raise DTypeError("unknown vtype %r" % (vtype,))
+        if msbspec not in _MSB_ALIASES:
+            raise DTypeError("unknown msbspec %r" % (msbspec,))
+        if lsbspec not in _LSB_ALIASES:
+            raise DTypeError("unknown lsbspec %r" % (lsbspec,))
+        self.name = str(name)
+        self.n = n
+        self.f = f
+        self.vtype = _VTYPE_ALIASES[vtype]
+        self.msbspec = _MSB_ALIASES[msbspec]
+        self.lsbspec = _LSB_ALIASES[lsbspec]
+
+    # -- derived characteristics -------------------------------------------
+
+    @property
+    def signed(self):
+        return self.vtype == "tc"
+
+    @property
+    def msb(self):
+        """MSB position relative to the binary point."""
+        return word.msb_of_wordlength(self.n, self.f, self.signed)
+
+    @property
+    def lsb(self):
+        """LSB position: number of fractional bits (weight ``2**-f``)."""
+        return self.f
+
+    @property
+    def eps(self):
+        """Weight of one LSB."""
+        return _q.quantization_step(self.f)
+
+    @property
+    def min_value(self):
+        return _q.value_min(self.n, self.f, self.signed)
+
+    @property
+    def max_value(self):
+        return _q.value_max(self.n, self.f, self.signed)
+
+    def range_interval(self):
+        """Representable range as an :class:`Interval`."""
+        return Interval(self.min_value, self.max_value)
+
+    @property
+    def num_codes(self):
+        return 1 << self.n
+
+    # -- quantization --------------------------------------------------------
+
+    def quantize_info(self, value, name=None):
+        """Quantize ``value`` per this type, reporting overflow and error."""
+        return _q.quantize_info(value, self.n, self.f, signed=self.signed,
+                                overflow=self.msbspec, rounding=self.lsbspec,
+                                name=name)
+
+    def quantize(self, value):
+        return self.quantize_info(value).value
+
+    def quantize_array(self, values, out_overflow=None):
+        """Vectorized quantization of a numpy array."""
+        return _q.quantize_array(values, self.n, self.f, signed=self.signed,
+                                 overflow=self.msbspec, rounding=self.lsbspec,
+                                 out_overflow=out_overflow)
+
+    def is_representable(self, value):
+        """True when ``value`` lies exactly on this type's grid."""
+        info = _q.quantize_info(value, self.n, self.f, signed=self.signed,
+                                overflow="saturate", rounding="round")
+        return not info.overflowed and info.error == 0.0
+
+    # -- derivation -----------------------------------------------------------
+
+    def with_(self, name=None, n=None, f=None, vtype=None, msbspec=None,
+              lsbspec=None):
+        """Copy with selected fields replaced."""
+        return DType(
+            self.name if name is None else name,
+            self.n if n is None else n,
+            self.f if f is None else f,
+            self.vtype if vtype is None else vtype,
+            self.msbspec if msbspec is None else msbspec,
+            self.lsbspec if lsbspec is None else lsbspec,
+        )
+
+    @classmethod
+    def from_range(cls, name, lo, hi, f, vtype="tc", msbspec="saturate",
+                   lsbspec="round"):
+        """Smallest type with ``f`` fractional bits covering ``[lo, hi]``."""
+        signed = _VTYPE_ALIASES.get(vtype) == "tc"
+        msb = word.required_msb(lo, hi, signed=signed)
+        if msb is None:
+            msb = 0
+        if msb == float("inf"):
+            raise DTypeError("cannot derive a type from an unbounded range")
+        # Keep the word at least one bit wide (a sub-unit range with few
+        # fractional bits would otherwise give an empty word).
+        msb = max(msb, (0 if signed else 1) - f)
+        n = word.wordlength_for_msb(msb, f, signed=signed)
+        return cls(name, n, f, vtype, msbspec, lsbspec)
+
+    @classmethod
+    def from_spec(cls, spec, name=None):
+        """Parse a compact specifier produced by :meth:`spec`.
+
+        Accepts both the full form ``<8,5,tc,sa,ro>`` and the short
+        paper form ``<8,5,tc>`` (defaults: saturate, round).
+        """
+        text = spec.strip()
+        if not (text.startswith("<") and text.endswith(">")):
+            raise DTypeError("bad dtype spec %r" % (spec,))
+        parts = [p.strip() for p in text[1:-1].split(",")]
+        if len(parts) not in (3, 5):
+            raise DTypeError("bad dtype spec %r" % (spec,))
+        n, f, vtype = int(parts[0]), int(parts[1]), parts[2]
+        msbspec = "saturate"
+        lsbspec = "round"
+        if len(parts) == 5:
+            msb_map = {"sa": "saturate", "wr": "wrap", "er": "error",
+                       "st": "saturate"}
+            lsb_map = {"ro": "round", "fl": "floor", "ce": "ceil",
+                       "tr": "trunc", "rd": "round"}
+            try:
+                msbspec = msb_map[parts[3]]
+                lsbspec = lsb_map[parts[4]]
+            except KeyError:
+                raise DTypeError("bad dtype spec %r" % (spec,)) from None
+        return cls(name if name is not None else spec, n, f, vtype,
+                   msbspec, lsbspec)
+
+    @classmethod
+    def from_positions(cls, name, msb, lsb, vtype="tc", msbspec="saturate",
+                       lsbspec="round"):
+        """Type from MSB position and LSB position (fractional bits)."""
+        signed = _VTYPE_ALIASES.get(vtype) == "tc"
+        n = word.wordlength_for_msb(msb, lsb, signed=signed)
+        return cls(name, n, lsb, vtype, msbspec, lsbspec)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, DType):
+            return NotImplemented
+        return (self.n == other.n and self.f == other.f
+                and self.vtype == other.vtype
+                and self.msbspec == other.msbspec
+                and self.lsbspec == other.lsbspec)
+
+    def __hash__(self):
+        return hash((self.n, self.f, self.vtype, self.msbspec, self.lsbspec))
+
+    def spec(self):
+        """Compact ``<n,f,vtype,msb,lsb>`` specifier string."""
+        return "<%d,%d,%s,%s,%s>" % (self.n, self.f, self.vtype,
+                                     self.msbspec[:2], self.lsbspec[:2])
+
+    def __repr__(self):
+        return "DType(%r, %d, %d, %r, %r, %r)" % (
+            self.name, self.n, self.f, self.vtype, self.msbspec, self.lsbspec)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the fixed-point refinement environment.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DTypeError(ReproError):
+    """An invalid fixed-point type specification was given."""
+
+
+class FixedPointOverflowError(ReproError):
+    """A value exceeded the representable range of an ``error``-mode type.
+
+    This mirrors the paper's ``error`` MSB mode: the simulation stops (or
+    records, depending on the design context policy) so the designer can
+    either increase the wordlength or select another MSB mode.
+    """
+
+    def __init__(self, message, signal=None, value=None, dtype=None):
+        super().__init__(message)
+        self.signal = signal
+        self.value = value
+        self.dtype = dtype
+
+
+class RangeExplosionError(ReproError):
+    """Quasi-analytical range propagation exploded on a feedback signal.
+
+    The paper's remedy is an explicit ``sig.range(lo, hi)`` annotation or a
+    saturating type definition on the offending signal.
+    """
+
+    def __init__(self, message, signals=()):
+        super().__init__(message)
+        self.signals = tuple(signals)
+
+
+class DivergenceError(ReproError):
+    """The coupled float/fixed simulation diverged on a feedback signal.
+
+    The paper's remedy is an explicit ``sig.error(q)`` annotation that
+    replaces the tracked difference error with a uniform random variable.
+    """
+
+    def __init__(self, message, signals=()):
+        super().__init__(message)
+        self.signals = tuple(signals)
+
+
+class SimulationError(ReproError):
+    """The simulation engine encountered an unrecoverable condition."""
+
+
+class ChannelEmpty(SimulationError):
+    """A processor performed ``get()`` on an empty channel."""
+
+
+class ChannelFull(SimulationError):
+    """A processor performed ``put()`` on a bounded channel that is full."""
+
+
+class DesignError(ReproError):
+    """A design description is malformed (duplicate names, missing signals...)."""
+
+
+class RefinementError(ReproError):
+    """The refinement flow could not converge or was misconfigured."""

@@ -1,0 +1,276 @@
+"""Interval arithmetic for quasi-analytical range propagation.
+
+The paper's quasi-analytical MSB method propagates value ranges through
+the overloaded arithmetic operators (Section 4.1).  :class:`Interval`
+implements that propagation: each operator returns the tightest interval
+containing every possible result of applying the operation to values from
+the operand intervals.
+
+Intervals may be *empty* (no value observed yet) or unbounded (``inf``
+end-points); unbounded intervals are how MSB explosion on feedback
+signals manifests before the refinement flow flags it.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Interval", "EMPTY", "FULL"]
+
+
+def _mul_end(a, b):
+    """Multiply interval end-points, defining 0 * inf = 0.
+
+    The convention is correct for interval products: a factor that is
+    exactly zero annihilates the other regardless of its magnitude.
+    """
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+class Interval:
+    """A closed real interval ``[lo, hi]``, possibly empty or unbounded."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo=None, hi=None):
+        if lo is None and hi is None:
+            # Empty interval.
+            self.lo = math.inf
+            self.hi = -math.inf
+            return
+        if hi is None:
+            hi = lo
+        lo = float(lo)
+        hi = float(hi)
+        if math.isnan(lo) or math.isnan(hi):
+            raise ValueError("interval bounds must not be NaN")
+        if lo > hi:
+            raise ValueError("invalid interval [%r, %r]" % (lo, hi))
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def empty(cls):
+        return cls()
+
+    @classmethod
+    def full(cls):
+        return cls(-math.inf, math.inf)
+
+    @classmethod
+    def point(cls, v):
+        return cls(v, v)
+
+    @classmethod
+    def coerce(cls, other):
+        """Interval from an Interval, scalar, or (lo, hi) tuple."""
+        if isinstance(other, Interval):
+            return other
+        if isinstance(other, tuple):
+            return cls(*other)
+        return cls.point(other)
+
+    # -- predicates -------------------------------------------------------
+
+    @property
+    def is_empty(self):
+        return self.lo > self.hi
+
+    @property
+    def is_finite(self):
+        return (not self.is_empty
+                and math.isfinite(self.lo) and math.isfinite(self.hi))
+
+    @property
+    def width(self):
+        if self.is_empty:
+            return 0.0
+        return self.hi - self.lo
+
+    @property
+    def max_abs(self):
+        if self.is_empty:
+            return 0.0
+        return max(abs(self.lo), abs(self.hi))
+
+    def contains(self, v):
+        if isinstance(v, Interval):
+            return v.is_empty or (self.lo <= v.lo and v.hi <= self.hi)
+        return self.lo <= v <= self.hi
+
+    def __eq__(self, other):
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty and other.is_empty:
+            return True
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self):
+        if self.is_empty:
+            return hash("empty-interval")
+        return hash((self.lo, self.hi))
+
+    def __repr__(self):
+        if self.is_empty:
+            return "Interval()"
+        return "Interval(%g, %g)" % (self.lo, self.hi)
+
+    # -- lattice operations ------------------------------------------------
+
+    def union(self, other):
+        other = Interval.coerce(other)
+        if self.is_empty:
+            return Interval(other.lo, other.hi) if not other.is_empty else Interval()
+        if other.is_empty:
+            return Interval(self.lo, self.hi)
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    __or__ = union
+
+    def intersect(self, other):
+        other = Interval.coerce(other)
+        if self.is_empty or other.is_empty:
+            return Interval()
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return Interval()
+        return Interval(lo, hi)
+
+    __and__ = intersect
+
+    def clip(self, other):
+        """Clamp this interval into ``other`` (saturation in range domain).
+
+        Unlike :meth:`intersect`, a disjoint interval collapses onto the
+        nearest bound of ``other`` rather than becoming empty — exactly
+        what a saturating quantizer does to out-of-range values.
+        """
+        other = Interval.coerce(other)
+        if self.is_empty or other.is_empty:
+            return Interval()
+        lo = min(max(self.lo, other.lo), other.hi)
+        hi = max(min(self.hi, other.hi), other.lo)
+        return Interval(lo, hi)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def _binary(self, other, fn):
+        other = Interval.coerce(other)
+        if self.is_empty or other.is_empty:
+            return Interval()
+        return fn(other)
+
+    def __add__(self, other):
+        return self._binary(other, lambda o: Interval(self.lo + o.lo,
+                                                      self.hi + o.hi))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary(other, lambda o: Interval(self.lo - o.hi,
+                                                      self.hi - o.lo))
+
+    def __rsub__(self, other):
+        return Interval.coerce(other) - self
+
+    def __mul__(self, other):
+        def mul(o):
+            products = (_mul_end(self.lo, o.lo), _mul_end(self.lo, o.hi),
+                        _mul_end(self.hi, o.lo), _mul_end(self.hi, o.hi))
+            return Interval(min(products), max(products))
+        return self._binary(other, mul)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        def div(o):
+            if o.lo <= 0.0 <= o.hi:
+                # Divisor range crosses (or touches) zero: unbounded result.
+                return Interval.full()
+            quotients = (self.lo / o.lo, self.lo / o.hi,
+                         self.hi / o.lo, self.hi / o.hi)
+            return Interval(min(quotients), max(quotients))
+        return self._binary(other, div)
+
+    def __rtruediv__(self, other):
+        return Interval.coerce(other) / self
+
+    def __neg__(self):
+        if self.is_empty:
+            return Interval()
+        return Interval(-self.hi, -self.lo)
+
+    def __abs__(self):
+        if self.is_empty:
+            return Interval()
+        if self.lo >= 0:
+            return Interval(self.lo, self.hi)
+        if self.hi <= 0:
+            return Interval(-self.hi, -self.lo)
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def scale_pow2(self, k):
+        """Multiply by ``2**k`` (arithmetic shift)."""
+        factor = math.ldexp(1.0, k)
+        if self.is_empty:
+            return Interval()
+        lo = self.lo * factor
+        hi = self.hi * factor
+        return Interval(lo, hi)
+
+    def __lshift__(self, k):
+        return self.scale_pow2(int(k))
+
+    def __rshift__(self, k):
+        return self.scale_pow2(-int(k))
+
+    def power(self, k):
+        """Raise to a non-negative integer power."""
+        k = int(k)
+        if k < 0:
+            raise ValueError("negative powers are not supported")
+        if self.is_empty:
+            return Interval()
+        if k == 0:
+            return Interval.point(1.0)
+        if k % 2 == 1:
+            return Interval(self.lo ** k, self.hi ** k)
+        mags = abs(self)
+        return Interval(mags.lo ** k, mags.hi ** k)
+
+    def minimum(self, other):
+        return self._binary(other, lambda o: Interval(min(self.lo, o.lo),
+                                                      min(self.hi, o.hi)))
+
+    def maximum(self, other):
+        return self._binary(other, lambda o: Interval(max(self.lo, o.lo),
+                                                      max(self.hi, o.hi)))
+
+    def widen_to(self, other):
+        """Widening operator for fixpoint iteration: any bound that moved
+        past the previous one jumps to infinity.
+
+        Used by the analytical SFG propagation to force termination on
+        feedback loops (the paper's MSB explosion then shows up as an
+        unbounded interval).
+        """
+        other = Interval.coerce(other)
+        if self.is_empty:
+            return Interval(other.lo, other.hi) if not other.is_empty else Interval()
+        if other.is_empty:
+            return Interval(self.lo, self.hi)
+        lo = self.lo if other.lo >= self.lo else -math.inf
+        hi = self.hi if other.hi <= self.hi else math.inf
+        return Interval(lo, hi)
+
+
+#: Shared empty interval (immutable by convention).
+EMPTY = Interval()
+
+#: Shared unbounded interval.
+FULL = Interval.full()

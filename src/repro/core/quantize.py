@@ -1,0 +1,169 @@
+"""Value-domain quantization.
+
+Maps real values onto the fixed-point grid defined by a wordlength ``n``
+and fractional bit count ``f``, applying one of the paper's LSB rounding
+modes (``round`` / ``floor``, plus the common extensions ``ceil`` and
+``trunc``) followed by one of the MSB overflow modes (``wrap`` /
+``saturate`` / ``error``).
+
+Both a scalar path (used by the signal objects during simulation) and a
+vectorized numpy path (used by block-level DSP reference models and the
+throughput benchmarks) are provided; they produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core import word
+from repro.core.errors import DTypeError, FixedPointOverflowError
+
+__all__ = [
+    "ROUNDING_MODES",
+    "OVERFLOW_MODES",
+    "QuantizeResult",
+    "round_to_code",
+    "quantize",
+    "quantize_info",
+    "quantize_array",
+    "quantization_step",
+    "value_min",
+    "value_max",
+]
+
+#: LSB modes.  ``round`` is round-half-up (add half an LSB, floor) as used
+#: by DSP hardware; ``floor`` truncates toward minus infinity; ``trunc``
+#: truncates toward zero; ``ceil`` rounds toward plus infinity.
+ROUNDING_MODES = ("round", "floor", "ceil", "trunc")
+
+#: MSB modes, matching the paper's ``wr`` / ``st`` / ``er`` specifiers.
+OVERFLOW_MODES = ("wrap", "saturate", "error")
+
+
+class QuantizeResult(NamedTuple):
+    """Outcome of a single quantization."""
+
+    value: float  #: quantized real value
+    code: int  #: integer code (value * 2**f)
+    overflowed: bool  #: True when MSB handling modified the value
+    error: float  #: quantized value minus the original value
+
+
+def quantization_step(f):
+    """Weight of one LSB: ``2**-f``."""
+    return math.ldexp(1.0, -f)
+
+
+def value_min(n, f, signed=True):
+    """Smallest representable real value of the format."""
+    return word.int_min(n, signed) * quantization_step(f)
+
+
+def value_max(n, f, signed=True):
+    """Largest representable real value of the format."""
+    return word.int_max(n, signed) * quantization_step(f)
+
+
+def round_to_code(value, f, rounding="round"):
+    """Map a real value to an (unbounded) integer code at ``f`` fractional bits."""
+    scaled = value * math.ldexp(1.0, f)
+    if rounding == "round":
+        return math.floor(scaled + 0.5)
+    if rounding == "floor":
+        return math.floor(scaled)
+    if rounding == "ceil":
+        return math.ceil(scaled)
+    if rounding == "trunc":
+        return math.trunc(scaled)
+    raise DTypeError("unknown rounding mode %r (expected one of %s)"
+                     % (rounding, ", ".join(ROUNDING_MODES)))
+
+
+def quantize_info(value, n, f, signed=True, overflow="saturate",
+                  rounding="round", name=None):
+    """Quantize ``value`` and report what happened.
+
+    Returns a :class:`QuantizeResult`.  In ``error`` overflow mode a
+    :class:`FixedPointOverflowError` is raised when the rounded value does
+    not fit — this is the paper's signal to the designer to widen the type
+    or pick another MSB mode.
+    """
+    if overflow not in OVERFLOW_MODES:
+        raise DTypeError("unknown overflow mode %r (expected one of %s)"
+                         % (overflow, ", ".join(OVERFLOW_MODES)))
+    if math.isnan(value):
+        raise DTypeError("cannot quantize NaN%s"
+                         % ("" if name is None else " (signal %s)" % name))
+    code = round_to_code(value, f, rounding)
+    overflowed = not word.fits(code, n, signed)
+    if overflowed:
+        if overflow == "error":
+            raise FixedPointOverflowError(
+                "value %r overflows <%d,%d,%s>%s"
+                % (value, n, f, "tc" if signed else "us",
+                   "" if name is None else " on signal %s" % name),
+                signal=name, value=value)
+        if overflow == "saturate":
+            code = word.saturate_code(code, n, signed)
+        else:  # wrap
+            code = word.wrap_code(code, n, signed)
+    qval = code * quantization_step(f)
+    return QuantizeResult(qval, code, overflowed, qval - value)
+
+
+def quantize(value, n, f, signed=True, overflow="saturate", rounding="round"):
+    """Quantize ``value``; return only the quantized real value."""
+    return quantize_info(value, n, f, signed=signed, overflow=overflow,
+                         rounding=rounding).value
+
+
+def _round_codes(values, f, rounding):
+    scaled = np.asarray(values, dtype=np.float64) * np.ldexp(1.0, f)
+    if rounding == "round":
+        return np.floor(scaled + 0.5)
+    if rounding == "floor":
+        return np.floor(scaled)
+    if rounding == "ceil":
+        return np.ceil(scaled)
+    if rounding == "trunc":
+        return np.trunc(scaled)
+    raise DTypeError("unknown rounding mode %r (expected one of %s)"
+                     % (rounding, ", ".join(ROUNDING_MODES)))
+
+
+def quantize_array(values, n, f, signed=True, overflow="saturate",
+                   rounding="round", out_overflow=None):
+    """Vectorized :func:`quantize` over a numpy array.
+
+    Codes are kept in float64, which is exact for wordlengths up to 53
+    bits — far beyond any practical DSP datapath.  When ``out_overflow``
+    is a one-element list, the number of overflowed elements is appended
+    to it (cheap way to get the count without a second pass).
+    """
+    if overflow not in OVERFLOW_MODES:
+        raise DTypeError("unknown overflow mode %r (expected one of %s)"
+                         % (overflow, ", ".join(OVERFLOW_MODES)))
+    if n > 53:
+        raise DTypeError("vectorized path supports wordlengths up to 53 bits")
+    codes = _round_codes(values, f, rounding)
+    lo = float(word.int_min(n, signed))
+    hi = float(word.int_max(n, signed))
+    bad = (codes < lo) | (codes > hi)
+    n_bad = int(np.count_nonzero(bad))
+    if n_bad:
+        if overflow == "error":
+            raise FixedPointOverflowError(
+                "%d values overflow <%d,%d,%s>"
+                % (n_bad, n, f, "tc" if signed else "us"))
+        if overflow == "saturate":
+            codes = np.clip(codes, lo, hi)
+        else:  # wrap
+            span = float(1 << n)
+            offset = 0.0 if not signed else float(1 << (n - 1))
+            codes = np.mod(codes + offset, span) - offset
+    if out_overflow is not None:
+        out_overflow.append(n_bad)
+    return codes * np.ldexp(1.0, -f)

@@ -1,0 +1,164 @@
+"""Running statistics accumulators.
+
+Two accumulators back the paper's monitors:
+
+* :class:`RangeStat` — the statistic-based MSB monitor: per-signal
+  assignment count and min/max of the assigned values.
+* :class:`ErrorStat` — the LSB error monitor: mean, standard deviation and
+  maximum absolute value of the float/fixed difference error, computed
+  online with Welford's algorithm (numerically stable over millions of
+  samples).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import word
+
+__all__ = ["RangeStat", "ErrorStat"]
+
+
+class RangeStat:
+    """Tracks count, minimum, maximum and finest grid of observed values.
+
+    ``frac_bits`` is the smallest number of fractional bits that would
+    represent every observed value exactly (saturating at ``FRAC_CAP``
+    for values that do not terminate in binary).  The LSB refinement
+    rules use it for error-free signals such as slicer outputs.
+    """
+
+    __slots__ = ("count", "min", "max", "frac_bits")
+
+    FRAC_CAP = 48
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self.frac_bits = 0
+
+    def update(self, value):
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.frac_bits < self.FRAC_CAP:
+            fb = word.needed_frac_bits(value, cap=self.FRAC_CAP)
+            if fb > self.frac_bits:
+                self.frac_bits = fb
+
+    def update_many(self, values):
+        for v in values:
+            self.update(v)
+
+    @property
+    def is_empty(self):
+        return self.count == 0
+
+    @property
+    def max_abs(self):
+        if self.is_empty:
+            return 0.0
+        return max(abs(self.min), abs(self.max))
+
+    def required_msb(self, signed=True):
+        """Paper's ``m(vmin, vmax)`` on the observed range (None if empty/zero)."""
+        if self.is_empty:
+            return None
+        return word.required_msb(self.min, self.max, signed=signed)
+
+    def merge(self, other):
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.frac_bits = max(self.frac_bits, other.frac_bits)
+
+    def as_dict(self):
+        return {"count": self.count, "min": self.min, "max": self.max,
+                "frac_bits": self.frac_bits}
+
+    def __repr__(self):
+        if self.is_empty:
+            return "RangeStat(empty)"
+        return "RangeStat(n=%d, min=%g, max=%g)" % (self.count, self.min,
+                                                    self.max)
+
+
+class ErrorStat:
+    """Welford mean/variance plus max-abs tracking of a difference error."""
+
+    __slots__ = ("count", "mean", "_m2", "max_abs")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.max_abs = 0.0
+
+    def update(self, value):
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        a = abs(value)
+        if a > self.max_abs:
+            self.max_abs = a
+
+    def update_many(self, values):
+        for v in values:
+            self.update(v)
+
+    @property
+    def is_empty(self):
+        return self.count == 0
+
+    @property
+    def variance(self):
+        """Population variance of the observed errors."""
+        if self.count == 0:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self):
+        return math.sqrt(self.variance)
+
+    @property
+    def rms(self):
+        """Root-mean-square error (combines bias and spread)."""
+        return math.sqrt(self.variance + self.mean * self.mean)
+
+    def merge(self, other):
+        """Chan et al. parallel combination of two Welford accumulators."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.max_abs = other.max_abs
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.max_abs = max(self.max_abs, other.max_abs)
+
+    def as_dict(self):
+        return {"count": self.count, "mean": self.mean, "std": self.std,
+                "max_abs": self.max_abs}
+
+    def __repr__(self):
+        if self.is_empty:
+            return "ErrorStat(empty)"
+        return "ErrorStat(n=%d, mean=%.3g, std=%.3g, max_abs=%.3g)" % (
+            self.count, self.mean, self.std, self.max_abs)

@@ -1,0 +1,182 @@
+"""Integer (word-level) helpers for fixed-point codes.
+
+A fixed-point number with total wordlength ``n`` and ``f`` fractional bits
+is stored as an integer *code*; its real value is ``code * 2**-f``.  This
+module manipulates codes only — the value-domain operations live in
+:mod:`repro.core.quantize`.
+
+Positions follow the paper's convention: bit weights are expressed with
+respect to the binary point.  For a two's-complement type the most
+significant bit (the sign bit) has weight ``-2**msb`` where
+``msb = n - f - 1``; for an unsigned type the MSB weight is
+``2**(msb - 1)`` with ``msb = n - f``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import DTypeError
+
+__all__ = [
+    "int_min",
+    "int_max",
+    "wrap_code",
+    "saturate_code",
+    "fits",
+    "bit_length_signed",
+    "bit_length_unsigned",
+    "required_msb",
+    "wordlength_for_msb",
+    "msb_of_wordlength",
+    "to_bits",
+    "from_bits",
+]
+
+
+def int_min(n, signed=True):
+    """Smallest representable code for an ``n``-bit word."""
+    if n < 1:
+        raise DTypeError("wordlength must be >= 1, got %r" % (n,))
+    return -(1 << (n - 1)) if signed else 0
+
+
+def int_max(n, signed=True):
+    """Largest representable code for an ``n``-bit word."""
+    if n < 1:
+        raise DTypeError("wordlength must be >= 1, got %r" % (n,))
+    return (1 << (n - 1)) - 1 if signed else (1 << n) - 1
+
+
+def wrap_code(code, n, signed=True):
+    """Wrap ``code`` modulo ``2**n`` into the representable range.
+
+    This models the hardware behaviour of simply discarding bits above the
+    MSB (two's-complement wrap-around).
+    """
+    mask = (1 << n) - 1
+    code &= mask
+    if signed and code >= (1 << (n - 1)):
+        code -= 1 << n
+    return code
+
+
+def saturate_code(code, n, signed=True):
+    """Clamp ``code`` to the representable range of an ``n``-bit word."""
+    lo = int_min(n, signed)
+    hi = int_max(n, signed)
+    if code < lo:
+        return lo
+    if code > hi:
+        return hi
+    return code
+
+
+def fits(code, n, signed=True):
+    """Return True when ``code`` is representable in ``n`` bits."""
+    return int_min(n, signed) <= code <= int_max(n, signed)
+
+
+def bit_length_signed(code):
+    """Minimal two's-complement wordlength that represents ``code``."""
+    if code >= 0:
+        return code.bit_length() + 1
+    return (-code - 1).bit_length() + 1
+
+
+def bit_length_unsigned(code):
+    """Minimal unsigned wordlength that represents ``code`` (>= 1)."""
+    if code < 0:
+        raise DTypeError("unsigned words cannot hold negative codes")
+    return max(1, code.bit_length())
+
+
+def required_msb(lo, hi, signed=True):
+    """Smallest MSB position covering the real-valued range ``[lo, hi]``.
+
+    For a signed (two's-complement) type the returned position ``m``
+    satisfies ``-2**m <= lo`` and ``hi < 2**m``; for an unsigned type it
+    satisfies ``0 <= lo`` and ``hi < 2**m``.  This is the paper's
+    ``m(vmin, vmax)`` function used by the MSB refinement rules.
+
+    Returns ``None`` when the range is degenerate at zero (the signal never
+    carried a nonzero value, so no integer bits are needed and any MSB
+    position works).
+    """
+    if math.isnan(lo) or math.isnan(hi):
+        raise ValueError("range bounds must not be NaN")
+    if lo > hi:
+        raise ValueError("empty range: lo=%r > hi=%r" % (lo, hi))
+    if not signed and lo < 0:
+        raise DTypeError("unsigned range cannot include negative values")
+    if lo == 0.0 and hi == 0.0:
+        return None
+    if math.isinf(lo) or math.isinf(hi):
+        return math.inf
+
+    m = -(1 << 62)
+    if hi > 0:
+        # hi < 2**m  <=>  m = frexp exponent of hi (frexp: hi = mant*2**e,
+        # 0.5 <= mant < 1, hence 2**(e-1) <= hi < 2**e).
+        _, e = math.frexp(hi)
+        m = max(m, e)
+    if lo < 0:
+        mant, e = math.frexp(-lo)
+        # -2**m <= lo  <=>  2**m >= -lo; exact powers of two fit with m=e-1.
+        m = max(m, e - 1 if mant == 0.5 else e)
+    return m
+
+
+def wordlength_for_msb(msb, f, signed=True):
+    """Total wordlength for MSB position ``msb`` and ``f`` fractional bits.
+
+    Signed words carry the sign at weight ``-2**msb`` so
+    ``n = msb + f + 1``; unsigned words span weights ``2**(msb-1)`` down to
+    ``2**-f`` so ``n = msb + f``.
+    """
+    n = msb + f + (1 if signed else 0)
+    if n < 1:
+        raise DTypeError(
+            "msb=%r with f=%r fractional bits gives empty word" % (msb, f)
+        )
+    return n
+
+
+def msb_of_wordlength(n, f, signed=True):
+    """Inverse of :func:`wordlength_for_msb`."""
+    return n - f - (1 if signed else 0)
+
+
+def needed_frac_bits(value, cap=64):
+    """Smallest ``f >= 0`` such that ``value`` lies on the grid ``2**-f``.
+
+    Uses the float mantissa directly (O(1)).  Values that do not
+    terminate in binary (e.g. 0.11) return ``cap``.
+    """
+    if value == 0.0:
+        return 0
+    mant, e = math.frexp(abs(value))      # value = mant * 2**e, mant in [0.5, 1)
+    m53 = int(mant * (1 << 53))           # exact: 2**52 <= m53 < 2**53
+    trailing = (m53 & -m53).bit_length() - 1
+    f = 53 - e - trailing
+    return min(cap, max(0, f))
+
+
+def to_bits(code, n, signed=True):
+    """Render ``code`` as an ``n``-character binary string (MSB first)."""
+    if not fits(code, n, signed):
+        raise DTypeError("code %r does not fit in %d bits" % (code, n))
+    if code < 0:
+        code += 1 << n
+    return format(code, "0%db" % n)
+
+
+def from_bits(bits, signed=True):
+    """Parse a binary string produced by :func:`to_bits`."""
+    n = len(bits)
+    if n == 0 or any(b not in "01" for b in bits):
+        raise DTypeError("invalid bit string %r" % (bits,))
+    code = int(bits, 2)
+    if signed and code >= (1 << (n - 1)):
+        code -= 1 << n
+    return code

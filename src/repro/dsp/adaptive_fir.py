@@ -1,0 +1,121 @@
+"""Fully adaptive N-tap LMS equalizer (extension of the paper's example).
+
+The paper's motivational design adapts a single feedback coefficient;
+real equalizers adapt the whole tap vector.  This design exercises the
+methodology's array handling: *every* coefficient is a feedback signal,
+so the quasi-analytical range propagation explodes on the entire ``c``
+array at once and a single array-wide ``c.range(lo, hi)`` annotation
+(the flow expands it to all elements) must resolve it.
+
+Training is decision-directed after an initial known-symbol phase::
+
+    d[0] = get(x); shift d
+    v    = sum(d[i] * c[i])
+    y    = slice(v)          (or the known training symbol)
+    e    = v - y
+    c[i] = c[i] - mu * e * d[i]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.slicer import binary_slicer
+from repro.refine.flow import Design
+from repro.signal import Reg, RegArray, Sig, SigArray, select
+from repro.signal.ops import gt
+
+__all__ = ["AdaptiveLmsDesign"]
+
+
+class AdaptiveLmsDesign(Design):
+    """N adaptive taps over a dispersive binary PAM channel."""
+
+    name = "adaptive-lms"
+    inputs = ("x",)
+
+    def __init__(self, n_taps=5, mu=1.0 / 64.0, channel=(0.2, 1.0, 0.3),
+                 noise_std=0.05, n_train=500, seed=404):
+        self.n_taps = int(n_taps)
+        self.mu = float(mu)
+        self.channel = tuple(channel)
+        self.noise_std = float(noise_std)
+        self.n_train = int(n_train)
+        self.seed = seed
+        self.output = "v[%d]" % self.n_taps
+        self.decisions = []
+        self.tx_symbols = []
+
+    def _stimulus(self):
+        rng = np.random.default_rng(self.seed)
+        h = np.asarray(self.channel)
+        state = np.zeros(len(h) - 1)
+        while True:
+            symbols = rng.choice((-1.0, 1.0), size=512)
+            full = np.convolve(symbols, h)
+            out = full[:512].copy()
+            out[:len(state)] += state
+            state = full[512:]
+            out += rng.normal(0.0, self.noise_std, size=512)
+            for a, x in zip(symbols, out):
+                yield float(x), float(a)
+
+    def build(self, ctx):
+        n = self.n_taps
+        self.x = Sig("x")
+        self.d = RegArray("d", n)
+        self.c = RegArray("c", n)
+        self.v = SigArray("v", n + 1)
+        self.y = Sig("y")
+        self.e = Sig("e")
+        center = n // 2
+        self.c[center] = 1.0   # center-spike initialization
+        ctx.tick()
+        # Equalizer target delay: one input register + the channel's main
+        # tap (index 1) + the center-spike position.
+        self.delay = center + 2
+        self._stim = self._stimulus()
+        self._k = 0
+        self.decisions = []
+        self.tx_symbols = []
+
+    def run(self, ctx, n_samples):
+        n = self.n_taps
+        d, c, v = self.d, self.c, self.v
+        for _ in range(n_samples):
+            xv, symbol = next(self._stim)
+            self.tx_symbols.append(symbol)
+            self.x.assign(xv)
+            d[0] = self.x
+            for i in range(n - 1, 0, -1):
+                d[i] = d[i - 1]
+            v[0] = 0.0
+            for i in range(1, n + 1):
+                v[i] = v[i - 1] + d[i - 1] * c[i - 1]
+            self.y.assign(select(gt(v[n], 0.0), 1.0, -1.0))
+            self.decisions.append(self.y.fx)
+            # Training first (against the correctly delayed symbol),
+            # then decision-directed.
+            if self._k < self.n_train:
+                idx = self._k - self.delay
+                reference = self.tx_symbols[idx] if idx >= 0 else 0.0
+            else:
+                reference = self.y
+            self.e.assign(v[n] - reference)
+            for i in range(n):
+                c[i] = c[i] - self.mu * self.e * d[i]
+            self._k += 1
+            ctx.tick()
+
+    def error_rate(self, skip=None):
+        """Decision error rate against the known symbols (with the
+        equalizer's inherent delay aligned automatically)."""
+        skip = self.n_train if skip is None else skip
+        rx = np.sign(np.asarray(self.decisions[skip:]))
+        tx = np.sign(np.asarray(
+            self.tx_symbols[skip - self.delay:
+                            skip - self.delay + len(rx)]))
+        m = min(len(tx), len(rx))
+        if m == 0:
+            raise ValueError("no symbols to compare")
+        return float(np.mean(tx[:m] != rx[:m]))

@@ -1,0 +1,169 @@
+"""Second-order IIR section (biquad) and limit-cycle analysis.
+
+Paper Section 4.2: "Quantizing feedback signal paths still requires the
+final verification of the system stability and precision.  This is due
+to effects like limit cycles."  A recursive filter whose feedback values
+are rounded can sustain a periodic nonzero output with zero input — the
+classic granular limit cycle — which no error-statistics rule predicts.
+This module provides the substrate to demonstrate it: a refinable
+direct-form-II biquad, RBJ-cookbook coefficient design, and a zero-input
+limit-cycle detector.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.refine.flow import Design
+from repro.signal import Reg, Sig
+
+__all__ = ["Biquad", "BiquadDesign", "lowpass_coefficients",
+           "LimitCycle", "detect_limit_cycle", "zero_input_response"]
+
+
+def lowpass_coefficients(fc, q=0.7071):
+    """RBJ cookbook low-pass biquad, normalized (a0 = 1).
+
+    ``fc`` is the cutoff as a fraction of the sample rate (0 < fc < 0.5).
+    Returns ``(b0, b1, b2, a1, a2)`` for
+    ``y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]``.
+    """
+    if not 0.0 < fc < 0.5:
+        raise ValueError("fc must be in (0, 0.5), got %r" % fc)
+    if q <= 0.0:
+        raise ValueError("q must be positive")
+    w0 = 2.0 * math.pi * fc
+    alpha = math.sin(w0) / (2.0 * q)
+    cos_w0 = math.cos(w0)
+    a0 = 1.0 + alpha
+    b0 = (1.0 - cos_w0) / 2.0 / a0
+    b1 = (1.0 - cos_w0) / a0
+    b2 = b0
+    a1 = (-2.0 * cos_w0) / a0
+    a2 = (1.0 - alpha) / a0
+    return (b0, b1, b2, a1, a2)
+
+
+class Biquad:
+    """Direct-form-II biquad built from monitored signals.
+
+    Signals (for ``prefix='bq'``): the recursive node ``bq.w``, state
+    registers ``bq.w1``/``bq.w2`` and the output ``bq.y``.  The state
+    registers are the quantization points of the feedback path — the
+    ones that cause limit cycles when rounded coarsely.
+    """
+
+    def __init__(self, prefix, coefficients, ctx=None):
+        b0, b1, b2, a1, a2 = (float(c) for c in coefficients)
+        self.prefix = prefix
+        self.b0, self.b1, self.b2 = b0, b1, b2
+        self.a1, self.a2 = a1, a2
+        self.w = Sig("%s.w" % prefix, ctx=ctx)
+        self.w1 = Reg("%s.w1" % prefix, ctx=ctx)
+        self.w2 = Reg("%s.w2" % prefix, ctx=ctx)
+        self.y = Sig("%s.y" % prefix, ctx=ctx)
+
+    def step(self, x):
+        """One sample through the section; returns the output signal."""
+        self.w.assign(x - self.a1 * self.w1 - self.a2 * self.w2)
+        self.y.assign(self.b0 * self.w + self.b1 * self.w1
+                      + self.b2 * self.w2)
+        self.w2.assign(self.w1 + 0.0)
+        self.w1.assign(self.w + 0.0)
+        return self.y
+
+    def signals(self):
+        return [self.w, self.w1, self.w2, self.y]
+
+
+class BiquadDesign(Design):
+    """A biquad as a refinable design (white-noise stimulus)."""
+
+    name = "biquad"
+    inputs = ("x",)
+    output = "bq.y"
+
+    def __init__(self, fc=0.1, q=0.7071, seed=33, amplitude=1.0):
+        self.coefficients = lowpass_coefficients(fc, q)
+        self.seed = seed
+        self.amplitude = amplitude
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.bq = Biquad("bq", self.coefficients)
+        rng = np.random.default_rng(self.seed)
+        self._stim = iter((self.amplitude
+                           * rng.uniform(-1, 1, size=400000)).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.bq.step(self.x)
+            ctx.tick()
+
+
+@dataclass(frozen=True)
+class LimitCycle:
+    """A sustained zero-input oscillation."""
+
+    period: object       # int, or None when aperiodic
+    amplitude: float
+
+    def __str__(self):
+        p = "aperiodic" if self.period is None else "period %d" % self.period
+        return "limit cycle (%s, amplitude %g)" % (p, self.amplitude)
+
+
+def zero_input_response(biquad, ctx, n_excite=32, n_observe=512,
+                        excitation=0.9):
+    """Kick the section with one impulse, then feed zeros.
+
+    Returns the zero-input samples of the *recursive node* ``w`` — the
+    feedback state where granular limit cycles live (the tiny
+    feed-forward gains of a narrow-band section can hide them at the
+    output).
+    """
+    out = []
+    biquad.step(excitation)
+    ctx.tick()
+    for _ in range(n_excite - 1):
+        biquad.step(0.0)
+        ctx.tick()
+    for _ in range(n_observe):
+        biquad.step(0.0)
+        out.append(biquad.w.fx)
+        ctx.tick()
+    return out
+
+
+def detect_limit_cycle(samples, settle_fraction=0.5, max_period=64,
+                       tol=0.0):
+    """Detect a sustained oscillation in a zero-input response.
+
+    Looks at the tail (after ``settle_fraction`` of the samples): if it
+    is identically zero (within ``tol``) the filter died out — returns
+    ``None``.  Otherwise the smallest period that repeats exactly across
+    the tail is reported (``None`` period when no periodicity is found).
+    """
+    tail = list(samples[int(len(samples) * settle_fraction):])
+    if not tail:
+        raise ValueError("not enough samples to analyze")
+    amplitude = max(abs(v) for v in tail)
+    if amplitude <= tol:
+        return None
+    # A still-decaying (stable float) response is not a limit cycle:
+    # compare the envelope of the two halves of the tail.
+    half = len(tail) // 2
+    if half >= 8:
+        first = max(abs(v) for v in tail[:half])
+        second = max(abs(v) for v in tail[half:])
+        if second < 0.7 * first:
+            return None
+    for period in range(1, min(max_period, len(tail) // 2) + 1):
+        if all(abs(tail[i] - tail[i + period]) <= tol
+               for i in range(len(tail) - period)):
+            return LimitCycle(period, amplitude)
+    return LimitCycle(None, amplitude)

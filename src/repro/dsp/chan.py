@@ -1,0 +1,61 @@
+"""Baseband channel models: FIR multipath plus AWGN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Channel", "awgn"]
+
+
+def awgn(samples, noise_std, seed=0):
+    """Add white Gaussian noise of the given standard deviation."""
+    if noise_std < 0:
+        raise ValueError("noise_std must be >= 0")
+    rng = np.random.default_rng(seed)
+    samples = np.asarray(samples, dtype=float)
+    if noise_std == 0.0:
+        return samples.copy()
+    return samples + rng.normal(0.0, noise_std, size=samples.shape)
+
+
+class Channel:
+    """Streaming FIR channel with AWGN, usable sample by sample.
+
+    The FIR state is kept across calls so the channel can feed an
+    arbitrarily long simulation in chunks.
+    """
+
+    def __init__(self, taps=(1.0,), noise_std=0.0, seed=0):
+        self.taps = np.asarray(taps, dtype=float)
+        if self.taps.ndim != 1 or len(self.taps) == 0:
+            raise ValueError("taps must be a non-empty 1-D sequence")
+        self.noise_std = float(noise_std)
+        self._state = np.zeros(len(self.taps) - 1)
+        self._rng = np.random.default_rng(seed)
+
+    def process(self, samples):
+        """Filter a block of samples (keeps state between blocks)."""
+        x = np.asarray(samples, dtype=float)
+        full = np.convolve(x, self.taps)
+        out = full[:len(x)].copy()
+        n_state = len(self._state)
+        if n_state:
+            k = min(n_state, len(out))
+            out[:k] += self._state[:k]
+            rest = self._state[k:]
+            tail = full[len(x):]
+            new_state = np.zeros(n_state)
+            new_state[:len(tail)] += tail
+            new_state[:len(rest)] += rest
+            self._state = new_state
+        if self.noise_std > 0.0:
+            out += self._rng.normal(0.0, self.noise_std, size=out.shape)
+        return out
+
+    def step(self, sample):
+        """Filter one sample."""
+        return float(self.process([sample])[0])
+
+    def reset(self):
+        self._state = np.zeros(len(self.taps) - 1)
+        return self

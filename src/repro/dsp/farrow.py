@@ -1,0 +1,83 @@
+"""Cubic Lagrange Farrow interpolator (refinable block).
+
+The interpolator evaluates the cubic Lagrange polynomial through the
+last four input samples at fractional position ``mu``.  With the delay
+line ``d[0]`` (newest) .. ``d[3]`` (oldest) holding samples at relative
+times ``+2, +1, 0, -1``, the output is the waveform value at time
+``mu`` in ``[0, 1)`` — i.e. between ``d[2]`` and ``d[1]``::
+
+    y(mu) = ((f3*mu + f2)*mu + f1)*mu + f0
+
+where the basis-filter outputs ``f0..f3`` are fixed-coefficient FIR
+combinations of the delay line (the classic Farrow structure: only the
+``mu`` multipliers change at run time).
+"""
+
+from __future__ import annotations
+
+from repro.signal import RegArray, Sig, SigArray
+
+__all__ = ["FarrowInterpolator", "FARROW_BASIS"]
+
+#: FARROW_BASIS[j][i] is the weight of delay tap ``d[i]`` in basis filter
+#: ``f_j`` (coefficient of mu**j).  Cubic Lagrange through nodes at
+#: relative positions (2, 1, 0, -1).
+FARROW_BASIS = (
+    (0.0, 0.0, 1.0, 0.0),                                  # f0 = d2
+    (-1.0 / 6.0, 1.0, -0.5, -1.0 / 3.0),                   # f1
+    (0.0, 0.5, -1.0, 0.5),                                 # f2
+    (1.0 / 6.0, -0.5, 0.5, -1.0 / 6.0),                    # f3
+)
+
+
+class FarrowInterpolator:
+    """Four-tap cubic Farrow structure with monitored internal signals.
+
+    Signals (for ``prefix='ip'``): delay registers ``ip.d[0..3]``, basis
+    partial sums ``ip.p0[0..3]`` .. ``ip.p3[0..3]``, basis outputs
+    ``ip.f[0..3]``, Horner intermediates ``ip.h2``/``ip.h1`` and the
+    interpolant ``ip.y``.
+    """
+
+    def __init__(self, prefix, ctx=None):
+        self.prefix = prefix
+        self.d = RegArray("%s.d" % prefix, 4, ctx=ctx)
+        self.p = [SigArray("%s.p%d" % (prefix, j), 4, ctx=ctx)
+                  for j in range(4)]
+        self.f = SigArray("%s.f" % prefix, 4, ctx=ctx)
+        self.h2 = Sig("%s.h2" % prefix, ctx=ctx)
+        self.h1 = Sig("%s.h1" % prefix, ctx=ctx)
+        self.y = Sig("%s.y" % prefix, ctx=ctx)
+
+    def step(self, x, mu):
+        """Shift ``x`` into the delay line; interpolate at ``mu``.
+
+        The delay line commits at the next clock edge, so the polynomial
+        uses the samples shifted in during *previous* cycles (hardware
+        pipeline behaviour).  Returns the interpolant signal.
+        """
+        d = self.d
+        d[0] = x
+        for i in range(3, 0, -1):
+            d[i] = d[i - 1]
+
+        for j in range(4):
+            basis = FARROW_BASIS[j]
+            pj = self.p[j]
+            pj[0] = d[0] * basis[0]
+            for i in range(1, 4):
+                pj[i] = pj[i - 1] + d[i] * basis[i]
+            self.f[j] = pj[3]
+
+        self.h2.assign(self.f[3] * mu + self.f[2])
+        self.h1.assign(self.h2 * mu + self.f[1])
+        self.y.assign(self.h1 * mu + self.f[0])
+        return self.y
+
+    def signals(self):
+        out = list(self.d.signals())
+        for pj in self.p:
+            out.extend(pj.signals())
+        out.extend(self.f.signals())
+        out.extend([self.h2, self.h1, self.y])
+        return out

@@ -1,0 +1,74 @@
+"""Constant-coefficient FIR filter block.
+
+Two implementations are provided:
+
+* :class:`FirFilter` — a refinable block built from ``Sig``/``Reg``
+  objects (delay line in registers, multiply-accumulate chain as named
+  partial sums, like the paper's ``v[i]`` chain), usable inside any
+  :class:`~repro.refine.flow.Design`.
+* :func:`fir_reference` — a plain numpy reference for tests/benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DesignError
+from repro.signal import RegArray, Sig, SigArray
+
+__all__ = ["FirFilter", "fir_reference"]
+
+
+class FirFilter:
+    """Direct-form FIR with monitored internal signals.
+
+    Signals created (for ``prefix='f'``, N taps): ``f.c[i]`` coefficient
+    holders, ``f.d[i]`` delay line registers, ``f.v[i]`` partial sums
+    (``f.v[N]`` is the output).
+    """
+
+    def __init__(self, prefix, coefficients, ctx=None):
+        if len(coefficients) == 0:
+            raise DesignError("FIR needs at least one coefficient")
+        self.prefix = prefix
+        self.coefficients = tuple(float(c) for c in coefficients)
+        n = len(self.coefficients)
+        self.n_taps = n
+        self.c = SigArray("%s.c" % prefix, n, ctx=ctx)
+        self.d = RegArray("%s.d" % prefix, n, ctx=ctx)
+        self.v = SigArray("%s.v" % prefix, n + 1, ctx=ctx)
+        for i in range(n):
+            self.c[i] = self.coefficients[i]
+
+    @property
+    def out(self):
+        """Output signal (the last partial sum)."""
+        return self.v[self.n_taps]
+
+    def step(self, x):
+        """Shift in one sample, produce one output (call every cycle)."""
+        n = self.n_taps
+        self.d[0] = x
+        for i in range(n - 1, 0, -1):
+            self.d[i] = self.d[i - 1]
+        self.v[0] = 0.0
+        for i in range(1, n + 1):
+            self.v[i] = self.v[i - 1] + self.d[i - 1] * self.c[i - 1]
+        return self.out
+
+    def signals(self):
+        return (list(self.c.signals()) + list(self.d.signals())
+                + list(self.v.signals()))
+
+
+def fir_reference(coefficients, samples, zi=None):
+    """Reference FIR: one-cycle input delay, matching :class:`FirFilter`.
+
+    :class:`FirFilter` registers the input before the first tap, so its
+    output at step ``k`` is ``sum(c[i] * x[k-1-i])``.
+    """
+    h = np.asarray(coefficients, dtype=float)
+    x = np.asarray(samples, dtype=float)
+    delayed = np.concatenate(([0.0], x[:-1])) if len(x) else x
+    full = np.convolve(delayed, h)
+    return full[:len(x)]

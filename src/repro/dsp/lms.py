@@ -1,0 +1,126 @@
+"""The paper's motivational example: a simplified symbol-spaced
+decision-directed LMS equalizer (Section 3, Figure 1).
+
+The behavioral description mirrors the paper's C code line by line::
+
+    while (1) {
+        d[0] = get(x);
+        for (i = N-1; i > 0; i--) d[i] = d[i-1];
+        v[0] = 0;
+        for (i = 1; i <= N; i++) v[i] = v[i-1] + d[i-1] * c[i-1];
+        w = v[N] - b * s;
+        y = w > 0 ? 1 : -1;
+        b = b + mu * s * (w - y);
+        s = y;
+        put(y);
+    }
+
+The input ``x`` is binary PAM through a dispersive channel plus AWGN;
+the constant-coefficient FIR ``c`` equalizes the bulk of the ISI and the
+single adaptive feedback coefficient ``b`` removes the residual
+post-cursor ISI of the previous decision ``s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.refine.flow import Design
+from repro.signal import Reg, RegArray, Sig, SigArray, select
+from repro.signal.ops import gt
+
+__all__ = ["LmsEqualizerDesign", "pam_channel_stimulus",
+           "PAPER_COEFFICIENTS", "PAPER_CHANNEL"]
+
+#: FIR coefficients of the paper's example.  The third value is garbled
+#: in the available copy of the paper; -0.02 is used (documented in
+#: DESIGN.md).
+PAPER_COEFFICIENTS = (-0.11, 1.2, -0.02)
+
+#: Channel impulse response used to generate the stimulus ``x``:
+#: a small precursor, the main tap one symbol later, and a small
+#: post-cursor — the inverse-ish of the paper's equalizer coefficients.
+#: The resulting |x| stays within the paper's x.range(-1.5, 1.5).
+PAPER_CHANNEL = (0.1, 1.0, 0.05)
+
+
+def pam_channel_stimulus(seed=2024, channel=PAPER_CHANNEL, noise_std=0.08,
+                         block=1024):
+    """Infinite generator of received PAM samples.
+
+    Binary (+/-1) symbols are convolved with ``channel`` and disturbed by
+    AWGN; samples are produced in blocks for speed but yielded one by one
+    so designs can consume any number of them.
+    """
+    rng = np.random.default_rng(seed)
+    h = np.asarray(channel, dtype=float)
+    tail = np.zeros(len(h) - 1)
+    while True:
+        symbols = rng.choice((-1.0, 1.0), size=block)
+        full = np.convolve(symbols, h)
+        out = full[:block].copy()
+        out[:len(tail)] += tail
+        tail = full[block:]
+        out += rng.normal(0.0, noise_std, size=block)
+        yield from out.tolist()
+
+
+class LmsEqualizerDesign(Design):
+    """Paper Figure 1 as a refinable :class:`Design`."""
+
+    name = "lms-equalizer"
+    inputs = ("x",)
+    output = "v[3]"
+
+    def __init__(self, n_taps=3, coefficients=PAPER_COEFFICIENTS,
+                 mu=1.0 / 32.0, stimulus=None, seed=2024):
+        if len(coefficients) != n_taps:
+            raise ValueError("need %d coefficients" % n_taps)
+        self.n_taps = n_taps
+        self.coefficients = tuple(coefficients)
+        self.mu = mu
+        self._stimulus_factory = (stimulus if stimulus is not None
+                                  else lambda: pam_channel_stimulus(seed))
+        self.output = "v[%d]" % n_taps
+        self.decisions = []
+
+    # -- Design protocol ---------------------------------------------------
+
+    def build(self, ctx):
+        n = self.n_taps
+        # Constructor definitions, as in the paper.
+        self.c = SigArray("c", n)
+        self.d = RegArray("d", n)
+        self.v = SigArray("v", n + 1)
+        self.x = Sig("x")
+        self.y = Sig("y")
+        self.w = Sig("w")
+        self.b = Reg("b")
+        self.s = Reg("s")
+        self.x.role = "input"
+        self.v[n].role = "output"
+        # Initialization of the constant coefficients.
+        for i in range(n):
+            self.c[i] = self.coefficients[i]
+        self._stim = self._stimulus_factory()
+        self.decisions = []
+
+    def run(self, ctx, n_samples):
+        n = self.n_taps
+        c, d, v = self.c, self.d, self.v
+        x, y, w, b, s = self.x, self.y, self.w, self.b, self.s
+        mu = self.mu
+        for _ in range(n_samples):
+            x.assign(next(self._stim))
+            d[0] = x
+            for i in range(n - 1, 0, -1):
+                d[i] = d[i - 1]
+            v[0] = 0.0
+            for i in range(1, n + 1):
+                v[i] = v[i - 1] + d[i - 1] * c[i - 1]
+            w.assign(v[n] - b * s)
+            y.assign(select(gt(w, 0.0), 1.0, -1.0))
+            b.assign(b + mu * s * (w - y))
+            s.assign(y + 0.0)
+            self.decisions.append(y.fx)
+            ctx.tick()

@@ -1,0 +1,35 @@
+"""Proportional-plus-integral loop filter (refinable block).
+
+The integrator is a textbook accumulator: its quasi-analytical range
+propagation explodes on feedback, making it (together with the NCO
+phase) one of the signals the paper puts into saturation mode.
+"""
+
+from __future__ import annotations
+
+from repro.signal import Reg, Sig
+
+__all__ = ["PiLoopFilter"]
+
+
+class PiLoopFilter:
+    """Signals: ``lf.p`` (proportional), ``lf.i`` (integrator register)
+    and ``lf.out`` (their sum)."""
+
+    def __init__(self, prefix, kp, ki, ctx=None):
+        self.prefix = prefix
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.p = Sig("%s.p" % prefix, ctx=ctx)
+        self.i = Reg("%s.i" % prefix, ctx=ctx)
+        self.out = Sig("%s.out" % prefix, ctx=ctx)
+
+    def step(self, err):
+        """Update with one detector sample; returns the output signal."""
+        self.p.assign(err * self.kp)
+        self.i.assign(self.i + err * self.ki)
+        self.out.assign(self.p + self.i)
+        return self.out
+
+    def signals(self):
+        return [self.p, self.i, self.out]

@@ -1,0 +1,84 @@
+"""Signal-quality metrics: SQNR, MSE, BER, EVM.
+
+All metrics accept plain sequences or numpy arrays.  ``sqnr_db`` is the
+measure the paper reports for the LSB refinement result (39.8 dB before,
+39.1 dB after on the LMS example).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["mse", "sqnr_db", "snr_db", "ber", "evm_percent",
+           "sqnr_from_stats"]
+
+
+def mse(reference, test):
+    """Mean squared error between two equal-length sequences."""
+    ref = np.asarray(reference, dtype=float)
+    tst = np.asarray(test, dtype=float)
+    if ref.shape != tst.shape:
+        raise ValueError("shape mismatch: %s vs %s" % (ref.shape, tst.shape))
+    if ref.size == 0:
+        raise ValueError("empty input")
+    return float(np.mean((ref - tst) ** 2))
+
+
+def sqnr_db(reference, test):
+    """Signal-to-quantization-noise ratio in dB.
+
+    ``reference`` is the ideal (floating-point) signal, ``test`` the
+    quantized one; noise is their difference.
+    """
+    ref = np.asarray(reference, dtype=float)
+    noise_power = mse(reference, test)
+    signal_power = float(np.mean(ref ** 2))
+    if noise_power == 0.0:
+        return math.inf
+    if signal_power == 0.0:
+        return -math.inf
+    return 10.0 * math.log10(signal_power / noise_power)
+
+
+def snr_db(signal_power, noise_power):
+    """SNR in dB from raw powers."""
+    if noise_power <= 0.0:
+        return math.inf
+    if signal_power <= 0.0:
+        return -math.inf
+    return 10.0 * math.log10(signal_power / noise_power)
+
+
+def sqnr_from_stats(signal_rms, noise_rms):
+    """SQNR in dB from rms values (as gathered by the error monitors)."""
+    if noise_rms == 0.0:
+        return math.inf
+    if signal_rms == 0.0:
+        return -math.inf
+    return 20.0 * math.log10(signal_rms / noise_rms)
+
+
+def ber(transmitted, decided, skip=0):
+    """Bit error rate between +/-1 symbol sequences.
+
+    ``skip`` discards the initial samples (equalizer/loop convergence).
+    Sequences are truncated to the shorter length after alignment.
+    """
+    tx = np.sign(np.asarray(transmitted, dtype=float)[skip:])
+    rx = np.sign(np.asarray(decided, dtype=float)[skip:])
+    n = min(len(tx), len(rx))
+    if n == 0:
+        raise ValueError("no symbols to compare")
+    return float(np.mean(tx[:n] != rx[:n]))
+
+
+def evm_percent(reference, test):
+    """Error vector magnitude in percent (rms error / rms reference)."""
+    ref = np.asarray(reference, dtype=float)
+    err = np.asarray(test, dtype=float) - ref
+    ref_rms = float(np.sqrt(np.mean(ref ** 2)))
+    if ref_rms == 0.0:
+        raise ValueError("reference has zero power")
+    return 100.0 * float(np.sqrt(np.mean(err ** 2))) / ref_rms

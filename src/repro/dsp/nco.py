@@ -1,0 +1,97 @@
+"""Interpolation-control NCO (numerically controlled oscillator).
+
+The phase register ``eta`` (the paper's "D signal inside the NCO")
+decrements by the control word each sample and wraps around 1 on
+underflow; the underflow is the symbol strobe and the pre-wrap phase
+yields the fractional interpolation interval ``mu = eta / w``.
+
+This modulo-1 accumulator is exactly the kind of sensitive feedback
+signal whose coupled float/fixed error statistics diverge (the
+difference error performs a random walk), requiring the paper's
+``error()`` annotation during LSB refinement.
+"""
+
+from __future__ import annotations
+
+from repro.signal import Reg, Sig, select
+from repro.signal.ops import lt
+
+__all__ = ["Nco", "WrappedNco"]
+
+
+class Nco:
+    """Modulo-1 down-counting NCO with strobe and ``mu`` outputs.
+
+    Signals (for ``prefix='nco'``): phase register ``nco.eta``, the
+    decremented phase ``nco.eta_next``, and the held fractional interval
+    ``nco.mu``.
+    """
+
+    def __init__(self, prefix, init_phase=0.9, ctx=None):
+        self.prefix = prefix
+        self.eta = Reg("%s.eta" % prefix, ctx=ctx, init=init_phase)
+        self.eta_next = Sig("%s.eta_next" % prefix, ctx=ctx)
+        self.mu = Reg("%s.mu" % prefix, ctx=ctx)
+        self.strobe = False
+
+    def step(self, w):
+        """Advance one sample with control word ``w``; returns the strobe.
+
+        On underflow (``eta - w < 0``) the phase wraps around 1, the
+        strobe fires, and ``mu`` captures ``eta / w`` — the fraction of a
+        sample period after the previous sample at which the symbol
+        instant occurred.  The wrap decision runs on the fixed-point
+        value, so both coupled simulations always wrap together.
+        """
+        self.eta_next.assign(self.eta - w)
+        strobe_expr = lt(self.eta_next, 0.0)
+        self.strobe = bool(strobe_expr)
+        if self.strobe:
+            self.mu.assign(self.eta / w)
+        self.eta.assign(select(strobe_expr, self.eta_next + 1.0,
+                               self.eta_next + 0.0))
+        return self.strobe
+
+    def signals(self):
+        return [self.eta, self.eta_next, self.mu]
+
+
+class WrappedNco:
+    """NCO whose phase register is a *wrap-around typed* accumulator.
+
+    This is how the phase lives in hardware: an unsigned modulo-1 word
+    whose MSB overflow realizes the wrap for free, declared up front as a
+    partial type definition (e.g. ``<12,12,us,wrap>``).  The consequence
+    for the coupled simulation is exactly the paper's Section 6.1
+    finding: the fixed-point phase wraps through the type while the
+    floating-point reference keeps running off linearly, so the
+    difference error of the phase register is unbounded and its
+    statistics are meaningless — until the designer overrules them with
+    ``eta.error(q)``.
+    """
+
+    def __init__(self, prefix, phase_dtype, init_phase=0.9, ctx=None):
+        if not (phase_dtype.vtype == "us" and phase_dtype.msbspec == "wrap"
+                and phase_dtype.n == phase_dtype.f):
+            raise ValueError("phase dtype must be an unsigned modulo-1 "
+                             "wrap type <f,f,us,wrap>, got %s"
+                             % phase_dtype.spec())
+        self.prefix = prefix
+        self.eta = Reg("%s.eta" % prefix, dtype=phase_dtype, ctx=ctx,
+                       init=init_phase)
+        self.eta_next = Sig("%s.eta_next" % prefix, ctx=ctx)
+        self.mu = Reg("%s.mu" % prefix, ctx=ctx)
+        self.strobe = False
+
+    def step(self, w):
+        """Advance one sample; the wrap happens in the type, not in code."""
+        self.eta_next.assign(self.eta - w)
+        self.strobe = bool(lt(self.eta_next, 0.0))
+        if self.strobe:
+            self.mu.assign(self.eta / w)
+        # The unsigned wrap type folds a negative phase back into [0, 1).
+        self.eta.assign(self.eta - w)
+        return self.strobe
+
+    def signals(self):
+        return [self.eta, self.eta_next, self.mu]

@@ -1,0 +1,75 @@
+"""Root-raised-cosine pulse shaping.
+
+Continuous-time evaluation (needed to synthesize samples at arbitrary,
+clock-offset instants for the timing recovery experiments) plus discrete
+tap generation for FIR matched filters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rrc_pulse", "rrc_taps", "raised_cosine_pulse"]
+
+
+def rrc_pulse(t, rolloff=0.5):
+    """Root-raised-cosine pulse h(t), unit symbol period, h(0) peak.
+
+    Handles the removable singularities at ``t = 0`` and
+    ``t = +/- 1/(4*rolloff)`` analytically.  Vectorized over ``t``.
+    """
+    beta = float(rolloff)
+    if not 0.0 < beta <= 1.0:
+        raise ValueError("rolloff must be in (0, 1], got %r" % rolloff)
+    t = np.asarray(t, dtype=float)
+    out = np.empty_like(t)
+
+    tiny = 1e-9
+    at_zero = np.abs(t) < tiny
+    at_pole = np.abs(np.abs(t) - 1.0 / (4.0 * beta)) < tiny
+    regular = ~(at_zero | at_pole)
+
+    out[at_zero] = 1.0 + beta * (4.0 / np.pi - 1.0)
+
+    # L'Hopital value at t = 1/(4 beta).
+    out[at_pole] = (beta / np.sqrt(2.0)) * (
+        (1.0 + 2.0 / np.pi) * np.sin(np.pi / (4.0 * beta))
+        + (1.0 - 2.0 / np.pi) * np.cos(np.pi / (4.0 * beta)))
+
+    tr = t[regular]
+    num = (np.sin(np.pi * tr * (1.0 - beta))
+           + 4.0 * beta * tr * np.cos(np.pi * tr * (1.0 + beta)))
+    den = np.pi * tr * (1.0 - (4.0 * beta * tr) ** 2)
+    out[regular] = num / den
+    return out if out.shape else float(out)
+
+
+def raised_cosine_pulse(t, rolloff=0.5):
+    """Raised-cosine pulse (the RRC autocorrelation): Nyquist, zero ISI."""
+    beta = float(rolloff)
+    if not 0.0 < beta <= 1.0:
+        raise ValueError("rolloff must be in (0, 1], got %r" % rolloff)
+    t = np.asarray(t, dtype=float)
+    out = np.sinc(t)
+    denom = 1.0 - (2.0 * beta * t) ** 2
+    pole = np.abs(denom) < 1e-9
+    cos_term = np.where(pole, 1.0, np.cos(np.pi * beta * t))
+    denom = np.where(pole, 1.0, denom)
+    out = out * cos_term / denom
+    pole_value = (np.pi / 4.0) * np.sinc(1.0 / (2.0 * beta))
+    out = np.where(pole, pole_value, out)
+    return out if out.shape else float(out)
+
+
+def rrc_taps(sps=2, span=8, rolloff=0.5, normalize=True):
+    """Discrete RRC taps: ``span`` symbols at ``sps`` samples/symbol.
+
+    Returns an odd-length symmetric tap vector.  With ``normalize`` the
+    taps are scaled to unit energy (matched-filter convention).
+    """
+    n = span * sps
+    t = (np.arange(n + 1) - n / 2.0) / float(sps)
+    h = rrc_pulse(t, rolloff)
+    if normalize:
+        h = h / np.sqrt(np.sum(h * h))
+    return h

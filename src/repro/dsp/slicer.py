@@ -1,0 +1,39 @@
+"""Decision devices (slicers) for M-ary PAM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DesignError
+from repro.signal import as_expr, select
+from repro.signal.ops import gt
+
+__all__ = ["binary_slicer", "pam_slicer", "pam_levels"]
+
+
+def binary_slicer(value):
+    """The paper's slicer: ``y = w > 0 ? 1 : -1`` as an expression."""
+    return select(gt(value, 0.0), 1.0, -1.0)
+
+
+def pam_levels(m):
+    """Symbol levels of M-PAM, unit outermost level: M=2 -> (-1, 1)."""
+    if m < 2 or m % 2:
+        raise DesignError("M-PAM needs an even M >= 2, got %r" % m)
+    raw = np.arange(-(m - 1), m, 2, dtype=float)
+    return tuple(raw / (m - 1))
+
+
+def pam_slicer(value, m=2):
+    """Nearest-level M-PAM decision as a nested ``select`` expression.
+
+    Thresholds sit midway between adjacent levels; comparisons run on the
+    fixed-point value (uniform control for the dual simulation).
+    """
+    levels = pam_levels(m)
+    expr = as_expr(value)
+    result = levels[0]
+    for lo, hi in zip(levels, levels[1:]):
+        threshold = 0.5 * (lo + hi)
+        result = select(gt(expr, threshold), hi, result)
+    return as_expr(result)

@@ -1,0 +1,39 @@
+"""Gardner timing error detector (refinable block).
+
+Operates on interpolants at two samples per symbol: with ``now`` the
+on-time interpolant of the current symbol, ``prev`` the previous
+symbol's on-time interpolant and ``mid`` the interpolant halfway
+between, the Gardner error is::
+
+    e = (now - prev) * mid
+
+which is decision-free (works before the slicer is reliable) and has a
+stable zero at the pulse peak for binary PAM.
+"""
+
+from __future__ import annotations
+
+from repro.signal import Reg, Sig
+
+__all__ = ["GardnerTed"]
+
+
+class GardnerTed:
+    """Signals: ``ted.prev`` (previous on-time sample, register),
+    ``ted.mid`` (midpoint sample) and ``ted.err`` (detector output)."""
+
+    def __init__(self, prefix, ctx=None):
+        self.prefix = prefix
+        self.prev = Reg("%s.prev" % prefix, ctx=ctx)
+        self.mid = Sig("%s.mid" % prefix, ctx=ctx)
+        self.err = Sig("%s.err" % prefix, ctx=ctx)
+
+    def step(self, now, midpoint):
+        """Evaluate at a symbol strobe; returns the error signal."""
+        self.mid.assign(midpoint)
+        self.err.assign((now - self.prev) * self.mid)
+        self.prev.assign(now + 0.0)
+        return self.err
+
+    def signals(self):
+        return [self.prev, self.mid, self.err]

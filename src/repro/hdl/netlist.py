@@ -1,0 +1,168 @@
+"""RTL netlist extraction from a traced signal flow graph.
+
+Bridges the refinement result and the VHDL generator: every signal gets
+its synthesized :class:`DType`, every operation node gets a derived
+intermediate format wide enough to hold its exact result (no rounding
+inside expressions — quantization happens only at signal assignment,
+matching the simulation semantics).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import word
+from repro.core.dtype import DType
+from repro.core.errors import DesignError
+
+__all__ = ["Net", "OpInstance", "Netlist", "build_netlist",
+           "UnsupportedOpError", "derive_op_dtype", "const_dtype"]
+
+
+class UnsupportedOpError(DesignError):
+    """The traced operation has no RTL mapping (e.g. division)."""
+
+
+def const_dtype(value, max_frac_bits=32):
+    """Minimal two's-complement format holding a literal exactly-ish."""
+    f = word.needed_frac_bits(value, cap=max_frac_bits)
+    msb = word.required_msb(min(value, 0.0), max(value, 0.0))
+    if msb is None:
+        msb = 0
+    return DType("const", msb + f + 1, f, "tc", "wrap", "round")
+
+
+def derive_op_dtype(label, operand_dtypes):
+    """Exact (lossless) result format of one operation."""
+    if label in ("add", "sub"):
+        a, b = operand_dtypes
+        f = max(a.f, b.f)
+        msb = max(a.msb, b.msb) + 1
+        return DType(label, msb + f + 1, f, "tc", "wrap", "round")
+    if label == "mul":
+        a, b = operand_dtypes
+        f = a.f + b.f
+        msb = a.msb + b.msb + 1
+        return DType(label, msb + f + 1, f, "tc", "wrap", "round")
+    if label in ("neg", "abs"):
+        (a,) = operand_dtypes
+        return DType(label, a.n + 1, a.f, "tc", "wrap", "round")
+    if label in ("min", "max"):
+        a, b = operand_dtypes
+        f = max(a.f, b.f)
+        msb = max(a.msb, b.msb)
+        return DType(label, msb + f + 1, f, "tc", "wrap", "round")
+    if label in ("gt", "ge", "lt", "le"):
+        return DType(label, 2, 0, "tc", "wrap", "round")
+    if label == "select":
+        branches = operand_dtypes[-2:]
+        f = max(d.f for d in branches)
+        msb = max(d.msb for d in branches)
+        return DType(label, msb + f + 1, f, "tc", "wrap", "round")
+    if label.startswith("shl") or label.startswith("shr"):
+        (a,) = operand_dtypes
+        k = int(label[3:]) * (1 if label.startswith("shl") else -1)
+        return DType(label, a.n, max(0, a.f - k), "tc", "wrap", "round")
+    if label.startswith("cast<"):
+        import re
+        m = re.match(r"^cast<(\d+),(\d+),(tc|us),(\w\w),(\w\w)>$", label)
+        n, f = int(m.group(1)), int(m.group(2))
+        return DType("cast", n, f, m.group(3))
+    if label == "div":
+        raise UnsupportedOpError(
+            "division has no direct RTL mapping; restructure the design "
+            "(reciprocal LUT / shift approximation) before HDL generation")
+    raise UnsupportedOpError("no RTL mapping for traced op %r" % label)
+
+
+@dataclass
+class Net:
+    """One named signal of the netlist."""
+
+    name: str
+    dtype: DType
+    is_register: bool
+    is_input: bool
+    is_output: bool
+    driver: object = None   # Node driving this net (None for inputs)
+
+
+@dataclass
+class OpInstance:
+    """One operation with resolved input/result formats."""
+
+    node: object
+    label: str
+    operands: list          # list of Node
+    dtype: DType
+
+
+class Netlist:
+    """Typed view of a traced SFG, ready for HDL emission."""
+
+    def __init__(self, sfg, nets, ops, consts):
+        self.sfg = sfg
+        self.nets = nets          # name -> Net
+        self.ops = ops            # node -> OpInstance
+        self.consts = consts      # node -> (value, DType)
+
+    def inputs(self):
+        return [n for n in self.nets.values() if n.is_input]
+
+    def outputs(self):
+        return [n for n in self.nets.values() if n.is_output]
+
+    def registers(self):
+        return [n for n in self.nets.values() if n.is_register]
+
+    def dtype_of(self, node):
+        if node.kind == "const":
+            return self.consts[node][1]
+        if node.kind == "op":
+            return self.ops[node].dtype
+        return self.nets[node.label].dtype
+
+
+def build_netlist(sfg, types, inputs=(), outputs=(), max_const_frac=32):
+    """Resolve formats for every node of ``sfg``.
+
+    ``types`` maps every signal name to its :class:`DType`; ``inputs``
+    and ``outputs`` name the port signals.
+    """
+    inputs = set(inputs)
+    outputs = set(outputs)
+    nets = {}
+    for node in sfg.signal_nodes():
+        name = node.label
+        if name not in types:
+            raise DesignError("no fixed-point type for signal %r" % name)
+        drivers = sfg.preds(node)
+        nets[name] = Net(name, types[name], node.kind == "reg",
+                         name in inputs, name in outputs,
+                         driver=drivers[-1] if drivers else None)
+
+    consts = {}
+    ops = {}
+    for node in sfg.topological_order():
+        if node.kind == "const":
+            consts[node] = (node.payload,
+                            const_dtype(node.payload, max_const_frac))
+        elif node.kind == "op":
+            operand_nodes = sfg.preds(node)
+            operand_types = []
+            for p in operand_nodes:
+                if p.kind == "const":
+                    operand_types.append(consts[p][1])
+                elif p.kind == "op":
+                    if p not in ops:
+                        raise DesignError(
+                            "operation %r feeds %r through a combinational "
+                            "cycle" % (p.label, node.label))
+                    operand_types.append(ops[p].dtype)
+                else:
+                    operand_types.append(nets[p.label].dtype)
+            ops[node] = OpInstance(node, node.label, operand_nodes,
+                                   derive_op_dtype(node.label,
+                                                   operand_types))
+    return Netlist(sfg, nets, ops, consts)

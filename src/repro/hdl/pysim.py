@@ -1,0 +1,199 @@
+"""Bit-true Python evaluation of an extracted netlist.
+
+The VHDL generator maps every operation to exact intermediate formats
+and applies rounding/saturation only at signal assignments.  This module
+evaluates the *same netlist* with the *same integer-code semantics* in
+Python, which gives an executable specification of the generated RTL:
+
+* cross-checking it against the signal-layer simulation proves the
+  netlist extraction and format derivation are bit-true
+  (``tests/test_pysim.py`` does exactly that for whole designs), and
+* it doubles as a golden model when no VHDL simulator is available.
+
+All values are integer codes; a code plus its node's
+:class:`~repro.core.dtype.DType` defines the real value
+``code * 2**-f``.
+"""
+
+from __future__ import annotations
+
+from repro.core import word
+from repro.core.errors import DesignError
+from repro.hdl.netlist import build_netlist
+
+__all__ = ["NetlistSimulator"]
+
+
+def _align_code(code, from_dt, to_f):
+    """Shift a code between fractional formats (exact, to_f >= from_f)."""
+    shift = to_f - from_dt.f
+    if shift >= 0:
+        return code << shift
+    raise DesignError("lossy alignment inside an expression")
+
+
+def _quantize_code(code, src_dt, dst_dt):
+    """Rounding + overflow handling, mirroring Sig.assign semantics."""
+    shift = src_dt.f - dst_dt.f
+    if shift > 0:
+        if dst_dt.lsbspec == "floor":
+            code >>= shift            # arithmetic shift: floor
+        elif dst_dt.lsbspec == "round":
+            code = (code + (1 << (shift - 1))) >> shift
+        elif dst_dt.lsbspec == "trunc":
+            q = 1 << shift
+            code = -((-code) >> shift) if code < 0 else code >> shift
+            del q
+        else:  # ceil
+            code = -((-code) >> shift)
+    elif shift < 0:
+        code <<= -shift
+    if dst_dt.msbspec == "wrap":
+        return word.wrap_code(code, dst_dt.n, dst_dt.signed)
+    # saturate and error both clamp in hardware.
+    return word.saturate_code(code, dst_dt.n, dst_dt.signed)
+
+
+class NetlistSimulator:
+    """Cycle-accurate integer-code evaluation of a netlist."""
+
+    def __init__(self, sfg, types, inputs, outputs):
+        self.netlist = build_netlist(sfg, types, inputs, outputs)
+        self.sfg = sfg
+        self.input_names = list(inputs)
+        self.output_names = list(outputs)
+        self._regs = {}       # name -> current code
+        self._comb_order = self._schedule()
+        self.reset()
+
+    # -- construction -------------------------------------------------------
+
+    def _schedule(self):
+        """Combinational signal nets in evaluation order.
+
+        Registers read old values, so only the combinational nets need
+        ordering; the traced node ids are creation-ordered, which is a
+        topological order for the expression DAG.
+        """
+        order = []
+        for node in self.sfg.topological_order():
+            if node.kind == "sig":
+                net = self.netlist.nets[node.label]
+                if not net.is_input and net.driver is not None:
+                    order.append(net)
+        return order
+
+    def reset(self):
+        """Power-on: every register and signal to zero."""
+        self._values = {name: 0 for name in self.netlist.nets}
+        self._regs = {net.name: 0 for net in self.netlist.registers()}
+        return self
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _eval(self, node, cache):
+        if node in cache:
+            return cache[node]
+        if node.kind == "const":
+            value, dt = self.netlist.consts[node]
+            code = int(round(value * (2.0 ** dt.f)))
+        elif node.kind in ("sig", "reg"):
+            code = self._values[node.label]
+        else:
+            code = self._eval_op(node, cache)
+        cache[node] = code
+        return code
+
+    def _eval_op(self, node, cache):
+        op = self.netlist.ops[node]
+        dt = op.dtype
+        ins = []
+        for p in op.operands:
+            ins.append((self._eval(p, cache), self.netlist.dtype_of(p)))
+        label = op.label
+
+        if label in ("add", "sub"):
+            a = _align_code(ins[0][0], ins[0][1], dt.f)
+            b = _align_code(ins[1][0], ins[1][1], dt.f)
+            return a + b if label == "add" else a - b
+        if label == "mul":
+            return ins[0][0] * ins[1][0]
+        if label == "neg":
+            return -_align_code(ins[0][0], ins[0][1], dt.f)
+        if label == "abs":
+            return abs(_align_code(ins[0][0], ins[0][1], dt.f))
+        if label in ("min", "max"):
+            a = _align_code(ins[0][0], ins[0][1], dt.f)
+            b = _align_code(ins[1][0], ins[1][1], dt.f)
+            return min(a, b) if label == "min" else max(a, b)
+        if label in ("gt", "ge", "lt", "le"):
+            f = max(ins[0][1].f, ins[1][1].f)
+            a = _align_code(ins[0][0], ins[0][1], f)
+            b = _align_code(ins[1][0], ins[1][1], f)
+            taken = {"gt": a > b, "ge": a >= b,
+                     "lt": a < b, "le": a <= b}[label]
+            return 1 if taken else 0
+        if label == "select":
+            if len(ins) != 3:
+                raise DesignError("select without a traced condition")
+            cond = ins[0][0]
+            pick = ins[1] if cond != 0 else ins[2]
+            return _align_code(pick[0], pick[1], dt.f)
+        if label.startswith("shl"):
+            return ins[0][0]           # format change only (f shrinks)
+        if label.startswith("shr"):
+            return ins[0][0]           # format change only (f grows)
+        if label.startswith("cast<"):
+            return _quantize_code(ins[0][0], ins[0][1], dt)
+        raise DesignError("cannot evaluate traced op %r" % label)
+
+    def step(self, inputs):
+        """One clock cycle.
+
+        ``inputs`` maps input names to *real values* (quantized through
+        the input types here).  Returns ``{output_name: real_value}``.
+        """
+        # Apply inputs.
+        for name in self.input_names:
+            dt = self.netlist.nets[name].dtype
+            code = int(round(float(inputs[name]) * (2.0 ** dt.f)))
+            code = word.saturate_code(code, dt.n, dt.signed)
+            self._values[name] = code
+
+        cache = {}
+        # Combinational nets settle in dependency order.
+        for net in self._comb_order:
+            code = self._eval(net.driver, cache)
+            self._values[net.name] = _quantize_code(
+                code, self.netlist.dtype_of(net.driver), net.dtype)
+
+        # Registers capture their next values...
+        next_regs = {}
+        for net in self.netlist.registers():
+            if net.driver is None:
+                continue
+            code = self._eval(net.driver, cache)
+            next_regs[net.name] = _quantize_code(
+                code, self.netlist.dtype_of(net.driver), net.dtype)
+
+        out = {name: self.value_of(name) for name in self.output_names}
+
+        # ...and commit at the clock edge.
+        for name, code in next_regs.items():
+            self._values[name] = code
+        return out
+
+    # -- observation -----------------------------------------------------------
+
+    def code_of(self, name):
+        """Current integer code of a net."""
+        return self._values[name]
+
+    def value_of(self, name):
+        """Current real value of a net."""
+        dt = self.netlist.nets[name].dtype
+        return self._values[name] * (2.0 ** -dt.f)
+
+    def run(self, input_series):
+        """Feed a sequence of ``{name: value}`` dicts; collect outputs."""
+        return [self.step(frame) for frame in input_series]

@@ -1,0 +1,151 @@
+"""Self-checking VHDL testbench generation.
+
+The refinement simulation is bit-true to the generated RTL (same
+quantize-on-assign semantics), so a watched simulation run doubles as a
+golden vector set: this module turns recorded input/output histories
+into a VHDL testbench that drives the entity with the input codes and
+asserts the expected output codes cycle by cycle.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DesignError
+from repro.hdl.vhdlgen import PACKAGE_NAME, vhdl_identifier
+
+__all__ = ["generate_testbench", "collect_vectors"]
+
+
+def collect_vectors(ctx, input_names, output_names, max_vectors=None):
+    """Extract aligned stimulus/expected vectors from watched signals.
+
+    Every named signal must have been created with ``.watch()`` before
+    the simulation ran; histories are truncated to the shortest one.
+    """
+    histories = {}
+    for name in list(input_names) + list(output_names):
+        sig = ctx.get(name)
+        if sig.history is None:
+            raise DesignError("signal %r was not watched; call .watch() "
+                              "before simulating" % name)
+        histories[name] = [fx for fx, _fl in sig.history]
+    n = min(len(h) for h in histories.values())
+    if max_vectors is not None:
+        n = min(n, max_vectors)
+    return {name: h[:n] for name, h in histories.items()}, n
+
+
+def _code(value, dtype):
+    code = int(round(value * (2.0 ** dtype.f)))
+    return code
+
+
+def generate_testbench(entity_name, vectors, types, input_names,
+                       output_names, clock="clk", reset="rst",
+                       tb_suffix="_tb", period_ns=10):
+    """Emit a self-checking testbench for ``entity_name``.
+
+    ``vectors`` maps signal name -> list of real values (as produced by
+    :func:`collect_vectors`); ``types`` maps signal name -> DType.
+    """
+    if not input_names or not output_names:
+        raise DesignError("testbench needs at least one input and output")
+    n = min(len(vectors[name]) for name in
+            list(input_names) + list(output_names))
+    if n == 0:
+        raise DesignError("no vectors to replay")
+
+    ent = vhdl_identifier(entity_name)
+    tb = ent + tb_suffix
+
+    decls = []
+    port_map = ["      %s => %s" % (clock, clock),
+                "      %s => %s" % (reset, reset)]
+    for name in input_names:
+        dt = types[name]
+        ident = vhdl_identifier(name)
+        decls.append("  signal %s : signed(%d downto 0) := (others => '0');"
+                     % (ident, dt.n - 1))
+        port_map.append("      %s => %s" % (ident, ident))
+    for name in output_names:
+        dt = types[name]
+        ident = vhdl_identifier(name)
+        decls.append("  signal %s : signed(%d downto 0);"
+                     % (ident, dt.n - 1))
+        port_map.append("      %s => %s" % (ident, ident))
+
+    # ROMs of stimulus and expected codes.
+    roms = []
+    for name in input_names + output_names:
+        dt = types[name]
+        ident = vhdl_identifier(name)
+        codes = ", ".join(str(_code(v, dt)) for v in vectors[name][:n])
+        roms.append(
+            "  type t_%s_rom is array (0 to %d) of integer;\n"
+            "  constant %s_rom : t_%s_rom := (%s);"
+            % (ident, n - 1, ident, ident, codes))
+
+    drive = "\n".join(
+        "        %s <= to_signed(%s_rom(i), %d);"
+        % (vhdl_identifier(name), vhdl_identifier(name),
+           types[name].n)
+        for name in input_names)
+    checks = "\n".join(
+        "        assert %s = to_signed(%s_rom(i), %d)\n"
+        "          report \"mismatch on %s at vector \" & integer'image(i)\n"
+        "          severity error;"
+        % (vhdl_identifier(name), vhdl_identifier(name),
+           types[name].n, vhdl_identifier(name))
+        for name in output_names)
+
+    return """\
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+use work.%(pkg)s.all;
+
+entity %(tb)s is
+end entity %(tb)s;
+
+architecture sim of %(tb)s is
+  signal %(clk)s : std_logic := '0';
+  signal %(rst)s : std_logic := '1';
+%(decls)s
+%(roms)s
+begin
+  %(clk)s <= not %(clk)s after %(half)d ns;
+
+  dut : entity work.%(ent)s
+    port map (
+%(ports)s
+    );
+
+  stimulus : process
+  begin
+    wait for %(period)d ns;
+    %(rst)s <= '0';
+    for i in 0 to %(last)d loop
+%(drive)s
+      wait until rising_edge(%(clk)s);
+      wait for 1 ns;
+%(checks)s
+    end loop;
+    report "testbench completed: %(n)d vectors" severity note;
+    wait;
+  end process;
+end architecture sim;
+""" % {
+        "pkg": PACKAGE_NAME,
+        "tb": tb,
+        "ent": ent,
+        "clk": clock,
+        "rst": reset,
+        "decls": "\n".join(decls),
+        "roms": "\n".join(roms),
+        "ports": ",\n".join(port_map),
+        "drive": drive,
+        "checks": checks,
+        "half": period_ns // 2,
+        "period": period_ns,
+        "last": n - 1,
+        "n": n,
+    }

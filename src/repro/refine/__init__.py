@@ -1,0 +1,87 @@
+"""Refinement methodology: MSB/LSB rules, monitors, iterative flow."""
+
+from repro.refine.flow import (
+    Annotations,
+    Design,
+    FlowConfig,
+    LsbIteration,
+    MsbIteration,
+    PhaseResult,
+    RefinementFlow,
+    RefinementResult,
+    VerificationResult,
+    expand_names,
+)
+from repro.refine.lsbrules import (
+    LsbDecision,
+    LsbPolicy,
+    audit_precision,
+    decide_lsb,
+    detect_divergence,
+    lsb_from_sigma,
+)
+from repro.refine.cost import CostReport, CostWeights, estimate_cost
+from repro.refine.export import (
+    lsb_table_to_csv,
+    msb_table_to_csv,
+    result_to_dict,
+    result_to_json,
+    types_from_dict,
+    types_to_csv,
+    types_to_dict,
+)
+from repro.refine.monitors import ErrorSummary, SignalRecord, collect
+from repro.refine.optimizer import OptimizeResult, optimize_wordlengths
+from repro.refine.sensitivity import (SensitivityReport, SignalSensitivity,
+                                      analyze_sensitivity)
+from repro.refine.msbrules import MsbDecision, MsbPolicy, decide_msb
+from repro.refine.report import (
+    format_lsb_table,
+    format_msb_table,
+    format_table,
+    format_types_table,
+)
+
+__all__ = [
+    "Design",
+    "Annotations",
+    "FlowConfig",
+    "RefinementFlow",
+    "RefinementResult",
+    "PhaseResult",
+    "MsbIteration",
+    "LsbIteration",
+    "VerificationResult",
+    "expand_names",
+    "MsbPolicy",
+    "MsbDecision",
+    "decide_msb",
+    "LsbPolicy",
+    "LsbDecision",
+    "decide_lsb",
+    "detect_divergence",
+    "audit_precision",
+    "lsb_from_sigma",
+    "SignalRecord",
+    "ErrorSummary",
+    "collect",
+    "format_msb_table",
+    "format_lsb_table",
+    "format_types_table",
+    "format_table",
+    "result_to_dict",
+    "result_to_json",
+    "types_to_dict",
+    "types_from_dict",
+    "types_to_csv",
+    "msb_table_to_csv",
+    "lsb_table_to_csv",
+    "CostReport",
+    "CostWeights",
+    "estimate_cost",
+    "SensitivityReport",
+    "SignalSensitivity",
+    "analyze_sensitivity",
+    "OptimizeResult",
+    "optimize_wordlengths",
+]

@@ -1,0 +1,438 @@
+"""The iterative refinement flow (paper Figure 4).
+
+Input: a floating-point design description plus a *partial type
+definition* (typically the input quantization, known from the AD
+converter / SNR scenario).  The flow then:
+
+1. **MSB phase** — simulates with range monitoring (statistic-based and
+   quasi-analytical in the same run) and applies the MSB rules.  Signals
+   whose range propagation exploded get a ``range()`` annotation — taken
+   from ``user_ranges`` when provided (the paper's knowledge-based
+   ``b.range(-0.2, 0.2)``), derived from the simulated range otherwise —
+   and the simulation reiterates until no explosion remains.
+2. **LSB phase** — simulates the coupled float/fixed pair with the input
+   types applied and derives every LSB from the produced-error
+   statistics.  Signals whose error statistics diverge (sensitive
+   feedback) get an ``error()`` annotation and the simulation reiterates.
+3. **Type synthesis** — combines MSB position/mode and LSB position/mode
+   into full :class:`DType` definitions.
+4. **Verification** — re-simulates with every signal quantized; reports
+   per-signal SQNR, overflow counts and the performance cost of the
+   refinement versus the inputs-only-quantized baseline.
+
+Designs implement the small :class:`Design` protocol; each phase builds
+a *fresh* design instance so statistics and state never leak between
+iterations (stimuli must be internally seeded for reproducibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError, RefinementError
+from repro.refine.lsbrules import LsbPolicy, decide_lsb, detect_divergence
+from repro.refine.monitors import collect
+from repro.refine.msbrules import MsbPolicy, decide_msb
+from repro.refine.report import (format_lsb_table, format_msb_table,
+                                 format_types_table)
+from repro.signal.context import DesignContext
+
+__all__ = ["Design", "Annotations", "FlowConfig", "RefinementFlow",
+           "MsbIteration", "LsbIteration", "PhaseResult",
+           "VerificationResult", "RefinementResult"]
+
+
+class Design:
+    """Protocol for designs-under-refinement.
+
+    Subclasses declare ``inputs`` (names of input signals) and optionally
+    ``output`` (name of the primary output used for SQNR reporting), then
+    implement :meth:`build` and :meth:`run`.  ``run`` may be called
+    multiple times and must continue where it left off (the flow splits
+    runs in half for the divergence growth test).
+    """
+
+    name = "design"
+    inputs = ()
+    output = None
+
+    def build(self, ctx):
+        raise NotImplementedError
+
+    def run(self, ctx, n_samples):
+        raise NotImplementedError
+
+
+def expand_names(names, all_names):
+    """Expand base names to array elements (``d`` -> ``d[0]``, ...)."""
+    out = set()
+    for name in names:
+        if name in all_names:
+            out.add(name)
+            continue
+        prefix = name + "["
+        matched = [n for n in all_names if n.startswith(prefix)]
+        out.update(matched)
+    return out
+
+
+@dataclass
+class Annotations:
+    """Per-signal annotations applied after :meth:`Design.build`.
+
+    Names may address whole arrays (``"d"`` covers ``d[0]``..``d[N-1]``).
+    """
+
+    dtypes: dict = field(default_factory=dict)
+    ranges: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+
+    def _targets(self, ctx, name):
+        if name in ctx:
+            return [ctx.get(name)]
+        prefix = name + "["
+        matches = [s for s in ctx.signals() if s.name.startswith(prefix)]
+        if not matches:
+            raise DesignError("annotation target %r matches no signal"
+                              % name)
+        return matches
+
+    def apply(self, ctx):
+        for name, dt in self.dtypes.items():
+            for s in self._targets(ctx, name):
+                s.set_dtype(dt)
+        for name, bounds in self.ranges.items():
+            lo, hi = bounds
+            for s in self._targets(ctx, name):
+                s.range(lo, hi)
+        for name, q in self.errors.items():
+            for s in self._targets(ctx, name):
+                s.error_spec(q)
+
+
+@dataclass
+class FlowConfig:
+    """Knobs of the refinement flow."""
+
+    n_samples: int = 4000
+    max_msb_iterations: int = 4
+    max_lsb_iterations: int = 4
+    msb_policy: MsbPolicy = field(default_factory=MsbPolicy)
+    lsb_policy: LsbPolicy = field(default_factory=LsbPolicy)
+    #: derive range annotations from the simulated range when the user
+    #: did not provide one for an exploded signal.
+    auto_range: bool = True
+    auto_range_margin: float = 2.0
+    #: derive error annotations automatically on divergence.
+    auto_error: bool = True
+    auto_error_extra_bits: int = 2
+    seed: int = 1234
+
+
+@dataclass
+class MsbIteration:
+    index: int
+    records: dict
+    decisions: dict
+    exploded: list
+    added_ranges: dict
+
+    def table(self):
+        return format_msb_table(self.records, self.decisions,
+                                title="MSB analysis — iteration %d"
+                                      % self.index)
+
+
+@dataclass
+class LsbIteration:
+    index: int
+    records: dict
+    decisions: dict
+    divergent: dict
+    added_errors: dict
+
+    def table(self):
+        return format_lsb_table(self.records, self.decisions,
+                                title="LSB analysis — iteration %d"
+                                      % self.index)
+
+
+@dataclass
+class PhaseResult:
+    iterations: list
+    annotations: dict     # accumulated range (MSB) or error (LSB) notes
+    resolved: bool
+
+    @property
+    def n_iterations(self):
+        return len(self.iterations)
+
+    @property
+    def final(self):
+        return self.iterations[-1]
+
+
+@dataclass
+class VerificationResult:
+    records: dict
+    output: str
+    output_sqnr_db: float
+    total_overflows: int
+    overflow_signals: dict
+    #: modulo wraps of wrap-mode types (intended behaviour, not errors)
+    wrap_events: dict = field(default_factory=dict)
+
+
+@dataclass
+class RefinementResult:
+    msb: PhaseResult
+    lsb: PhaseResult
+    types: dict
+    verification: VerificationResult
+    baseline_sqnr_db: float    # inputs-only quantization (pre-refinement)
+
+    def types_table(self):
+        return format_types_table(self.types)
+
+    def total_bits(self):
+        return sum(dt.n for dt in self.types.values())
+
+    def summary(self):
+        lines = [
+            "MSB phase: %d iteration(s), %d range annotation(s)%s"
+            % (self.msb.n_iterations, len(self.msb.annotations),
+               "" if self.msb.resolved else " [UNRESOLVED]"),
+            "LSB phase: %d iteration(s), %d error annotation(s)%s"
+            % (self.lsb.n_iterations, len(self.lsb.annotations),
+               "" if self.lsb.resolved else " [UNRESOLVED]"),
+            "Synthesized %d fixed-point types, %d bits total"
+            % (len(self.types), self.total_bits()),
+        ]
+        v = self.verification
+        if v.output:
+            lines.append("Output %r SQNR: %.2f dB (inputs-only baseline: "
+                         "%.2f dB)" % (v.output, v.output_sqnr_db,
+                                       self.baseline_sqnr_db))
+        lines.append("Verification overflows: %d" % v.total_overflows)
+        return "\n".join(lines)
+
+
+class RefinementFlow:
+    """Drives a :class:`Design` through the full refinement flow."""
+
+    def __init__(self, design_factory, input_types=None, input_ranges=None,
+                 user_ranges=None, user_errors=None, preset_types=None,
+                 config=None):
+        self.factory = design_factory
+        self.input_types = dict(input_types or {})
+        self.input_ranges = dict(input_ranges or {})
+        self.user_ranges = dict(user_ranges or {})
+        self.user_errors = dict(user_errors or {})
+        self.preset_types = dict(preset_types or {})
+        self.cfg = config if config is not None else FlowConfig()
+
+    # -- simulation helper -------------------------------------------------
+
+    def _simulate(self, annotations, label):
+        cfg = self.cfg
+        ctx = DesignContext(label, seed=cfg.seed, overflow_action="record")
+        with ctx:
+            design = self.factory()
+            design.build(ctx)
+            annotations.apply(ctx)
+            half = max(1, cfg.n_samples // 2)
+            design.run(ctx, half)
+            snapshot = ctx.snapshot_error_stats()
+            design.run(ctx, cfg.n_samples - half)
+        return ctx, design, collect(ctx), snapshot
+
+    def _fixed_names(self, all_names):
+        """Signals whose types are user-given (never refined)."""
+        given = set(self.input_types) | set(self.preset_types)
+        return expand_names(given, all_names)
+
+    # -- MSB phase ------------------------------------------------------------
+
+    def run_msb_phase(self):
+        cfg = self.cfg
+        ranges = dict(self.input_ranges)
+        iterations = []
+        resolved = False
+        for it in range(1, cfg.max_msb_iterations + 1):
+            ann = Annotations(
+                dtypes={**self.input_types, **self.preset_types},
+                ranges=ranges)
+            _, _, records, _ = self._simulate(ann, "msb-iter-%d" % it)
+            decisions = {name: decide_msb(rec, cfg.msb_policy)
+                         for name, rec in records.items()}
+            exploded = [name for name, d in decisions.items()
+                        if d.needs_range_annotation]
+            added = {}
+            if exploded:
+                # Knowledge-based annotations first (the paper's way) ...
+                for name in exploded:
+                    base = _base_name(name)
+                    if name in self.user_ranges:
+                        added[name] = self.user_ranges[name]
+                    elif base in self.user_ranges and base not in added:
+                        added[base] = self.user_ranges[base]
+                # ... automatic fallback only when no knowledge applies.
+                if not added and cfg.auto_range:
+                    for name in exploded:
+                        added[name] = _auto_range(records[name],
+                                                  cfg.auto_range_margin)
+            iterations.append(MsbIteration(it, records, decisions,
+                                           exploded, dict(added)))
+            if not exploded:
+                resolved = True
+                break
+            if not added:
+                break  # no way to make progress
+            ranges.update(added)
+        accumulated = {k: v for k, v in ranges.items()
+                       if k not in self.input_ranges}
+        return PhaseResult(iterations, accumulated, resolved)
+
+    # -- LSB phase --------------------------------------------------------------
+
+    def run_lsb_phase(self, msb_ranges=None):
+        cfg = self.cfg
+        ranges = dict(self.input_ranges)
+        ranges.update(msb_ranges or {})
+        errors = {}
+        iterations = []
+        resolved = False
+        for it in range(1, cfg.max_lsb_iterations + 1):
+            ann = Annotations(
+                dtypes={**self.input_types, **self.preset_types},
+                ranges=ranges, errors=errors)
+            _, _, records, snap = self._simulate(ann, "lsb-iter-%d" % it)
+            # Inputs cannot diverge (their error IS the input
+            # quantization), but preset-typed signals can — e.g. a
+            # wrap-typed NCO phase whose float reference runs off.
+            input_names = expand_names(set(self.input_types),
+                                       records.keys())
+            divergent = {}
+            for name, rec in records.items():
+                if name in input_names:
+                    continue
+                is_div, reason = detect_divergence(rec, cfg.lsb_policy,
+                                                   snap.get(name))
+                if is_div:
+                    divergent[name] = reason
+            decisions = {
+                name: decide_lsb(rec, cfg.lsb_policy,
+                                 divergent=(name in divergent))
+                for name, rec in records.items()}
+            added = {}
+            if divergent:
+                for name in divergent:
+                    base = _base_name(name)
+                    if name in self.user_errors:
+                        added[name] = self.user_errors[name]
+                    elif base in self.user_errors and base not in added:
+                        added[base] = self.user_errors[base]
+                    elif cfg.auto_error:
+                        added[name] = self._auto_error_q()
+            iterations.append(LsbIteration(it, records, decisions,
+                                           dict(divergent), dict(added)))
+            if not divergent:
+                resolved = True
+                break
+            if not added:
+                break
+            errors.update(added)
+        return PhaseResult(iterations, errors, resolved)
+
+    def _auto_error_q(self):
+        f_ref = max((dt.f for dt in self.input_types.values()), default=8)
+        return 2.0 ** -(f_ref + self.cfg.auto_error_extra_bits)
+
+    # -- synthesis ----------------------------------------------------------------
+
+    def synthesize_types(self, msb_phase, lsb_phase):
+        """Combine MSB and LSB decisions into full fixed-point types."""
+        cfg = self.cfg
+        msb_final = msb_phase.final.decisions
+        lsb_final = lsb_phase.final.decisions
+        all_names = list(lsb_final.keys())
+        fixed = self._fixed_names(all_names)
+        types = {}
+        for name in all_names:
+            if name in fixed:
+                continue
+            mdec = msb_final.get(name)
+            ldec = lsb_final.get(name)
+            if mdec is None or (mdec.msb is None and
+                                (ldec is None or ldec.lsb is None)):
+                continue  # never exercised: stays floating-point
+            if mdec.case == "explosion":
+                raise RefinementError(
+                    "signal %r has an unresolved MSB explosion; add a "
+                    "range() annotation (user_ranges) or enable "
+                    "auto_range and rerun the MSB phase" % name)
+            msb = mdec.msb if mdec.msb is not None else 0
+            if isinstance(msb, float):
+                raise RefinementError(
+                    "signal %r still has an unbounded MSB; rerun the MSB "
+                    "phase with a range() annotation" % name)
+            f = ldec.lsb if (ldec is not None and ldec.lsb is not None) \
+                else cfg.lsb_policy.max_frac_bits
+            f = max(f, -msb)            # keep the word at least 1 bit
+            lsbspec = ldec.mode if ldec is not None else "round"
+            types[name] = DType("%s_t" % name, msb + f + 1, f, "tc",
+                                mdec.mode, lsbspec)
+        return types
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(self, types, lsb_phase=None):
+        errors = dict(lsb_phase.annotations) if lsb_phase is not None else {}
+        ann = Annotations(
+            dtypes={**types, **self.input_types, **self.preset_types},
+            errors=errors)
+        ctx, design, records, _ = self._simulate(ann, "verify")
+        output = getattr(design, "output", None)
+        sqnr = records[output].sqnr_db() if output else float("nan")
+        overflow_signals = {}
+        wrap_events = {}
+        for name, rec in records.items():
+            if not rec.overflow_count:
+                continue
+            if rec.dtype is not None and rec.dtype.msbspec == "wrap":
+                # Modulo arithmetic wrapping through the type is the
+                # intended behaviour, not an overflow fault.
+                wrap_events[name] = rec.overflow_count
+            else:
+                overflow_signals[name] = rec.overflow_count
+        return VerificationResult(records, output, sqnr,
+                                  sum(overflow_signals.values()),
+                                  overflow_signals, wrap_events)
+
+    # -- one-shot -----------------------------------------------------------------
+
+    def run(self):
+        """Full flow: MSB phase, LSB phase, synthesis, verification."""
+        msb = self.run_msb_phase()
+        lsb = self.run_lsb_phase(msb.annotations)
+        types = self.synthesize_types(msb, lsb)
+        verification = self.verify(types, lsb)
+        output = verification.output
+        baseline = float("nan")
+        if output and output in lsb.final.records:
+            baseline = lsb.final.records[output].sqnr_db()
+        return RefinementResult(msb, lsb, types, verification, baseline)
+
+
+def _base_name(name):
+    """``d[3]`` -> ``d`` (array element to array base)."""
+    return name.split("[", 1)[0]
+
+
+def _auto_range(record, margin):
+    """Symmetric range annotation derived from the simulated range."""
+    if not record.observed or record.stat_min == record.stat_max == 0.0:
+        return (-1.0, 1.0)
+    a = max(abs(record.stat_min), abs(record.stat_max)) * margin
+    return (-a, a)

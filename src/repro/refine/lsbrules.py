@@ -1,0 +1,179 @@
+"""LSB refinement rules (paper Section 5.2).
+
+The produced difference-error statistics (mean, std, max-abs) gathered by
+the coupled float/fixed simulation bound the useful LSB precision of each
+signal: quantization finer than the noise already sitting on the signal
+buys nothing.  The paper's rule is
+
+    ``2**l <= k_w * sigma``
+
+with the empirical constant ``k_w`` in ``[1, 4]`` (the smaller, the more
+conservative the LSB).  The LSB position (fractional bit count) is then
+``f = -l``.
+
+Error-free signals (sigma == max == 0, e.g. a slicer output) fall back to
+the finest value grid observed during simulation; signals carrying only a
+constant bias use the rms instead of the standard deviation.
+
+Divergence of the coupled simulation on sensitive feedback signals is
+detected two ways (both reported):
+
+* *ratio test* — the max-abs error is a sizable fraction of the signal's
+  own rms (wrap-around/limit-cycle style blowup);
+* *growth test* — the error std keeps growing between the first and
+  second half of the run (random-walk accumulation), which makes the
+  statistics non-stationary and therefore meaningless.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import RefinementError
+
+__all__ = ["LsbPolicy", "LsbDecision", "decide_lsb", "detect_divergence",
+           "audit_precision"]
+
+
+@dataclass(frozen=True)
+class LsbPolicy:
+    """Tunable knobs of the LSB rules."""
+
+    #: the paper's empirical constant; optimal in [1, 4].
+    k_w: float = 2.0
+    #: hard cap on fractional bits (also the fallback for signals whose
+    #: useful precision could not be bounded).
+    max_frac_bits: int = 24
+    #: round->floor retyping allowed when the mean shift is acceptable.
+    allow_floor: bool = False
+    #: ratio test threshold: max_abs(err) > ratio * rms(signal).
+    divergence_ratio: float = 0.3
+    #: growth test threshold: sigma(full run) > factor * sigma(half run).
+    divergence_growth: float = 1.30
+    #: minimum samples before divergence tests fire.
+    divergence_min_count: int = 64
+
+    def __post_init__(self):
+        if self.k_w <= 0:
+            raise RefinementError("k_w must be positive")
+        if self.max_frac_bits < 0:
+            raise RefinementError("max_frac_bits must be >= 0")
+
+
+@dataclass(frozen=True)
+class LsbDecision:
+    """Outcome of the LSB rule for one signal."""
+
+    name: str
+    count: int
+    max_abs: float
+    mean: float
+    std: float
+    lsb: object          # fractional bits (int) or None (no data)
+    mode: str            # 'round' or 'floor'
+    divergent: bool = False
+    note: str = ""
+
+    @property
+    def needs_error_annotation(self):
+        return self.divergent
+
+
+def lsb_from_sigma(sigma, k_w, max_frac_bits):
+    """Paper rule: largest LSB weight ``2**l <= k_w * sigma``; ``f = -l``."""
+    if sigma <= 0.0:
+        return max_frac_bits
+    l = math.floor(math.log2(k_w * sigma))
+    return max(0, min(max_frac_bits, -l))
+
+
+def decide_lsb(record, policy=LsbPolicy(), divergent=False):
+    """Apply the LSB refinement rule to one signal record."""
+    ep = record.err_produced
+    mode = "floor" if policy.allow_floor else "round"
+
+    if ep.count == 0:
+        return LsbDecision(record.name, 0, 0.0, 0.0, 0.0, None, mode,
+                           note="no assignments; no LSB information")
+
+    if divergent:
+        return LsbDecision(record.name, ep.count, ep.max_abs, ep.mean,
+                           ep.std, None, mode, divergent=True,
+                           note="error statistics diverged; add error() "
+                                "and reiterate")
+
+    if ep.std == 0.0:
+        if ep.max_abs == 0.0:
+            # Error-free signal: precision is bounded by the value grid
+            # actually exercised (a +/-1 slicer output needs 0 bits).
+            f = min(record.frac_bits, policy.max_frac_bits)
+            return LsbDecision(record.name, ep.count, 0.0, 0.0, 0.0, f,
+                               mode, note="error-free; value-grid bound")
+        # Pure bias (constant error): use the rms as the noise scale.
+        f = lsb_from_sigma(ep.rms, policy.k_w, policy.max_frac_bits)
+        return LsbDecision(record.name, ep.count, ep.max_abs, ep.mean,
+                           0.0, f, mode, note="constant bias; rms-based")
+
+    f = lsb_from_sigma(ep.std, policy.k_w, policy.max_frac_bits)
+    return LsbDecision(record.name, ep.count, ep.max_abs, ep.mean, ep.std,
+                       f, mode)
+
+
+def detect_divergence(record, policy=LsbPolicy(), half_snapshot=None):
+    """Return (divergent, reason) for one signal.
+
+    ``half_snapshot`` is the ``(count, mean, std, max_abs)`` tuple of the
+    produced-error statistic captured at the midpoint of the run (see
+    :meth:`DesignContext.snapshot_error_stats`); without it only the
+    ratio test runs.
+    """
+    ep = record.err_produced
+    if ep.count < policy.divergence_min_count:
+        return False, ""
+    if record.forced_error is not None:
+        # Already annotated: the injected error is stationary by design.
+        return False, ""
+
+    if record.val_rms > 0.0 and ep.max_abs > policy.divergence_ratio * record.val_rms:
+        return True, ("max error %.3g is %.0f%% of signal rms %.3g"
+                      % (ep.max_abs, 100 * ep.max_abs / record.val_rms,
+                         record.val_rms))
+
+    if half_snapshot is not None:
+        half_count, _mean, half_std, _ = half_snapshot
+        if (half_count >= policy.divergence_min_count // 2
+                and half_std > 0.0
+                and ep.std > policy.divergence_growth * half_std):
+            return True, ("error std grew %.2fx between run halves "
+                          "(non-stationary)" % (ep.std / half_std))
+    return False, ""
+
+
+def audit_precision(record, tolerance=1.05):
+    """Classify consumed vs produced precision (paper Section 5.2).
+
+    Returns one of:
+
+    * ``"float"``     — consumed equals produced: no quantization here,
+    * ``"lossless"``  — quantization present but below the incoming noise,
+    * ``"loss"``      — produced error exceeds consumed error: this
+      signal's quantization loses precision (may be intentional),
+    * ``"feedback-gain"`` — produced error *smaller* than consumed on an
+      ``error()``-annotated signal: precision loss detected in the
+      feedback path (paper: potential instability),
+    * ``"no-data"``.
+    """
+    ec = record.err_consumed
+    ep = record.err_produced
+    if ep.count == 0:
+        return "no-data"
+    if record.forced_error is not None and ep.rms < ec.rms / tolerance:
+        return "feedback-gain"
+    if ep.rms <= ec.rms * tolerance and ep.rms >= ec.rms / tolerance:
+        if record.dtype is None and record.forced_error is None:
+            return "float"
+        return "lossless"
+    if ep.rms > ec.rms * tolerance:
+        return "loss"
+    return "lossless"

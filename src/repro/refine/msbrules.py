@@ -1,0 +1,163 @@
+"""MSB refinement rules (paper Section 5.1).
+
+The two range monitors — statistic-based (``stat``) and quasi-analytical
+propagation (``prop``) — are compared per signal:
+
+* case **a** — ``m_stat == m_prop``: both techniques agree the signal
+  cannot overflow; keep the simulated MSB with a non-saturating mode
+  (``error``-typed by default so untested stimuli are still caught).
+* case **b** — ``m_prop >> m_stat``: propagation is very pessimistic
+  (typically accumulators); saturate at the simulated MSB and report the
+  propagated bound as the guard range for the hardware saturation logic.
+* case **c** — ``m_prop`` slightly above ``m_stat``: designer trade-off;
+  the default policy takes the propagated (safe) MSB, the alternative
+  saturates at the simulated MSB.
+* **explosion** — the propagated range is unbounded (or beyond the
+  explosion margin): feedback made range propagation diverge; the flow
+  must add a ``range()`` annotation or a saturating type and reiterate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import word
+from repro.core.errors import RefinementError
+
+__all__ = ["MsbPolicy", "MsbDecision", "decide_msb"]
+
+CASE_AGREE = "a"
+CASE_PESSIMISTIC = "b"
+CASE_TRADEOFF = "c"
+CASE_EXPLOSION = "explosion"
+CASE_UNOBSERVED = "unobserved"
+CASE_NO_PROP = "no-prop"
+
+
+@dataclass(frozen=True)
+class MsbPolicy:
+    """Tunable thresholds of the MSB rules."""
+
+    #: prop-stat gap (bits) treated as a designer trade-off (case c).
+    tradeoff_margin: int = 2
+    #: gap beyond which propagation is written off as exploded.
+    explosion_margin: int = 8
+    #: case-c choice: "prop" (take the safe propagated MSB) or
+    #: "stat" (saturate at the simulated MSB).
+    prefer: str = "prop"
+    #: MSB mode assigned to non-saturated signals ("error" or "wrap").
+    nonsat_mode: str = "error"
+
+    def __post_init__(self):
+        if self.prefer not in ("prop", "stat"):
+            raise RefinementError("prefer must be 'prop' or 'stat'")
+        if self.nonsat_mode not in ("error", "wrap"):
+            raise RefinementError("nonsat_mode must be 'error' or 'wrap'")
+        if self.tradeoff_margin < 0 or self.explosion_margin <= self.tradeoff_margin:
+            raise RefinementError("need 0 <= tradeoff_margin < explosion_margin")
+
+
+@dataclass(frozen=True)
+class MsbDecision:
+    """Outcome of the MSB rules for one signal."""
+
+    name: str
+    stat_msb: object      # int, None (unobserved/zero) or inf
+    prop_msb: object      # int, None (no propagation) or inf (exploded)
+    msb: object           # decided MSB position (int or None)
+    mode: str             # 'error' | 'wrap' | 'saturate'
+    case: str             # one of the CASE_* constants
+    guard_msb: object = None   # guard bound for saturating hardware
+    note: str = ""
+
+    @property
+    def needs_range_annotation(self):
+        return self.case == CASE_EXPLOSION
+
+    def overhead_bits(self):
+        """Decided-minus-simulated MSB (the cost of safety, in bits)."""
+        if self.msb is None or self.stat_msb is None:
+            return 0
+        if math.isinf(self.msb) or math.isinf(self.stat_msb):
+            return 0
+        return self.msb - self.stat_msb
+
+
+def _effective_stat_msb(record, signed):
+    """Simulated MSB; zero-only signals count as the smallest position."""
+    m = record.stat_msb(signed=signed)
+    return m
+
+
+def decide_msb(record, policy=MsbPolicy(), signed=True):
+    """Apply the paper's MSB refinement rules to one signal record."""
+    stat = _effective_stat_msb(record, signed)
+    prop = record.prop_msb(signed=signed)
+
+    # Forced ranges are saturation knowledge: the decision is the
+    # annotated range with saturation, guarded by the simulated range.
+    if record.forced_range is not None:
+        forced_msb = word.required_msb(record.forced_range.lo,
+                                       record.forced_range.hi, signed=signed)
+        return MsbDecision(record.name, stat, prop, forced_msb, "saturate",
+                           CASE_PESSIMISTIC, guard_msb=stat,
+                           note="range() annotation")
+
+    if not record.observed:
+        if prop is not None and not math.isinf(prop):
+            return MsbDecision(record.name, None, prop, prop,
+                               policy.nonsat_mode, CASE_UNOBSERVED,
+                               note="never assigned; propagation only")
+        return MsbDecision(record.name, None, prop, None, policy.nonsat_mode,
+                           CASE_UNOBSERVED,
+                           note="never assigned and no propagated range")
+
+    if prop is None:
+        if stat is None:
+            return MsbDecision(record.name, None, None, None,
+                               policy.nonsat_mode, CASE_UNOBSERVED,
+                               note="signal stayed at zero")
+        return MsbDecision(record.name, stat, None, stat, "saturate",
+                           CASE_NO_PROP, guard_msb=stat,
+                           note="no propagated range; simulation only")
+
+    if stat is None:
+        # Signal only ever carried zero but propagation has a bound.
+        if math.isinf(prop):
+            return MsbDecision(record.name, None, prop, None, "saturate",
+                               CASE_EXPLOSION,
+                               note="propagation exploded; signal at zero")
+        return MsbDecision(record.name, None, prop, prop,
+                           policy.nonsat_mode, CASE_AGREE,
+                           note="zero-valued; propagated MSB")
+
+    if math.isinf(prop) or prop - stat > policy.explosion_margin:
+        return MsbDecision(record.name, stat, prop, stat, "saturate",
+                           CASE_EXPLOSION, guard_msb=stat,
+                           note="range propagation exploded; add range() "
+                                "or a saturating type and reiterate")
+
+    gap = prop - stat
+    if gap <= 0:
+        note = "" if gap == 0 else ("simulation exceeded propagated range; "
+                                    "check input seeds")
+        # Propagation proves the simulated MSB safe (case a).
+        msb = max(stat, prop) if gap < 0 else stat
+        return MsbDecision(record.name, stat, prop, msb, policy.nonsat_mode,
+                           CASE_AGREE, note=note)
+
+    if gap <= policy.tradeoff_margin:
+        if policy.prefer == "prop":
+            return MsbDecision(record.name, stat, prop, prop,
+                               policy.nonsat_mode, CASE_TRADEOFF,
+                               note="took propagated MSB (+%d bit)" % gap)
+        return MsbDecision(record.name, stat, prop, stat, "saturate",
+                           CASE_TRADEOFF, guard_msb=prop,
+                           note="saturated at simulated MSB")
+
+    # Case b: propagation very pessimistic (accumulator-like).
+    return MsbDecision(record.name, stat, prop, stat, "saturate",
+                       CASE_PESSIMISTIC, guard_msb=prop,
+                       note="propagation pessimistic (+%d bits); saturating"
+                            % gap)

@@ -1,0 +1,119 @@
+"""Greedy wordlength optimization on top of a refined type map.
+
+The flow's LSB rule is per-signal and local; once a full type map
+exists, global bit allocation can still be improved: remove fractional
+bits where the output barely notices, add them where quality is
+bottlenecked.  This optimizer implements the classic greedy exchange:
+
+1. **Reclaim**: repeatedly drop one fractional bit from the signal whose
+   removal costs the least output SQNR, as long as the quality stays
+   above the target.
+2. **Repair** (optional): if the starting point is already below target,
+   first add bits where they buy the most.
+
+Each probe is one simulation, so the cost is comparable to the
+simulation-based baseline — but starting from the refined types instead
+of a uniform guess typically converges in a handful of moves (this is
+the "performance not satisfactory" reiteration of paper Fig. 4, made
+automatic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.refine.flow import Annotations
+from repro.refine.monitors import collect
+from repro.signal.context import DesignContext
+
+__all__ = ["OptimizeResult", "optimize_wordlengths"]
+
+
+@dataclass
+class OptimizeResult:
+    types: dict
+    sqnr_db: float
+    target_db: float
+    n_simulations: int
+    moves: list = field(default_factory=list)   # (op, signal, f, sqnr)
+
+    def bits_saved(self, original_types):
+        return (sum(dt.n for dt in original_types.values())
+                - sum(dt.n for dt in self.types.values()))
+
+
+def _sqnr(design_factory, dtypes, n_samples, seed):
+    ctx = DesignContext("wlopt", seed=seed, overflow_action="record")
+    with ctx:
+        design = design_factory()
+        design.build(ctx)
+        Annotations(dtypes=dtypes).apply(ctx)
+        design.run(ctx, n_samples)
+    records = collect(ctx)
+    return records[design.output].sqnr_db()
+
+
+def optimize_wordlengths(design_factory, types, input_types, target_db,
+                         n_samples=2000, seed=1234, max_moves=64,
+                         signals=None):
+    """Greedy bit reclaim/repair against an output SQNR target.
+
+    ``types``: the synthesized map to optimize (not mutated);
+    ``input_types``: fixed input formats; ``target_db``: the quality
+    floor.  Returns an :class:`OptimizeResult` whose types meet the
+    target (or the best-achievable map if even adding bits cannot).
+    """
+    types = dict(types)
+    names = sorted(signals if signals is not None else types)
+    sims = 0
+    moves = []
+
+    def probe(current):
+        nonlocal sims
+        sims += 1
+        return _sqnr(design_factory, {**current, **input_types},
+                     n_samples, seed)
+
+    current_sqnr = probe(types)
+
+    # Repair phase: grow the most effective signal until on target.
+    while current_sqnr < target_db and len(moves) < max_moves:
+        best = None
+        for name in names:
+            dt = types[name]
+            trial = dict(types)
+            trial[name] = dt.with_(n=dt.n + 1, f=dt.f + 1)
+            sqnr = probe(trial)
+            if best is None or sqnr > best[1]:
+                best = (name, sqnr)
+        name, sqnr = best
+        if sqnr <= current_sqnr + 1e-9:
+            break  # no signal helps: give up repairing
+        dt = types[name]
+        types[name] = dt.with_(n=dt.n + 1, f=dt.f + 1)
+        current_sqnr = sqnr
+        moves.append(("add", name, types[name].f, sqnr))
+
+    # Reclaim phase: shrink the cheapest signal while above target.
+    improved = True
+    while improved and len(moves) < max_moves:
+        improved = False
+        best = None
+        for name in names:
+            dt = types[name]
+            if dt.f <= 0 or dt.n <= 1:
+                continue
+            trial = dict(types)
+            trial[name] = dt.with_(n=dt.n - 1, f=dt.f - 1)
+            sqnr = probe(trial)
+            if sqnr >= target_db and (best is None or sqnr > best[1]):
+                best = (name, sqnr)
+        if best is not None:
+            name, sqnr = best
+            dt = types[name]
+            types[name] = dt.with_(n=dt.n - 1, f=dt.f - 1)
+            current_sqnr = sqnr
+            moves.append(("drop", name, types[name].f, sqnr))
+            improved = True
+
+    return OptimizeResult(types, current_sqnr, target_db, sims, moves)

@@ -1,0 +1,62 @@
+"""Trace-based construction of the signal flow graph.
+
+A :class:`Tracer` attaches to a :class:`~repro.signal.context.DesignContext`;
+while attached, every overloaded operation and every assignment adds
+(structurally deduplicated) nodes and edges to an :class:`~repro.sfg.graph.SFG`.
+Running a couple of iterations of the algorithm under trace is enough to
+capture the full static structure — exactly the "signal flowgraph out of
+the source code" the paper's analytical method needs, obtained without a
+C parser.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.core.errors import DesignError
+from repro.sfg.graph import SFG
+
+__all__ = ["Tracer", "trace"]
+
+
+class Tracer:
+    """Collects an :class:`SFG` from overloaded-operator executions."""
+
+    def __init__(self):
+        self.sfg = SFG()
+
+    # Interface used by repro.signal.expr / repro.signal.signal ----------
+
+    def sig_node(self, sig):
+        return self.sfg.sig_node(sig.name, sig.is_register, payload=sig)
+
+    def const_node(self, value):
+        return self.sfg.const_node(value)
+
+    def op_node(self, opname, operand_nodes):
+        return self.sfg.op_node(opname, operand_nodes)
+
+    def assign_edge(self, src_node, sig):
+        self.sfg.sig_node(sig.name, sig.is_register, payload=sig)
+        return self.sfg.assign_edge(src_node, sig.name, sig.is_register)
+
+
+@contextmanager
+def trace(ctx, tracer=None):
+    """Attach a tracer to ``ctx`` for the duration of the ``with`` block.
+
+    Returns the tracer, whose ``.sfg`` holds the captured graph::
+
+        with trace(ctx) as t:
+            design.run(ctx, 4)      # a few iterations suffice
+        graph = t.sfg
+    """
+    if ctx.tracer is not None:
+        raise DesignError("context %r already has an active tracer"
+                          % ctx.name)
+    tracer = tracer if tracer is not None else Tracer()
+    ctx.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        ctx.tracer = None

@@ -1,0 +1,173 @@
+"""Signal flow graph data structure.
+
+The analytical MSB method of the paper (Section 4.1) evaluates signal
+ranges "by constructing a signal flowgraph out of the source code and
+analyzing the data flow using the same range propagation mechanism".
+In this environment the graph is captured by *tracing* overloaded
+operations (see :mod:`repro.sfg.build`) and stored here as a
+:class:`networkx.DiGraph` of typed nodes.
+
+Node kinds:
+
+* ``sig`` / ``reg`` — a design signal (registers are delay elements and
+  the legal place for feedback cycles),
+* ``op`` — one arithmetic/select/cast operation,
+* ``const`` — a literal operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.errors import DesignError
+
+__all__ = ["Node", "SFG"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One vertex of the signal flow graph."""
+
+    id: int
+    kind: str            # 'sig' | 'reg' | 'op' | 'const'
+    label: str           # signal name / op name / literal repr
+    payload: object = field(default=None, compare=False, hash=False)
+
+    def __repr__(self):
+        return "Node(%d, %s, %r)" % (self.id, self.kind, self.label)
+
+
+class SFG:
+    """A signal flow graph with convenience queries for the analyzer."""
+
+    def __init__(self):
+        self.g = nx.DiGraph()
+        self._next_id = 0
+        self._by_key = {}
+        self._sig_payloads = {}
+
+    # -- construction -----------------------------------------------------
+
+    def _new_node(self, kind, label, key, payload=None):
+        if key in self._by_key:
+            return self._by_key[key]
+        node = Node(self._next_id, kind, label, payload)
+        self._next_id += 1
+        self.g.add_node(node)
+        self._by_key[key] = node
+        return node
+
+    def sig_node(self, name, is_register=False, payload=None):
+        kind = "reg" if is_register else "sig"
+        key = ("sig", name)
+        if payload is not None:
+            self._sig_payloads[name] = payload
+        node = self._by_key.get(key)
+        if node is not None:
+            if node.kind != kind:
+                raise DesignError("signal %r traced as both sig and reg"
+                                  % name)
+            return node
+        return self._new_node(kind, name, key)
+
+    def sig_payload(self, name):
+        """Signal object attached to a traced signal node (or None)."""
+        return self._sig_payloads.get(name)
+
+    def const_node(self, value):
+        return self._new_node("const", repr(float(value)),
+                              ("const", float(value)), float(value))
+
+    def op_node(self, opname, operand_nodes):
+        """Structurally deduplicated operation node.
+
+        Re-executing the same source expression on the same operand
+        signals maps onto the same node, so the traced graph stays small
+        no matter how many samples the trace covers.
+        """
+        key = ("op", opname, tuple(n.id for n in operand_nodes))
+        node = self._by_key.get(key)
+        if node is None:
+            node = self._new_node("op", opname, key)
+            for pos, src in enumerate(operand_nodes):
+                self.g.add_edge(src, node, pos=pos)
+        return node
+
+    def assign_edge(self, src_node, sig_name, is_register=False):
+        dst = self.sig_node(sig_name, is_register)
+        self.g.add_edge(src_node, dst, pos=0, assign=True)
+        return dst
+
+    # -- queries ---------------------------------------------------------------
+
+    def nodes(self, kind=None):
+        if kind is None:
+            return list(self.g.nodes)
+        return [n for n in self.g.nodes if n.kind == kind]
+
+    def signal_nodes(self):
+        return [n for n in self.g.nodes if n.kind in ("sig", "reg")]
+
+    def signal_names(self):
+        return [n.label for n in self.signal_nodes()]
+
+    def node_for_signal(self, name):
+        node = self._by_key.get(("sig", name))
+        if node is None:
+            raise DesignError("signal %r is not in the traced graph" % name)
+        return node
+
+    def preds(self, node):
+        """Predecessors ordered by operand position."""
+        items = sorted(self.g.in_edges(node, data=True),
+                       key=lambda e: e[2].get("pos", 0))
+        return [src for src, _dst, _d in items]
+
+    def succs(self, node):
+        return list(self.g.successors(node))
+
+    def sources(self):
+        """Signal nodes with no drivers (primary inputs / constants-only)."""
+        return [n for n in self.signal_nodes()
+                if self.g.in_degree(n) == 0]
+
+    def feedback_signals(self):
+        """Names of signals that sit on a cycle of the flow graph.
+
+        Cycles always pass through a ``sig``/``reg`` node (expressions are
+        trees); these are the candidates for MSB explosion and LSB
+        divergence.
+        """
+        names = []
+        for scc in nx.strongly_connected_components(self.g):
+            if len(scc) > 1:
+                names.extend(n.label for n in scc
+                             if n.kind in ("sig", "reg"))
+            else:
+                (n,) = scc
+                if self.g.has_edge(n, n) and n.kind in ("sig", "reg"):
+                    names.append(n.label)
+        return sorted(set(names))
+
+    def topological_order(self):
+        """Topological order of the acyclic condensation (cycle-safe)."""
+        cond = nx.condensation(self.g)
+        order = []
+        for comp_id in nx.topological_sort(cond):
+            order.extend(sorted(cond.nodes[comp_id]["members"],
+                                key=lambda n: n.id))
+        return order
+
+    @property
+    def n_nodes(self):
+        return self.g.number_of_nodes()
+
+    @property
+    def n_edges(self):
+        return self.g.number_of_edges()
+
+    def __repr__(self):
+        return "SFG(%d nodes, %d edges, %d signals)" % (
+            self.n_nodes, self.n_edges, len(self.signal_nodes()))

@@ -1,0 +1,24 @@
+"""Signal layer: the embedded design language (sig/reg/arrays/ops)."""
+
+from repro.signal.arrays import RegArray, SigArray
+from repro.signal.context import DesignContext, current_context
+from repro.signal.expr import Expr, as_expr
+from repro.signal.ops import cast, clamp, fabs, fmax, fmin, select
+from repro.signal.signal import Reg, Sig
+
+__all__ = [
+    "Sig",
+    "Reg",
+    "SigArray",
+    "RegArray",
+    "DesignContext",
+    "current_context",
+    "Expr",
+    "as_expr",
+    "select",
+    "cast",
+    "fmin",
+    "fmax",
+    "fabs",
+    "clamp",
+]

@@ -1,0 +1,141 @@
+"""Design context: the registry and clock of one design-under-refinement.
+
+A :class:`DesignContext` owns every signal object created while it is
+active, the deterministic random generator used by ``error()``
+annotations, the overflow log, and the register clock.  The refinement
+flow creates a fresh context for every simulation iteration so statistics
+never leak between runs.
+
+Contexts nest with ``with`` (a thread-local stack); signal constructors
+pick up the innermost active context when none is passed explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.errors import DesignError
+
+__all__ = ["DesignContext", "current_context"]
+
+_local = threading.local()
+
+
+def _stack():
+    if not hasattr(_local, "stack"):
+        _local.stack = []
+    return _local.stack
+
+
+def current_context():
+    """Innermost active context (a default one is created lazily)."""
+    stack = _stack()
+    if not stack:
+        stack.append(DesignContext("default"))
+    return stack[-1]
+
+
+class DesignContext:
+    """Registry, clock and policy knobs shared by the signals of a design.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    seed:
+        Seed of the generator backing ``sig.error(q)`` injections.
+    overflow_action:
+        ``"record"`` (default) logs overflows of ``error``-mode types and
+        continues with the saturated value; ``"raise"`` raises
+        :class:`~repro.core.errors.FixedPointOverflowError` immediately.
+    """
+
+    def __init__(self, name="design", seed=0, overflow_action="record"):
+        self.name = name
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.overflow_action = overflow_action
+        self.cycle = 0
+        self.tracer = None
+        self._signals = {}
+        self._order = []
+        self._registers = []
+        self.overflow_log = []
+
+    # -- registry -----------------------------------------------------------
+
+    def register_signal(self, sig):
+        if sig.name in self._signals:
+            raise DesignError("duplicate signal name %r in context %r"
+                              % (sig.name, self.name))
+        self._signals[sig.name] = sig
+        self._order.append(sig.name)
+        if sig.is_register:
+            self._registers.append(sig)
+
+    def signals(self):
+        """All signals in declaration order."""
+        return [self._signals[n] for n in self._order]
+
+    def signal_names(self):
+        return list(self._order)
+
+    def get(self, name):
+        try:
+            return self._signals[name]
+        except KeyError:
+            raise DesignError("no signal named %r in context %r"
+                              % (name, self.name)) from None
+
+    def __contains__(self, name):
+        return name in self._signals
+
+    def __len__(self):
+        return len(self._signals)
+
+    # -- clock ----------------------------------------------------------------
+
+    def tick(self):
+        """Advance one clock cycle: commit every register's pending value."""
+        for r in self._registers:
+            r.commit()
+        self.cycle += 1
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def log_overflow(self, sig_name, value):
+        self.overflow_log.append((self.cycle, sig_name, value))
+
+    def reset_stats(self):
+        """Clear all monitoring statistics (values are preserved)."""
+        for s in self.signals():
+            s.reset_stats()
+        self.overflow_log.clear()
+
+    def snapshot_error_stats(self):
+        """Per-signal copy of the produced-error statistics (for the
+        divergence growth test of the refinement flow)."""
+        snap = {}
+        for s in self.signals():
+            snap[s.name] = (s.err_produced.count, s.err_produced.mean,
+                            s.err_produced.std, s.err_produced.max_abs)
+        return snap
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self):
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        stack = _stack()
+        if not stack or stack[-1] is not self:
+            raise DesignError("unbalanced DesignContext nesting")
+        stack.pop()
+        return False
+
+    def __repr__(self):
+        return "DesignContext(%r, %d signals, cycle=%d)" % (
+            self.name, len(self._signals), self.cycle)

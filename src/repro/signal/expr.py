@@ -1,0 +1,184 @@
+"""Expression values produced by overloaded operators.
+
+Per the paper, arithmetic between signals is carried out in floating
+point; quantization happens only at assignment.  Every operation
+produces an :class:`Expr` holding three parallel results:
+
+* ``fx`` — the operation applied to the operands' *fixed-point* values
+  (represented exactly in a double),
+* ``fl`` — the operation applied to the operands' *floating-point
+  reference* values (the coupled dual simulation of Section 4.2),
+* ``ival`` — the operation applied to the operands' value ranges
+  (the quasi-analytical range propagation of Section 4.1).
+
+Relational operators compare the fixed-point values only, so the fixed
+and float simulations always take the same control decisions.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.core.interval import Interval
+
+__all__ = ["Expr", "as_expr", "Operand"]
+
+
+class Operand:
+    """Mixin providing arithmetic/relational overloading.
+
+    Subclasses (``Expr``, ``Sig``) implement ``_to_expr()`` returning the
+    equivalent :class:`Expr`.
+    """
+
+    __slots__ = ()
+
+    def _to_expr(self):
+        raise NotImplementedError
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other):
+        return _binop("add", self, other, lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return _binop("add", other, self, lambda a, b: a + b)
+
+    def __sub__(self, other):
+        return _binop("sub", self, other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        return _binop("sub", other, self, lambda a, b: a - b)
+
+    def __mul__(self, other):
+        return _binop("mul", self, other, lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return _binop("mul", other, self, lambda a, b: a * b)
+
+    def __truediv__(self, other):
+        return _binop("div", self, other, lambda a, b: a / b)
+
+    def __rtruediv__(self, other):
+        return _binop("div", other, self, lambda a, b: a / b)
+
+    def __neg__(self):
+        return _unop("neg", self, lambda a: -a)
+
+    def __pos__(self):
+        return self._to_expr()
+
+    def __abs__(self):
+        return _unop("abs", self, lambda a: abs(a))
+
+    def __lshift__(self, k):
+        k = int(k)
+        return _unop("shl%d" % k, self, lambda a: a * (2.0 ** k),
+                     ifn=lambda iv: iv.scale_pow2(k))
+
+    def __rshift__(self, k):
+        k = int(k)
+        return _unop("shr%d" % k, self, lambda a: a * (2.0 ** -k),
+                     ifn=lambda iv: iv.scale_pow2(-k))
+
+    # -- relational (fixed-point values steer control) -----------------------
+
+    def __lt__(self, other):
+        return self._to_expr().fx < _fx_of(other)
+
+    def __le__(self, other):
+        return self._to_expr().fx <= _fx_of(other)
+
+    def __gt__(self, other):
+        return self._to_expr().fx > _fx_of(other)
+
+    def __ge__(self, other):
+        return self._to_expr().fx >= _fx_of(other)
+
+    def eq(self, other):
+        """Value equality on the fixed-point values.
+
+        Named method instead of ``__eq__`` so signals stay hashable and
+        usable as dict keys / registry entries.
+        """
+        return self._to_expr().fx == _fx_of(other)
+
+    # -- conversions ------------------------------------------------------------
+
+    def __float__(self):
+        return float(self._to_expr().fx)
+
+    def __bool__(self):
+        """Truthiness of the fixed-point value (nonzero = true)."""
+        return self._to_expr().fx != 0.0
+
+
+class Expr(Operand):
+    """Result of an overloaded operation (see module docstring)."""
+
+    __slots__ = ("fx", "fl", "ival", "ctx", "node")
+
+    def __init__(self, fx, fl, ival=None, ctx=None, node=None):
+        self.fx = float(fx)
+        self.fl = float(fl)
+        self.ival = Interval() if ival is None else ival
+        self.ctx = ctx
+        self.node = node
+
+    def _to_expr(self):
+        return self
+
+    @property
+    def error(self):
+        """Current difference error: float reference minus fixed value."""
+        return self.fl - self.fx
+
+    def __repr__(self):
+        return "Expr(fx=%g, fl=%g, ival=%r)" % (self.fx, self.fl, self.ival)
+
+
+def as_expr(x):
+    """Coerce a signal, expression or numeric scalar to an :class:`Expr`."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, Operand):
+        return x._to_expr()
+    if isinstance(x, numbers.Real):
+        v = float(x)
+        return Expr(v, v, Interval.point(v))
+    raise TypeError("cannot use %r in a signal expression" % (x,))
+
+
+def _fx_of(x):
+    return as_expr(x).fx
+
+
+def _trace_node(ctx, opname, operands):
+    if ctx is None or ctx.tracer is None:
+        return None
+    in_nodes = [op.node if op.node is not None
+                else ctx.tracer.const_node(op.fx) for op in operands]
+    return ctx.tracer.op_node(opname, in_nodes)
+
+
+def _binop(opname, a, b, vfn, ifn=None):
+    ea = as_expr(a)
+    eb = as_expr(b)
+    fx = vfn(ea.fx, eb.fx)
+    fl = vfn(ea.fl, eb.fl)
+    if ifn is not None:
+        ival = ifn(ea.ival, eb.ival)
+    else:
+        ival = vfn(ea.ival, eb.ival)
+    ctx = ea.ctx if ea.ctx is not None else eb.ctx
+    node = _trace_node(ctx, opname, (ea, eb))
+    return Expr(fx, fl, ival, ctx, node)
+
+
+def _unop(opname, a, vfn, ifn=None):
+    ea = as_expr(a)
+    fx = vfn(ea.fx)
+    fl = vfn(ea.fl)
+    ival = ifn(ea.ival) if ifn is not None else vfn(ea.ival)
+    node = _trace_node(ea.ctx, opname, (ea,))
+    return Expr(fx, fl, ival, ea.ctx, node)

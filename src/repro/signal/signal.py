@@ -1,0 +1,354 @@
+"""Signal objects: the paper's ``sig`` and ``reg``.
+
+A :class:`Sig` represents one wire of the design.  Declared with a
+:class:`~repro.core.dtype.DType` it behaves as a fixed-point signal
+(values are quantized on assignment); declared without one it behaves as
+a floating-point signal.  Either way, every assignment simultaneously
+
+* updates the **range monitor** (statistic-based MSB method): count,
+  min and max of the incoming value,
+* performs **range propagation** (quasi-analytical MSB method): the
+  incoming expression's interval is accumulated into the signal's
+  propagated range,
+* updates the **error monitor** (LSB method): consumed error
+  ``fl - fx`` before quantization and produced error ``fl - Q(fx)``
+  after, plus the reference-value power needed for SQNR,
+
+exactly as sketched in the paper's Figure 2/3.  A :class:`Reg` is a
+registered signal: assignments land in a *next* slot that only becomes
+visible after :meth:`DesignContext.tick` commits the clock edge.
+
+Assignment spellings
+--------------------
+Python cannot overload ``=``, so three equivalent forms are provided::
+
+    y.assign(a * b)      # explicit
+    y <<= a * b          # HDL-style
+    arr[i] = a * b       # true __setitem__ hook on SigArray/RegArray
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError, FixedPointOverflowError
+from repro.core.interval import Interval
+from repro.core.stats import ErrorStat, RangeStat
+from repro.signal.context import current_context
+from repro.signal.expr import Expr, Operand, as_expr
+
+__all__ = ["Sig", "Reg"]
+
+
+class Sig(Operand):
+    """A (possibly fixed-point) signal with built-in monitors."""
+
+    is_register = False
+
+    def __init__(self, name, dtype=None, ctx=None, init=0.0):
+        if dtype is not None and not isinstance(dtype, DType):
+            raise DesignError("dtype of signal %r must be a DType, got %r"
+                              % (name, dtype))
+        self.name = str(name)
+        self.dtype = dtype
+        self.ctx = ctx if ctx is not None else current_context()
+        self.role = ""
+
+        self._fx = float(init)
+        self._fl = float(init)
+        self.init_value = float(init)
+
+        # Monitors.
+        self.range_stat = RangeStat()    # incoming (pre-quantization) values
+        self.val_stat = ErrorStat()      # reference values (for power/SQNR)
+        self.err_consumed = ErrorStat()  # fl - fx before quantization
+        self.err_produced = ErrorStat()  # fl - Q(fx) after quantization
+        self.overflow_count = 0
+
+        # Annotations.
+        self._forced_range = None        # Interval from .range(lo, hi)
+        self._forced_error = None        # LSB amplitude q from .error(q)
+
+        # Quasi-analytical propagated range (union over assignments).
+        self._prop_ival = Interval()
+
+        self._history = None
+        self._node = None
+        self.ctx.register_signal(self)
+
+    # -- value access ----------------------------------------------------------
+
+    @property
+    def fx(self):
+        """Current fixed-point value (exact in a double)."""
+        return self._fx
+
+    @property
+    def fl(self):
+        """Current floating-point reference value."""
+        return self._fl
+
+    @property
+    def value(self):
+        return self._fx
+
+    def error(self, q=None):
+        """Paper's dual-purpose ``error``: query or annotate.
+
+        Called without arguments, returns the current difference error
+        ``fl - fx``.  Called with an LSB amplitude ``q``, forwards to
+        :meth:`error_spec` (the paper's ``x.error(q)`` annotation).
+        """
+        if q is None:
+            return self._fl - self._fx
+        return self.error_spec(q)
+
+    def _read(self):
+        """(fx, fl) pair visible to expressions reading this signal."""
+        return self._fx, self._fl
+
+    def read_interval(self):
+        """Range seen by downstream range propagation.
+
+        Priority: explicit ``range()`` annotation, then the declared type
+        range, then the accumulated propagated range.  The power-on value
+        is always part of the achievable set, so it seeds the propagation
+        through feedback loops (this is what lets an unbounded
+        accumulator *explode* instead of staying silently empty).
+        """
+        if self._forced_range is not None:
+            return self._forced_range
+        if self.dtype is not None:
+            return self.dtype.range_interval()
+        return self._prop_ival.union(Interval.point(self.init_value))
+
+    def prop_interval(self):
+        """Accumulated propagated range (diagnostics / reports)."""
+        if self._forced_range is not None:
+            return self._forced_range
+        return self._prop_ival
+
+    def _to_expr(self):
+        fx, fl = self._read()
+        node = None
+        if self.ctx.tracer is not None:
+            node = self.ctx.tracer.sig_node(self)
+        return Expr(fx, fl, self.read_interval(), self.ctx, node)
+
+    # -- annotations --------------------------------------------------------------
+
+    def range(self, lo, hi):
+        """Force the propagated range (the paper's ``x.range(lo, hi)``).
+
+        Independent of the LSB side; used to break MSB explosion on
+        feedback signals or to seed propagation at inputs.
+        """
+        self._forced_range = Interval(lo, hi)
+        return self
+
+    def error_spec(self, q):
+        """Force the produced difference error (the paper's ``x.error(q)``).
+
+        After this call the float reference no longer follows the true
+        floating-point computation; instead every assignment re-derives it
+        as ``Q(value) + U(-q/2, q/2)``, modelling an assumed quantization
+        at LSB weight ``q``.  This decorrelates the error in sensitive
+        feedback loops whose coupled simulation would otherwise diverge.
+        """
+        if q <= 0:
+            raise DesignError("error amplitude must be positive, got %r" % q)
+        self._forced_error = float(q)
+        return self
+
+    def clear_annotations(self):
+        self._forced_range = None
+        self._forced_error = None
+        return self
+
+    @property
+    def forced_range(self):
+        return self._forced_range
+
+    @property
+    def forced_error(self):
+        return self._forced_error
+
+    def set_dtype(self, dtype):
+        """Retype the signal (used by the flow when applying a refinement)."""
+        if dtype is not None and not isinstance(dtype, DType):
+            raise DesignError("dtype of signal %r must be a DType or None"
+                              % self.name)
+        self.dtype = dtype
+        self._prop_ival = Interval()
+        return self
+
+    def watch(self, maxlen=None):
+        """Record per-assignment ``(fx, fl)`` history (for metrics/plots)."""
+        self._history = deque(maxlen=maxlen)
+        return self
+
+    @property
+    def history(self):
+        return self._history
+
+    # -- assignment -----------------------------------------------------------------
+
+    def assign(self, value):
+        """Quantize-on-assign with simultaneous range & error monitoring."""
+        expr = as_expr(value)
+        self._record(expr)
+        return self
+
+    def __ilshift__(self, value):
+        self.assign(value)
+        return self
+
+    def _record(self, expr):
+        in_fx = expr.fx
+        in_fl = expr.fl
+
+        # Statistic-based range monitoring (MSB side).
+        self.range_stat.update(in_fx)
+
+        # Consumed difference error (LSB side, before quantization).
+        self.err_consumed.update(in_fl - in_fx)
+
+        # Quantize the fixed-point value.
+        if self.dtype is not None:
+            qfx, overflowed = self._quantize(in_fx)
+        else:
+            qfx, overflowed = in_fx, False
+        if overflowed:
+            self.overflow_count += 1
+            self.ctx.log_overflow(self.name, in_fx)
+
+        # Float reference: true value, unless an error() annotation
+        # decouples it (uniform error of one assumed LSB).
+        if self._forced_error is not None:
+            q = self._forced_error
+            fl = qfx + self.ctx.rng.uniform(-0.5 * q, 0.5 * q)
+        else:
+            fl = in_fl
+
+        # Produced difference error and reference power.
+        self.err_produced.update(fl - qfx)
+        self.val_stat.update(fl)
+
+        # Quasi-analytical range propagation.
+        self._accumulate_interval(expr.ival)
+
+        self._store(qfx, fl)
+
+        if self._history is not None:
+            self._history.append((qfx, fl))
+        if self.ctx.tracer is not None:
+            src = expr.node
+            if src is None:
+                src = self.ctx.tracer.const_node(in_fx)
+            self.ctx.tracer.assign_edge(src, self)
+
+    def _quantize(self, value):
+        dt = self.dtype
+        if dt.msbspec == "error":
+            # Quantize with saturation but flag the overflow; the context
+            # policy decides between recording and raising.
+            info = dt.with_(msbspec="saturate").quantize_info(value,
+                                                              name=self.name)
+            if info.overflowed and self.ctx.overflow_action == "raise":
+                raise FixedPointOverflowError(
+                    "value %r overflows %s on signal %s"
+                    % (value, dt.spec(), self.name),
+                    signal=self.name, value=value, dtype=dt)
+            return info.value, info.overflowed
+        info = dt.quantize_info(value, name=self.name)
+        return info.value, info.overflowed
+
+    def _accumulate_interval(self, ival):
+        if self._forced_range is not None:
+            # Forced ranges freeze propagation (paper: explicit range
+            # overrides and stops feedback explosion).
+            return
+        if self.dtype is not None and self.dtype.msbspec == "saturate":
+            ival = ival.clip(self.dtype.range_interval())
+        self._prop_ival = self._prop_ival.union(ival)
+
+    def _store(self, fx, fl):
+        self._fx = fx
+        self._fl = fl
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def reset_stats(self):
+        self.range_stat.reset()
+        self.val_stat.reset()
+        self.err_consumed.reset()
+        self.err_produced.reset()
+        self.overflow_count = 0
+        self._prop_ival = Interval()
+        if self._history is not None:
+            self._history.clear()
+
+    def sqnr_db(self):
+        """Signal-to-quantization-noise ratio of this signal in dB.
+
+        Reference power comes from the float simulation, noise power from
+        the produced difference error — both gathered in the same run.
+        Returns ``inf`` for an error-free signal and ``nan`` when no data
+        was collected.
+        """
+        if self.val_stat.is_empty:
+            return math.nan
+        noise = self.err_produced.rms
+        if noise == 0.0:
+            return math.inf
+        signal = self.val_stat.rms
+        if signal == 0.0:
+            return -math.inf
+        return 20.0 * math.log10(signal / noise)
+
+    def __repr__(self):
+        spec = self.dtype.spec() if self.dtype is not None else "float"
+        return "%s(%r, %s, fx=%g)" % (type(self).__name__, self.name, spec,
+                                      self._fx)
+
+
+class Reg(Sig):
+    """Registered signal: assignments become visible at the next clock edge.
+
+    Reads always return the value committed at the most recent
+    :meth:`DesignContext.tick`; assignments go to a pending slot.  When a
+    register is not assigned during a cycle it holds its value.
+    """
+
+    is_register = True
+
+    def __init__(self, name, dtype=None, ctx=None, init=0.0):
+        super().__init__(name, dtype=dtype, ctx=ctx, init=init)
+        self._pending = None
+
+    def _store(self, fx, fl):
+        self._pending = (fx, fl)
+
+    def commit(self):
+        """Clock edge: move the pending value into the visible slot."""
+        if self._pending is not None:
+            self._fx, self._fl = self._pending
+            self._pending = None
+
+    @property
+    def next_fx(self):
+        """Pending fixed-point value (None when not assigned this cycle)."""
+        return None if self._pending is None else self._pending[0]
+
+    def set_init(self, value):
+        """Set the power-on value of both simulations (no monitoring)."""
+        v = float(value)
+        if self.dtype is not None:
+            v = self.dtype.with_(msbspec="saturate").quantize(v)
+        self._fx = v
+        self._fl = float(value)
+        self.init_value = float(value)
+        self._pending = None
+        return self

@@ -1,0 +1,77 @@
+"""Communication channels between processors.
+
+The paper's design environment builds systems out of "several
+communicating processors".  A :class:`Channel` is the point-to-point
+FIFO carrying samples between them; ``get``/``put`` are the primitives
+the paper's behavioral C code uses (``d[0] = get(x); ... put(y);``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import ChannelEmpty, ChannelFull
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A FIFO of plain Python values (floats or Expr-compatible scalars)."""
+
+    def __init__(self, name, capacity=None, record=False):
+        self.name = str(name)
+        self.capacity = capacity
+        self._fifo = deque()
+        self._record = [] if record else None
+        self.n_put = 0
+        self.n_get = 0
+
+    def put(self, value):
+        if self.capacity is not None and len(self._fifo) >= self.capacity:
+            raise ChannelFull("channel %r is full (capacity %d)"
+                              % (self.name, self.capacity))
+        self._fifo.append(value)
+        self.n_put += 1
+        if self._record is not None:
+            self._record.append(value)
+
+    def get(self):
+        if not self._fifo:
+            raise ChannelEmpty("get() on empty channel %r" % self.name)
+        self.n_get += 1
+        return self._fifo.popleft()
+
+    def try_get(self, default=None):
+        """Non-blocking get: returns ``default`` when empty."""
+        if not self._fifo:
+            return default
+        self.n_get += 1
+        return self._fifo.popleft()
+
+    def peek(self):
+        if not self._fifo:
+            raise ChannelEmpty("peek() on empty channel %r" % self.name)
+        return self._fifo[0]
+
+    def extend(self, values):
+        for v in values:
+            self.put(v)
+
+    @property
+    def empty(self):
+        return not self._fifo
+
+    def __len__(self):
+        return len(self._fifo)
+
+    @property
+    def recorded(self):
+        """All values ever put (requires ``record=True``)."""
+        if self._record is None:
+            raise ChannelEmpty("channel %r does not record history"
+                               % self.name)
+        return list(self._record)
+
+    def __repr__(self):
+        return "Channel(%r, depth=%d, put=%d, get=%d)" % (
+            self.name, len(self._fifo), self.n_put, self.n_get)

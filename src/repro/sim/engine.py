@@ -1,0 +1,99 @@
+"""Simulation engine: schedules processors and drives the clock.
+
+Each engine cycle advances every processor's behaviour generator by one
+``yield`` and then commits all registers of the design context (one
+clock edge).  Processors communicate through :class:`Channel` FIFOs, so
+the schedule order inside a cycle only affects FIFO latencies, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.sim.channel import Channel
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Runs a set of processors against one design context."""
+
+    def __init__(self, ctx, processors=()):
+        self.ctx = ctx
+        self.processors = list(processors)
+        self.channels = []
+        self._started = False
+
+    def add(self, processor):
+        self.processors.append(processor)
+        return processor
+
+    def channel(self, name, capacity=None, record=False):
+        """Create a channel owned by this engine (for reporting)."""
+        ch = Channel(name, capacity=capacity, record=record)
+        self.channels.append(ch)
+        return ch
+
+    def connect(self, producer, out_port, consumer, in_port, name=None,
+                capacity=None, record=False):
+        """Wire ``producer.out_port -> consumer.in_port`` with a new FIFO."""
+        name = name or "%s.%s->%s.%s" % (producer.name, out_port,
+                                         consumer.name, in_port)
+        ch = self.channel(name, capacity=capacity, record=record)
+        producer.connect_output(out_port, ch)
+        consumer.connect_input(in_port, ch)
+        return ch
+
+    def build(self):
+        """Create all processor signals inside the design context."""
+        if not self.processors:
+            raise SimulationError("engine has no processors")
+        with self.ctx:
+            for p in self.processors:
+                p.build(self.ctx)
+        return self
+
+    def start(self):
+        for p in self.processors:
+            p.start()
+        self._started = True
+        return self
+
+    def run(self, cycles=None, until_done=False):
+        """Advance the simulation.
+
+        ``cycles`` bounds the number of clock edges; with
+        ``until_done=True`` the engine additionally stops as soon as
+        every processor has finished, or as soon as a whole cycle passes
+        with no channel activity (free-running transform processors never
+        terminate by themselves — an idle cycle means the pipeline has
+        drained).  Returns the number of cycles run.
+        """
+        if not self._started:
+            self.build()
+            self.start()
+        if cycles is None and not until_done:
+            raise SimulationError("run() needs a cycle bound or "
+                                  "until_done=True")
+        n = 0
+        with self.ctx:
+            while cycles is None or n < cycles:
+                activity_before = sum(c.n_put + c.n_get for c in self.channels)
+                any_alive = False
+                for p in self.processors:
+                    if p.step():
+                        any_alive = True
+                self.ctx.tick()
+                n += 1
+                if until_done:
+                    if not any_alive:
+                        break
+                    activity_after = sum(c.n_put + c.n_get
+                                         for c in self.channels)
+                    if self.channels and activity_after == activity_before:
+                        break
+        return n
+
+    def __repr__(self):
+        return "Engine(%d processors, %d channels, cycle=%d)" % (
+            len(self.processors), len(self.channels), self.ctx.cycle)

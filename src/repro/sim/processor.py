@@ -1,0 +1,106 @@
+"""Processor model: one behavioral/cycle-true component of a system.
+
+A processor describes its behaviour as a Python generator — ``yield``
+marks the end of a clock cycle, mirroring the paper's ``while (1)``
+loops.  Register commits happen between cycles (the engine ticks the
+design context after all processors advanced).
+
+Two authoring styles are supported::
+
+    class MyProc(Processor):
+        def behavior(self):
+            while True:
+                x = self.inputs["x"].get()
+                self.y.assign(x * 0.5)
+                self.outputs["y"].put(self.y.fx)
+                yield
+
+or functional, via :class:`FuncProcessor`, wrapping a per-cycle callable.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Processor", "FuncProcessor"]
+
+
+class Processor:
+    """Base class for all processors."""
+
+    def __init__(self, name):
+        self.name = str(name)
+        self.inputs = {}
+        self.outputs = {}
+        self._gen = None
+        self.done = False
+        self.cycles = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect_input(self, port, channel):
+        self.inputs[port] = channel
+        return self
+
+    def connect_output(self, port, channel):
+        self.outputs[port] = channel
+        return self
+
+    # -- behaviour --------------------------------------------------------------
+
+    def build(self, ctx):
+        """Create this processor's signals in ``ctx`` (override)."""
+
+    def behavior(self):
+        """Generator implementing the processor behaviour (override)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- engine interface -----------------------------------------------------
+
+    def start(self):
+        self._gen = self.behavior()
+        self.done = False
+        self.cycles = 0
+
+    def step(self):
+        """Advance one clock cycle; returns False once finished."""
+        if self.done:
+            return False
+        if self._gen is None:
+            raise SimulationError("processor %r was not started" % self.name)
+        try:
+            next(self._gen)
+            self.cycles += 1
+            return True
+        except StopIteration:
+            self.done = True
+            return False
+
+    def __repr__(self):
+        return "%s(%r, cycles=%d%s)" % (type(self).__name__, self.name,
+                                        self.cycles,
+                                        ", done" if self.done else "")
+
+
+class FuncProcessor(Processor):
+    """Processor from a per-cycle callable.
+
+    The callable receives the processor instance each cycle and may raise
+    ``StopIteration`` (or return ``False``) to finish.
+    """
+
+    def __init__(self, name, fn, build_fn=None):
+        super().__init__(name)
+        self._fn = fn
+        self._build_fn = build_fn
+
+    def build(self, ctx):
+        if self._build_fn is not None:
+            self._build_fn(self, ctx)
+
+    def behavior(self):
+        while True:
+            if self._fn(self) is False:
+                return
+            yield

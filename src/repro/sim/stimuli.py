@@ -1,0 +1,51 @@
+"""Stimulus sources and capture sinks for testbenches."""
+
+from __future__ import annotations
+
+from repro.core.errors import SimulationError
+from repro.sim.processor import Processor
+
+__all__ = ["Source", "Sink"]
+
+
+class Source(Processor):
+    """Feeds samples from an iterable into an output channel ``out``.
+
+    Finishes (and lets the engine drain) once the iterable is exhausted.
+    """
+
+    def __init__(self, name, samples, port="out"):
+        super().__init__(name)
+        self._samples = samples
+        self._port = port
+
+    def behavior(self):
+        out = self.outputs.get(self._port)
+        if out is None:
+            raise SimulationError("source %r has no %r channel connected"
+                                  % (self.name, self._port))
+        for v in self._samples:
+            out.put(float(v))
+            yield
+
+
+class Sink(Processor):
+    """Captures every sample arriving on input channel ``in``."""
+
+    def __init__(self, name, port="in", limit=None):
+        super().__init__(name)
+        self._port = port
+        self._limit = limit
+        self.captured = []
+
+    def behavior(self):
+        chan = self.inputs.get(self._port)
+        if chan is None:
+            raise SimulationError("sink %r has no %r channel connected"
+                                  % (self.name, self._port))
+        while True:
+            while not chan.empty:
+                self.captured.append(chan.get())
+                if self._limit is not None and len(self.captured) >= self._limit:
+                    return
+            yield

@@ -1,0 +1,86 @@
+"""Tests for the fully adaptive LMS equalizer extension."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.dsp.adaptive_fir import AdaptiveLmsDesign
+from repro.refine import FlowConfig, RefinementFlow
+from repro.signal import DesignContext
+
+T_IN = DType("T_in", 8, 6, "tc", "saturate", "round")
+
+
+class TestConvergence:
+    def test_float_equalizer_opens_the_eye(self):
+        d = AdaptiveLmsDesign()
+        ctx = DesignContext("conv", seed=0)
+        with ctx:
+            d.build(ctx)
+            d.run(ctx, 4000)
+        assert d.error_rate() < 0.01
+
+    def test_unequalized_channel_fails(self):
+        # Harsher channel with adaptation off (mu = 0): the eye closes.
+        d = AdaptiveLmsDesign(mu=0.0, channel=(0.5, 1.0, 0.6))
+        ctx = DesignContext("noadapt", seed=0)
+        with ctx:
+            d.build(ctx)
+            d.run(ctx, 3000)
+        assert d.error_rate() > 0.02
+
+    def test_resumable_runs(self):
+        d = AdaptiveLmsDesign()
+        ctx = DesignContext("resume", seed=0)
+        with ctx:
+            d.build(ctx)
+            d.run(ctx, 2000)
+            d.run(ctx, 2000)
+        assert len(d.decisions) == 4000
+        assert d.error_rate() < 0.01
+
+
+class TestRefinement:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return RefinementFlow(
+            AdaptiveLmsDesign,
+            input_types={"x": T_IN},
+            input_ranges={"x": (-1.8, 1.8)},
+            user_ranges={"c": (-2.0, 2.0), "v": (-4.0, 4.0),
+                         "e": (-4.0, 4.0)},
+            config=FlowConfig(n_samples=4000, auto_range=False, seed=6),
+        )
+
+    def test_whole_tap_array_explodes(self, flow):
+        msb = flow.run_msb_phase()
+        exploded = set(msb.iterations[0].exploded)
+        # Every adaptive coefficient is a feedback signal.
+        assert {"c[%d]" % i for i in range(5)} <= exploded
+        assert msb.resolved
+
+    def test_array_annotation_expands(self, flow):
+        msb = flow.run_msb_phase()
+        added = msb.iterations[0].added_ranges
+        assert "c" in added  # the array-wide annotation was used
+        final = msb.final.decisions
+        for i in range(5):
+            assert final["c[%d]" % i].mode == "saturate"
+            # range (-2, 2): +2.0 itself needs msb 2 in two's complement.
+            assert final["c[%d]" % i].msb == 2
+
+    def test_full_flow_keeps_equalizer_working(self, flow):
+        res = flow.run()
+        assert res.msb.resolved and res.lsb.resolved
+        assert res.verification.total_overflows == 0
+
+        # Re-run fully quantized and check decisions.
+        from repro.refine import Annotations
+        all_types = dict(res.types)
+        all_types["x"] = T_IN
+        ctx = DesignContext("fixed-check", seed=1)
+        with ctx:
+            d = AdaptiveLmsDesign()
+            d.build(ctx)
+            Annotations(dtypes=all_types).apply(ctx)
+            d.run(ctx, 4000)
+        assert d.error_rate() < 0.02

@@ -1,0 +1,162 @@
+"""Tests for the two baseline refinement methods."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (AnalyticalRefiner, SimulationBasedOptimizer,
+                             propagate_error_bounds)
+from repro.core.dtype import DType
+from repro.core.interval import Interval
+from repro.refine import Design, FlowConfig, RefinementFlow
+from repro.sfg import SFG
+from repro.signal import Sig
+
+T_IN = DType("T_in", 8, 6, "tc", "saturate", "round")
+
+
+class TinyFirDesign(Design):
+    """y = 0.5*x + 0.25*x[-1] with the delay in a register."""
+
+    name = "tinyfir"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        from repro.signal import Reg
+        self.x = Sig("x")
+        self.prev = Reg("prev")
+        self.m = Sig("m")
+        self.y = Sig("y")
+        rng = np.random.default_rng(8)
+        self._stim = iter(rng.uniform(-1, 1, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.m.assign(self.x * 0.5)
+            self.y.assign(self.m + self.prev * 0.25)
+            self.prev.assign(self.x + 0.0)
+            ctx.tick()
+
+
+class TestSimulationBased:
+    @pytest.fixture(scope="class")
+    def result(self):
+        opt = SimulationBasedOptimizer(TinyFirDesign,
+                                       input_types={"x": T_IN},
+                                       sqnr_target_db=35.0,
+                                       n_samples=1500, f_max=12)
+        return opt.run()
+
+    def test_meets_target(self, result):
+        assert result.output_sqnr_db >= result.sqnr_target_db
+
+    def test_costs_many_simulations(self, result):
+        # 1 range run + 1 uniform + ~log2(f_max) per signal + 1 final.
+        assert result.n_simulations >= 2 + 2 * 3
+
+    def test_types_cover_all_non_inputs(self, result):
+        assert set(result.types) == {"m", "y", "prev"}
+
+    def test_msb_has_safety_bit(self, result):
+        # y in [-0.75, 0.75] -> observed msb 0, +1 safety = 1.
+        assert result.types["y"].msb == 1
+
+    def test_total_bits_positive(self, result):
+        assert result.total_bits() > 0
+
+    def test_history_recorded(self, result):
+        assert result.history[0][0].startswith("uniform")
+
+
+class TestAnalytical:
+    @pytest.fixture(scope="class")
+    def result(self):
+        ref = AnalyticalRefiner(TinyFirDesign, input_types={"x": T_IN},
+                                input_ranges={"x": (-1, 1)})
+        return ref.run()
+
+    def test_ranges_are_worst_case(self, result):
+        assert result.ranges["y"].contains(Interval(-0.75, 0.75))
+
+    def test_types_derived(self, result):
+        assert "y" in result.types and "m" in result.types
+        assert result.types["m"].msb == word_msb(-0.5, 0.5)
+
+    def test_error_bounds_scale_with_structure(self, result):
+        # m = 0.5*x: error bound is half the input's bound.
+        assert result.error_bounds["m"] == pytest.approx(
+            0.5 * 0.5 * T_IN.eps)
+
+    def test_no_explosion_on_feedforward(self, result):
+        assert result.exploded == []
+
+    def test_msb_at_least_as_conservative_as_simulation(self, result):
+        # The paper's criticism of the pure analytical method: the MSB
+        # side overestimates versus what simulation observes.
+        flow = RefinementFlow(TinyFirDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)},
+                              config=FlowConfig(n_samples=1500, seed=5))
+        msb = flow.run_msb_phase()
+        for name in ("m", "y", "prev"):
+            stat = msb.final.decisions[name].stat_msb
+            assert result.types[name].msb >= stat
+
+
+def word_msb(lo, hi):
+    from repro.core import word
+    return word.required_msb(lo, hi)
+
+
+class TestErrorBoundPropagation:
+    def _graph(self):
+        g = SFG()
+        x = g.sig_node("x")
+        m = g.op_node("mul", [x, g.const_node(0.5)])
+        g.assign_edge(m, "y")
+        return g
+
+    def test_scaling(self):
+        g = self._graph()
+        ranges = {"x": Interval(-1, 1), "y": Interval(-0.5, 0.5)}
+        bounds = propagate_error_bounds(g, ranges, {"x": 0.01})
+        assert bounds["y"] == pytest.approx(0.005, rel=0.02)
+
+    def test_add_accumulates(self):
+        g = SFG()
+        a = g.sig_node("a")
+        b = g.sig_node("b")
+        s = g.op_node("add", [a, b])
+        g.assign_edge(s, "y")
+        bounds = propagate_error_bounds(
+            g, {"a": Interval(-1, 1), "b": Interval(-1, 1),
+                "y": Interval(-2, 2)},
+            {"a": 0.01, "b": 0.02})
+        assert bounds["y"] == pytest.approx(0.03)
+
+    def test_division_by_zero_range_is_inf(self):
+        g = SFG()
+        a = g.sig_node("a")
+        b = g.sig_node("b")
+        d = g.op_node("div", [a, b])
+        g.assign_edge(d, "y")
+        bounds = propagate_error_bounds(
+            g, {"a": Interval(1, 2), "b": Interval(-1, 1),
+                "y": Interval.full()},
+            {"a": 0.01, "b": 0.01})
+        assert math.isinf(bounds["y"])
+
+    def test_feedback_amplification_cut(self):
+        # acc = 2*acc + x: error bound doubles per round -> cut to inf.
+        g = SFG()
+        acc = g.sig_node("acc", is_register=True)
+        x = g.sig_node("x")
+        m = g.op_node("mul", [acc, g.const_node(2.0)])
+        s = g.op_node("add", [m, x])
+        g.assign_edge(s, "acc", is_register=True)
+        bounds = propagate_error_bounds(
+            g, {"x": Interval(-1, 1), "acc": Interval(-10, 10)},
+            {"x": 0.01})
+        assert math.isinf(bounds["acc"])

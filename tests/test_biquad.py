@@ -1,0 +1,151 @@
+"""Tests for the biquad section and limit-cycle analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.dsp.biquad import (Biquad, BiquadDesign, LimitCycle,
+                              detect_limit_cycle, lowpass_coefficients,
+                              zero_input_response)
+from repro.signal import DesignContext
+
+
+@pytest.fixture
+def ctx():
+    with DesignContext("bq-test", seed=0) as c:
+        yield c
+
+
+class TestCoefficients:
+    def test_dc_gain_is_unity(self):
+        b0, b1, b2, a1, a2 = lowpass_coefficients(0.1, 0.7071)
+        dc = (b0 + b1 + b2) / (1.0 + a1 + a2)
+        assert dc == pytest.approx(1.0)
+
+    def test_stable_poles(self):
+        for fc in (0.01, 0.1, 0.3, 0.45):
+            _b0, _b1, _b2, a1, a2 = lowpass_coefficients(fc, 2.0)
+            roots = np.roots([1.0, a1, a2])
+            assert all(abs(r) < 1.0 for r in roots)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            lowpass_coefficients(0.0)
+        with pytest.raises(ValueError):
+            lowpass_coefficients(0.5)
+        with pytest.raises(ValueError):
+            lowpass_coefficients(0.1, q=0.0)
+
+
+class TestBiquadBlock:
+    def test_matches_scipy_reference(self, ctx):
+        from scipy.signal import lfilter
+        coef = lowpass_coefficients(0.12, 1.0)
+        b = coef[:3]
+        a = (1.0,) + coef[3:]
+        bq = Biquad("bq", coef)
+        x = np.random.default_rng(1).uniform(-1, 1, size=128)
+        got = []
+        for v in x:
+            bq.step(float(v))
+            got.append(bq.y.fx)
+            ctx.tick()
+        np.testing.assert_allclose(got, lfilter(b, a, x), atol=1e-10)
+
+    def test_impulse_decays_when_float(self, ctx):
+        bq = Biquad("bq", lowpass_coefficients(0.1, 0.8))
+        bq.step(1.0)
+        ctx.tick()
+        tail = []
+        for _ in range(300):
+            bq.step(0.0)
+            tail.append(abs(bq.y.fx))
+            ctx.tick()
+        assert tail[-1] < 1e-6
+
+    def test_signal_names(self, ctx):
+        bq = Biquad("f0", lowpass_coefficients(0.1))
+        assert [s.name for s in bq.signals()] == ["f0.w", "f0.w1", "f0.w2",
+                                                  "f0.y"]
+
+
+class TestLimitCycleDetector:
+    def test_zero_tail_is_none(self):
+        assert detect_limit_cycle([1.0, 0.5, 0.0, 0.0, 0.0, 0.0]) is None
+
+    def test_constant_tail_period_one(self):
+        lc = detect_limit_cycle([0.0] * 10 + [0.25] * 50)
+        assert lc == LimitCycle(1, 0.25)
+
+    def test_alternating_tail_period_two(self):
+        tail = [0.25, -0.25] * 40
+        lc = detect_limit_cycle([0.0] * 10 + tail)
+        assert lc.period == 2
+
+    def test_decaying_response_is_none(self):
+        decay = [0.9 ** k for k in range(200)]
+        assert detect_limit_cycle(decay) is None
+
+    def test_aperiodic_nonzero(self):
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(0.5, 1.0, size=200).tolist()
+        lc = detect_limit_cycle(noise, max_period=8)
+        assert lc is not None and lc.period is None
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            detect_limit_cycle([])
+
+
+class TestQuantizedLimitCycles:
+    """The paper's Section 4.2 caveat, demonstrated."""
+
+    COEF = lowpass_coefficients(0.02, q=5.0)  # poles near the unit circle
+
+    def _response(self, frac_bits):
+        ctx = DesignContext("lc-%s" % frac_bits, seed=0)
+        with ctx:
+            bq = Biquad("bq", self.COEF)
+            if frac_bits is not None:
+                dt = DType("t", frac_bits + 4, frac_bits, "tc",
+                           "saturate", "round")
+                for s in bq.signals():
+                    s.set_dtype(dt)
+            return zero_input_response(bq, ctx, n_excite=64,
+                                       n_observe=1200)
+
+    def test_float_section_decays(self):
+        assert detect_limit_cycle(self._response(None),
+                                  settle_fraction=0.7) is None
+
+    @pytest.mark.parametrize("f", [6, 8, 10])
+    def test_rounded_section_sustains_cycle(self, f):
+        lc = detect_limit_cycle(self._response(f), settle_fraction=0.7)
+        assert lc is not None
+        assert lc.amplitude > 0
+
+    def test_amplitude_scales_with_lsb(self):
+        amp = {}
+        for f in (6, 8, 10):
+            lc = detect_limit_cycle(self._response(f), settle_fraction=0.7)
+            amp[f] = lc.amplitude
+        assert amp[6] > amp[8] > amp[10]
+        # Granular cycles scale roughly with the LSB weight.
+        assert amp[6] / amp[10] == pytest.approx(2.0 ** 4, rel=0.5)
+
+
+class TestBiquadDesign:
+    def test_flow_refines_biquad(self):
+        from repro.refine import FlowConfig, RefinementFlow
+        flow = RefinementFlow(
+            BiquadDesign,
+            input_types={"x": DType("T_in", 9, 7)},
+            input_ranges={"x": (-1.0, 1.0)},
+            config=FlowConfig(n_samples=2000, seed=2),
+        )
+        res = flow.run()
+        assert res.msb.resolved and res.lsb.resolved
+        assert "bq.w" in res.types
+        assert res.verification.total_overflows == 0

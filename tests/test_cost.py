@@ -1,0 +1,131 @@
+"""Tests for the hardware cost model."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.refine.cost import CostReport, CostWeights, estimate_cost
+from repro.sfg import trace
+from repro.signal import DesignContext, Reg, Sig, select
+from repro.signal.ops import gt
+
+T8 = DType("T8", 8, 5, "tc", "saturate", "round")
+
+
+def traced(body):
+    ctx = DesignContext("cost", seed=0)
+    with ctx:
+        with trace(ctx) as t:
+            body(ctx)
+    return t.sfg
+
+
+class TestOpCosts:
+    def test_adder(self):
+        def body(ctx):
+            a = Sig("a", T8)
+            b = Sig("b", T8)
+            y = Sig("y", T8)
+            a.assign(0.1)
+            b.assign(0.1)
+            y.assign(a + b)
+        report = estimate_cost(traced(body),
+                               {"a": T8, "b": T8, "y": T8},
+                               inputs=["a", "b"], outputs=["y"])
+        assert report.adder_bits == 9  # one bit of growth
+        assert report.multiplier_cells == 0
+
+    def test_multiplier(self):
+        def body(ctx):
+            a = Sig("a", T8)
+            b = Sig("b", T8)
+            y = Sig("y", T8)
+            a.assign(0.1)
+            b.assign(0.1)
+            y.assign(a * b)
+        report = estimate_cost(traced(body),
+                               {"a": T8, "b": T8, "y": T8},
+                               inputs=["a", "b"], outputs=["y"])
+        assert report.multiplier_cells == 64
+
+    def test_register_and_mux(self):
+        def body(ctx):
+            a = Sig("a", T8)
+            r = Reg("r", T8)
+            a.assign(0.1)
+            r.assign(select(gt(a, 0.0), a + 0.0, -a))
+            ctx.tick()
+        report = estimate_cost(traced(body), {"a": T8, "r": T8},
+                               inputs=["a"], outputs=["r"])
+        assert report.register_bits == 8
+        assert report.mux_bits > 0
+        assert report.comparator_bits > 0
+
+
+class TestQuantizationCosts:
+    def _report(self, lsbspec, msbspec):
+        T_OUT = DType("T_out", 6, 3, "tc", msbspec, lsbspec)
+
+        def body(ctx):
+            a = Sig("a", T8)
+            y = Sig("y", T_OUT)
+            a.assign(0.1)
+            y.assign(a * 0.5)
+        return estimate_cost(traced(body), {"a": T8, "y": T_OUT},
+                             inputs=["a"], outputs=["y"])
+
+    def test_round_needs_increment_adder(self):
+        assert self._report("round", "wrap").rounding_bits == 6
+
+    def test_floor_is_free(self):
+        assert self._report("floor", "wrap").rounding_bits == 0
+
+    def test_saturation_costs(self):
+        assert self._report("floor", "saturate").saturation_bits == 6
+        assert self._report("floor", "wrap").saturation_bits == 0
+
+    def test_floor_cheaper_than_round(self):
+        round_total = self._report("round", "saturate").total()
+        floor_total = self._report("floor", "saturate").total()
+        assert floor_total < round_total
+
+
+class TestTotals:
+    def test_weights_scale(self):
+        r = CostReport(adder_bits=10, register_bits=5)
+        assert r.total(CostWeights(adder=2.0, register=0.0)) == 20.0
+
+    def test_table_mentions_all_resources(self):
+        text = CostReport(adder_bits=1).table()
+        for key in ("adder", "multiplier", "register", "rounding",
+                    "saturation", "weighted total"):
+            assert key in text
+
+    def test_wider_types_cost_more(self):
+        def body_for(T):
+            def body(ctx):
+                a = Sig("a", T)
+                y = Sig("y", T)
+                a.assign(0.1)
+                y.assign(a * 0.5 + 0.25)
+            return body
+
+        T_small = DType("s", 6, 3)
+        T_big = DType("b", 14, 11)
+        small = estimate_cost(traced(body_for(T_small)),
+                              {"a": T_small, "y": T_small},
+                              inputs=["a"], outputs=["y"]).total()
+        big = estimate_cost(traced(body_for(T_big)),
+                            {"a": T_big, "y": T_big},
+                            inputs=["a"], outputs=["y"]).total()
+        assert big > small
+
+    def test_by_signal_breakdown(self):
+        def body(ctx):
+            a = Sig("a", T8)
+            r = Reg("r", T8)
+            a.assign(0.1)
+            r.assign(a + 0.0)
+            ctx.tick()
+        report = estimate_cost(traced(body), {"a": T8, "r": T8},
+                               inputs=["a"], outputs=["r"])
+        assert report.by_signal["r"] >= 8  # register bits at least

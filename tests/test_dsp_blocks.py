@@ -1,0 +1,223 @@
+"""Unit tests for the DSP block library (FIR, slicer, RRC, PAM, channel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError
+from repro.dsp import (Channel, FirFilter, ShapedPamStream, awgn,
+                       binary_slicer, fir_reference, pam_levels, pam_slicer,
+                       pam_symbols, raised_cosine_pulse, rrc_pulse, rrc_taps,
+                       shaped_pam)
+from repro.signal import DesignContext, Sig
+
+
+@pytest.fixture
+def ctx():
+    with DesignContext("dsp-test", seed=0) as c:
+        yield c
+
+
+class TestFirFilter:
+    def test_matches_reference(self, ctx):
+        taps = [0.5, -0.25, 0.125]
+        f = FirFilter("f", taps)
+        x = np.random.default_rng(0).uniform(-1, 1, size=64)
+        got = []
+        for v in x:
+            f.step(float(v))
+            got.append(f.out.fx)
+            ctx.tick()
+        np.testing.assert_allclose(got, fir_reference(taps, x), atol=1e-12)
+
+    def test_signal_naming(self, ctx):
+        f = FirFilter("mf", [1.0, 2.0])
+        names = [s.name for s in f.signals()]
+        assert "mf.c[0]" in names and "mf.d[1]" in names and "mf.v[2]" in names
+
+    def test_accepts_signal_input(self, ctx):
+        f = FirFilter("f", [1.0])
+        x = Sig("x")
+        x.assign(0.5)
+        f.step(x)
+        ctx.tick()
+        f.step(x)
+        assert f.out.fx == 0.5
+
+    def test_empty_taps_rejected(self, ctx):
+        with pytest.raises(DesignError):
+            FirFilter("f", [])
+
+    def test_impulse_response(self, ctx):
+        taps = [1.0, -2.0, 3.0]
+        f = FirFilter("f", taps)
+        out = []
+        for v in [1.0, 0.0, 0.0, 0.0, 0.0]:
+            f.step(v)
+            out.append(f.out.fx)
+            ctx.tick()
+        # One-cycle input delay, then the taps.
+        assert out == [0.0, 1.0, -2.0, 3.0, 0.0]
+
+
+class TestSlicers:
+    def test_binary(self, ctx):
+        a = Sig("a")
+        a.assign(0.3)
+        assert binary_slicer(a).fx == 1.0
+        a.assign(-0.3)
+        assert binary_slicer(a).fx == -1.0
+
+    def test_binary_zero_goes_negative(self, ctx):
+        # w > 0 ? 1 : -1, so 0 maps to -1 (paper semantics).
+        assert binary_slicer(0.0).fx == -1.0
+
+    def test_pam_levels(self):
+        assert pam_levels(2) == (-1.0, 1.0)
+        assert pam_levels(4) == (-1.0, -1.0 / 3.0, 1.0 / 3.0, 1.0)
+
+    def test_pam_levels_invalid(self):
+        with pytest.raises(DesignError):
+            pam_levels(3)
+
+    def test_pam4_slicer(self, ctx):
+        for target in pam_levels(4):
+            got = pam_slicer(target + 0.05, m=4).fx
+            assert got == pytest.approx(target)
+
+    def test_pam_slicer_range_union(self, ctx):
+        e = pam_slicer(0.2, m=4)
+        assert e.ival.lo == -1.0 and e.ival.hi == 1.0
+
+
+class TestRrc:
+    def test_peak_at_zero(self):
+        assert rrc_pulse(0.0) == pytest.approx(1.0 + 0.5 * (4 / np.pi - 1))
+
+    def test_pole_is_finite(self):
+        beta = 0.5
+        v = rrc_pulse(1.0 / (4 * beta), beta)
+        assert np.isfinite(v)
+        # continuity across the singularity
+        eps = 1e-6
+        near = rrc_pulse(1.0 / (4 * beta) + eps, beta)
+        assert v == pytest.approx(near, abs=1e-4)
+
+    def test_symmetry(self):
+        t = np.linspace(0.1, 4.0, 50)
+        np.testing.assert_allclose(rrc_pulse(t), rrc_pulse(-t), atol=1e-12)
+
+    def test_invalid_rolloff(self):
+        with pytest.raises(ValueError):
+            rrc_pulse(0.0, rolloff=0.0)
+        with pytest.raises(ValueError):
+            raised_cosine_pulse(0.0, rolloff=1.5)
+
+    def test_rc_is_nyquist(self):
+        # Raised cosine is zero at nonzero integers (no ISI).
+        for k in range(1, 6):
+            assert raised_cosine_pulse(float(k)) == pytest.approx(0.0,
+                                                                  abs=1e-12)
+        assert raised_cosine_pulse(0.0) == pytest.approx(1.0)
+
+    def test_rc_pole(self):
+        beta = 0.5
+        v = raised_cosine_pulse(1.0 / (2 * beta), beta)
+        assert np.isfinite(v)
+
+    def test_taps_symmetric_unit_energy(self):
+        h = rrc_taps(sps=2, span=4, rolloff=0.5)
+        assert len(h) == 9
+        np.testing.assert_allclose(h, h[::-1], atol=1e-12)
+        assert np.sum(h * h) == pytest.approx(1.0)
+
+    def test_taps_unnormalized(self):
+        h = rrc_taps(sps=2, span=4, normalize=False)
+        assert h[len(h) // 2] == pytest.approx(rrc_pulse(0.0))
+
+
+class TestPam:
+    def test_symbols_levels(self):
+        syms = pam_symbols(1000, m=2, seed=1)
+        assert set(np.unique(syms)) == {-1.0, 1.0}
+
+    def test_symbols_deterministic(self):
+        a = pam_symbols(100, seed=7)
+        b = pam_symbols(100, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_shaped_pam_peaks_recover_symbols(self):
+        # RC pulse, no offsets: even samples are exactly the symbols.
+        samples, symbols = shaped_pam(400, sps=2.0, timing_offset=0.0,
+                                      seed=3)
+        on_time = samples[0::2]
+        np.testing.assert_allclose(on_time, symbols[:len(on_time)],
+                                   atol=1e-6)
+
+    def test_shaped_pam_noise(self):
+        clean, _ = shaped_pam(400, seed=3)
+        noisy, _ = shaped_pam(400, seed=3, noise_std=0.1)
+        resid = np.std(noisy - clean)
+        assert 0.05 < resid < 0.2
+
+    def test_stream_matches_batch(self):
+        kw = dict(sps=2.0, rolloff=0.5, span=8, timing_offset=0.17,
+                  clock_ppm=150.0, seed=11)
+        batch, _ = shaped_pam(512, **kw)
+        stream = ShapedPamStream(**kw)
+        got = np.concatenate([stream.take(100) for _ in range(5)]
+                             + [stream.take(12)])
+        np.testing.assert_allclose(got, batch, atol=1e-9)
+
+    def test_stream_symbols_exposed(self):
+        stream = ShapedPamStream(seed=2)
+        stream.take(100)
+        assert len(stream.symbols) >= 50
+
+    def test_stream_iter(self):
+        stream = ShapedPamStream(seed=2)
+        it = iter(stream)
+        vals = [next(it) for _ in range(10)]
+        assert len(vals) == 10
+
+
+class TestChannel:
+    def test_block_equals_streaming(self):
+        taps = [1.0, 0.4, -0.1]
+        x = np.random.default_rng(2).uniform(-1, 1, size=50)
+        c1 = Channel(taps)
+        block = c1.process(x)
+        c2 = Channel(taps)
+        stream = [c2.step(float(v)) for v in x]
+        np.testing.assert_allclose(block, stream, atol=1e-12)
+
+    def test_state_across_blocks(self):
+        taps = [1.0, 0.5]
+        c1 = Channel(taps)
+        full = c1.process(np.arange(10.0))
+        c2 = Channel(taps)
+        parts = np.concatenate([c2.process(np.arange(10.0)[:4]),
+                                c2.process(np.arange(10.0)[4:])])
+        np.testing.assert_allclose(full, parts, atol=1e-12)
+
+    def test_reset(self):
+        c = Channel([1.0, 1.0])
+        c.step(1.0)
+        c.reset()
+        assert c.step(0.0) == 0.0
+
+    def test_noise_deterministic(self):
+        a = Channel([1.0], noise_std=0.1, seed=5).process(np.zeros(10))
+        b = Channel([1.0], noise_std=0.1, seed=5).process(np.zeros(10))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_taps(self):
+        with pytest.raises(ValueError):
+            Channel([])
+
+    def test_awgn(self):
+        y = awgn(np.zeros(10000), 0.5, seed=1)
+        assert np.std(y) == pytest.approx(0.5, rel=0.05)
+        np.testing.assert_array_equal(awgn(np.ones(5), 0.0), np.ones(5))
+        with pytest.raises(ValueError):
+            awgn(np.zeros(3), -1.0)

@@ -1,0 +1,192 @@
+"""Unit tests for the timing-loop blocks: Farrow, NCO, TED, loop filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.dsp import (FARROW_BASIS, FarrowInterpolator, GardnerTed, Nco,
+                       PiLoopFilter, WrappedNco)
+from repro.signal import DesignContext, Sig
+
+
+@pytest.fixture
+def ctx():
+    with DesignContext("loop-test", seed=0) as c:
+        yield c
+
+
+class TestFarrowBasis:
+    def test_interpolates_nodes_exactly(self):
+        # At mu=0 the output must be d2; at mu=1 it must be d1.
+        d = [0.3, -1.2, 0.7, 2.1]
+        def horner(mu):
+            f = [sum(FARROW_BASIS[j][i] * d[i] for i in range(4))
+                 for j in range(4)]
+            return ((f[3] * mu + f[2]) * mu + f[1]) * mu + f[0]
+        assert horner(0.0) == pytest.approx(d[2])
+        assert horner(1.0) == pytest.approx(d[1])
+
+    def test_reproduces_cubics_exactly(self):
+        # Lagrange through 4 points is exact for any cubic polynomial.
+        poly = lambda t: 0.3 * t ** 3 - 0.5 * t ** 2 + t - 0.2
+        d = [poly(2.0), poly(1.0), poly(0.0), poly(-1.0)]
+        for mu in (0.1, 0.5, 0.9):
+            f = [sum(FARROW_BASIS[j][i] * d[i] for i in range(4))
+                 for j in range(4)]
+            y = ((f[3] * mu + f[2]) * mu + f[1]) * mu + f[0]
+            assert y == pytest.approx(poly(mu))
+
+
+class TestFarrowBlock:
+    def test_sine_interpolation(self, ctx):
+        ip = FarrowInterpolator("ip")
+        f = lambda t: np.sin(0.3 * t)
+        mu = 0.37
+        errs = []
+        for k in range(30):
+            y = ip.step(f(k), mu)
+            ctx.tick()
+            if k > 6:
+                errs.append(abs(y.fx - f((k - 3) + mu)))
+        assert max(errs) < 5e-4
+
+    def test_signal_count(self, ctx):
+        ip = FarrowInterpolator("ip")
+        assert len(ip.signals()) == 27
+
+    def test_mu_signal_operand(self, ctx):
+        ip = FarrowInterpolator("ip")
+        mu = Sig("mu")
+        mu.assign(0.25)
+        for k in range(8):
+            ip.step(float(k % 3), mu)
+            ctx.tick()
+        assert np.isfinite(ip.y.fx)
+
+
+class TestNco:
+    def test_strobe_rate(self, ctx):
+        nco = Nco("nco")
+        strobes = sum(1 for _ in range(1000) if (nco.step(0.5), ctx.tick())[0])
+        assert strobes == pytest.approx(500, abs=2)
+
+    def test_phase_stays_in_unit_interval(self, ctx):
+        nco = Nco("nco")
+        for _ in range(200):
+            nco.step(0.37)
+            ctx.tick()
+            assert 0.0 <= nco.eta.fx < 1.0
+
+    def test_mu_range(self, ctx):
+        nco = Nco("nco")
+        mus = []
+        for _ in range(400):
+            if nco.step(0.45):
+                mus.append(nco.eta.fx / 0.45)
+            ctx.tick()
+        # mu = eta/w at underflow is within [0, eta_max/w).
+        assert all(0.0 <= m < 2.3 for m in mus)
+
+    def test_mu_held_between_strobes(self, ctx):
+        nco = Nco("nco")
+        held = []
+        for _ in range(10):
+            strobe = nco.step(0.3)
+            ctx.tick()
+            held.append(nco.mu.fx)
+        # mu only changes after strobes; consecutive non-strobe cycles hold.
+        assert len(set(held)) < len(held)
+
+
+class TestWrappedNco:
+    PHASE_T = DType("T_eta", 12, 12, "us", "wrap", "round")
+
+    def test_requires_modulo_type(self, ctx):
+        with pytest.raises(ValueError):
+            WrappedNco("n", DType("bad", 12, 10, "us", "wrap"))
+        with pytest.raises(ValueError):
+            WrappedNco("n2", DType("bad2", 12, 12, "tc", "wrap"))
+        with pytest.raises(ValueError):
+            WrappedNco("n3", DType("bad3", 12, 12, "us", "saturate"))
+
+    def test_fx_wraps_fl_runs_off(self, ctx):
+        nco = WrappedNco("nco", self.PHASE_T)
+        for _ in range(50):
+            nco.step(0.5)
+            ctx.tick()
+        assert 0.0 <= nco.eta.fx < 1.0
+        assert nco.eta.fl < -5.0  # float reference never wraps
+
+    def test_strobe_cadence_matches_select_nco(self, ctx):
+        wrapped = WrappedNco("w", self.PHASE_T)
+        plain = Nco("p")
+        for _ in range(300):
+            sw = wrapped.step(0.5)
+            sp = plain.step(0.5)
+            ctx.tick()
+            assert sw == sp
+
+    def test_error_annotation_restores_statistics(self, ctx):
+        nco = WrappedNco("nco", self.PHASE_T)
+        nco.eta.error(2.0 ** -12)
+        for _ in range(300):
+            nco.step(0.31)
+            ctx.tick()
+        assert nco.eta.err_produced.max_abs <= 2.0 ** -13 + 1e-12
+
+
+class TestGardnerTed:
+    def test_zero_at_symmetric_transition(self, ctx):
+        ted = GardnerTed("ted")
+        # prev=-1, now=+1, midpoint 0: error 0.
+        ted.step(-1.0, 0.5)   # seed prev
+        ctx.tick()
+        e = ted.step(1.0, 0.0)
+        assert e.fx == pytest.approx(-0.0)
+
+    def test_sign_of_late_sampling(self, ctx):
+        ted = GardnerTed("ted")
+        ted.step(-1.0, 0.0)
+        ctx.tick()
+        # Transition -1 -> +1 sampled late: midpoint already positive.
+        e = ted.step(1.0, 0.2)
+        assert e.fx > 0
+
+    def test_no_transition_no_error(self, ctx):
+        ted = GardnerTed("ted")
+        ted.step(1.0, 1.0)
+        ctx.tick()
+        e = ted.step(1.0, 1.0)
+        assert e.fx == pytest.approx(0.0)
+
+    def test_signals(self, ctx):
+        ted = GardnerTed("ted")
+        names = [s.name for s in ted.signals()]
+        assert names == ["ted.prev", "ted.mid", "ted.err"]
+
+
+class TestPiLoopFilter:
+    def test_integrator_accumulates(self, ctx):
+        lf = PiLoopFilter("lf", kp=0.0, ki=0.1)
+        for _ in range(5):
+            lf.step(1.0)
+            ctx.tick()
+        assert lf.i.fx == pytest.approx(0.5)
+
+    def test_proportional_path(self, ctx):
+        lf = PiLoopFilter("lf", kp=0.25, ki=0.0)
+        lf.step(2.0)
+        assert lf.p.fx == 0.5
+        assert lf.out.fx == 0.5
+
+    def test_combined(self, ctx):
+        lf = PiLoopFilter("lf", kp=0.5, ki=0.1)
+        lf.step(1.0)
+        ctx.tick()
+        lf.step(1.0)
+        # out = p + i(committed) = 0.5 + 0.1
+        assert lf.out.fx == pytest.approx(0.6)
+
+    def test_signals(self, ctx):
+        lf = PiLoopFilter("lf", 0.1, 0.01)
+        assert [s.name for s in lf.signals()] == ["lf.p", "lf.i", "lf.out"]

@@ -1,0 +1,154 @@
+"""Unit tests for repro.core.dtype (fixed-point type objects)."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DTypeError, FixedPointOverflowError
+from repro.core.interval import Interval
+
+
+class TestConstruction:
+    def test_paper_constructor(self):
+        # dtype T1("T1", 8, 5, tc, st, rd)
+        t = DType("T1", 8, 5, "tc", "st", "rd")
+        assert t.n == 8
+        assert t.f == 5
+        assert t.vtype == "tc"
+        assert t.msbspec == "saturate"
+        assert t.lsbspec == "round"
+
+    def test_aliases(self):
+        t = DType("t", 8, 4, "unsigned", "wrap_around", "floor")
+        assert t.vtype == "us"
+        assert t.msbspec == "wrap"
+        assert t.lsbspec == "floor"
+
+    def test_defaults(self):
+        t = DType("t", 8, 4)
+        assert t.vtype == "tc"
+        assert t.msbspec == "saturate"
+        assert t.lsbspec == "round"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0},
+        {"vtype": "float"},
+        {"msbspec": "clip"},
+        {"lsbspec": "stochastic"},
+    ])
+    def test_invalid(self, kwargs):
+        base = {"n": 8, "f": 4, "vtype": "tc", "msbspec": "saturate",
+                "lsbspec": "round"}
+        base.update(kwargs)
+        with pytest.raises(DTypeError):
+            DType("t", **base)
+
+
+class TestDerived:
+    def test_positions_tc(self):
+        t = DType("t", 7, 5, "tc")
+        assert t.msb == 1
+        assert t.lsb == 5
+        assert t.eps == 2.0 ** -5
+        assert t.min_value == -2.0
+        assert t.max_value == 2.0 - 2.0 ** -5
+
+    def test_positions_us(self):
+        t = DType("t", 7, 5, "us")
+        assert t.msb == 2
+        assert t.min_value == 0.0
+        assert t.max_value == 4.0 - 2.0 ** -5
+
+    def test_range_interval(self):
+        t = DType("t", 7, 5, "tc")
+        assert t.range_interval() == Interval(-2.0, 2.0 - 2.0 ** -5)
+
+    def test_num_codes(self):
+        assert DType("t", 8, 0).num_codes == 256
+
+    def test_signed_flag(self):
+        assert DType("t", 8, 0, "tc").signed
+        assert not DType("t", 8, 0, "us").signed
+
+
+class TestQuantization:
+    def test_round(self):
+        t = DType("t", 8, 5)
+        assert t.quantize(0.40) == pytest.approx(13 / 32)
+
+    def test_floor(self):
+        t = DType("t", 8, 5, lsbspec="floor")
+        assert t.quantize(0.40) == pytest.approx(12 / 32)
+
+    def test_saturation(self):
+        t = DType("t", 8, 5, msbspec="saturate")
+        info = t.quantize_info(100.0)
+        assert info.overflowed
+        assert info.value == t.max_value
+
+    def test_error_mode(self):
+        t = DType("t", 8, 5, msbspec="error")
+        with pytest.raises(FixedPointOverflowError):
+            t.quantize(100.0)
+
+    def test_quantize_array(self):
+        import numpy as np
+        t = DType("t", 8, 5)
+        got = t.quantize_array(np.array([0.4, -0.4]))
+        assert got[0] == pytest.approx(13 / 32)
+        assert got[1] == pytest.approx(-13 / 32)
+
+    def test_is_representable(self):
+        t = DType("t", 8, 5)
+        assert t.is_representable(0.5)
+        assert not t.is_representable(0.51)
+        assert not t.is_representable(100.0)
+
+
+class TestDerivation:
+    def test_with_(self):
+        t = DType("t", 8, 5)
+        u = t.with_(f=3, lsbspec="floor")
+        assert u.n == 8 and u.f == 3 and u.lsbspec == "floor"
+        assert t.f == 5  # original untouched
+
+    def test_from_range(self):
+        # Paper LMS: x in [-1.5, 1.5] with 5 fractional bits -> <7,5,tc>.
+        t = DType.from_range("x", -1.5, 1.5, 5)
+        assert (t.n, t.f) == (7, 5)
+        assert t.msb == 1
+
+    def test_from_range_zero(self):
+        t = DType.from_range("z", 0.0, 0.0, 5)
+        assert t.n == 6  # msb falls back to 0
+
+    def test_from_range_unbounded(self):
+        with pytest.raises(DTypeError):
+            DType.from_range("u", float("-inf"), 1.0, 5)
+
+    def test_from_positions(self):
+        t = DType.from_positions("t", 1, 5)
+        assert (t.n, t.f) == (7, 5)
+
+    def test_from_positions_unsigned(self):
+        t = DType.from_positions("t", 2, 5, vtype="us")
+        assert (t.n, t.f) == (7, 5)
+
+
+class TestEquality:
+    def test_equal_ignores_name(self):
+        assert DType("a", 8, 5) == DType("b", 8, 5)
+
+    def test_not_equal(self):
+        assert DType("a", 8, 5) != DType("a", 8, 4)
+        assert DType("a", 8, 5) != DType("a", 8, 5, msbspec="wrap")
+
+    def test_hashable(self):
+        s = {DType("a", 8, 5), DType("b", 8, 5), DType("c", 9, 5)}
+        assert len(s) == 2
+
+    def test_spec_string(self):
+        assert DType("t", 8, 5, "tc", "st", "rd").spec() == "<8,5,tc,sa,ro>"
+
+    def test_repr_roundtrip(self):
+        t = DType("t", 8, 5, "us", "wrap", "floor")
+        assert eval(repr(t)) == t

@@ -1,0 +1,92 @@
+"""Tests for result serialization (JSON/CSV) and DType spec parsing."""
+
+import json
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DTypeError
+from repro.refine.export import (lsb_table_to_csv, msb_table_to_csv,
+                                 result_to_dict, result_to_json,
+                                 types_from_dict, types_to_csv,
+                                 types_to_dict)
+
+
+class TestFromSpec:
+    def test_roundtrip(self):
+        for dt in (DType("a", 8, 5), DType("b", 7, 5, "us", "wrap", "floor"),
+                   DType("c", 12, 12, "us", "wrap", "round")):
+            assert DType.from_spec(dt.spec()) == dt
+
+    def test_short_form(self):
+        dt = DType.from_spec("<7,5,tc>")
+        assert (dt.n, dt.f, dt.vtype) == (7, 5, "tc")
+        assert dt.msbspec == "saturate" and dt.lsbspec == "round"
+
+    def test_whitespace_tolerated(self):
+        assert DType.from_spec(" <8, 5, tc, sa, ro> ").n == 8
+
+    @pytest.mark.parametrize("bad", ["8,5,tc", "<8,5>", "<8,5,tc,xx,ro>",
+                                     "<8,5,tc,sa,zz>", "<a,b,tc>"])
+    def test_invalid(self, bad):
+        with pytest.raises((DTypeError, ValueError)):
+            DType.from_spec(bad)
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.refine import FlowConfig, RefinementFlow
+    from tests.test_flow import ScaleDesign, T_IN
+    flow = RefinementFlow(ScaleDesign, input_types={"x": T_IN},
+                          input_ranges={"x": (-1, 1)},
+                          config=FlowConfig(n_samples=1200, seed=8))
+    return flow.run()
+
+
+class TestTypesSerialization:
+    def test_dict_roundtrip(self, result):
+        data = types_to_dict(result.types)
+        back = types_from_dict(data)
+        assert {k: v.spec() for k, v in back.items()} == \
+               {k: v.spec() for k, v in result.types.items()}
+
+    def test_csv_has_all_signals(self, result):
+        text = types_to_csv(result.types)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("signal,spec")
+        assert len(lines) == 1 + len(result.types)
+
+
+class TestResultSerialization:
+    def test_json_parses(self, result):
+        data = json.loads(result_to_json(result))
+        assert data["msb"]["resolved"] is True
+        assert data["lsb"]["iterations"] == result.lsb.n_iterations
+        assert data["total_bits"] == result.total_bits()
+        assert "y" in data["types"]
+
+    def test_decisions_serialized(self, result):
+        data = result_to_dict(result)
+        y = data["msb"]["decisions"]["y"]
+        assert set(y) == {"stat_msb", "prop_msb", "msb", "mode", "case",
+                          "guard_msb", "note"}
+        ly = data["lsb"]["decisions"]["y"]
+        assert ly["lsb"] == result.lsb.final.decisions["y"].lsb
+
+    def test_nonfinite_values_are_json_safe(self):
+        # A result containing inf SQNR must still serialize.
+        from repro.refine.export import _clean
+        assert _clean(float("inf")) == "inf"
+        assert _clean(float("-inf")) == "-inf"
+        assert _clean(float("nan")) == "nan"
+        assert _clean(1.5) == 1.5
+
+    def test_table_csvs(self, result):
+        msb_csv = msb_table_to_csv(result.msb.final.records,
+                                   result.msb.final.decisions)
+        lsb_csv = lsb_table_to_csv(result.lsb.final.records,
+                                   result.lsb.final.decisions)
+        assert "stat_msb" in msb_csv.splitlines()[0]
+        assert "divergent" in lsb_csv.splitlines()[0]
+        assert len(msb_csv.strip().splitlines()) == \
+               1 + len(result.msb.final.decisions)

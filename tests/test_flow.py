@@ -1,0 +1,270 @@
+"""Tests for the refinement flow driver (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.refine import (Annotations, Design, FlowConfig, LsbPolicy,
+                          RefinementFlow, expand_names)
+from repro.signal import DesignContext, Reg, Sig, SigArray
+
+T_IN = DType("T_in", 8, 6, "tc", "saturate", "round")
+
+
+class ScaleDesign(Design):
+    """Feed-forward toy: y = 0.5*x + 0.25 (no feedback)."""
+
+    name = "scale"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.y = Sig("y")
+        rng = np.random.default_rng(3)
+        self._stim = iter(rng.uniform(-1, 1, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.y.assign(self.x * 0.5 + 0.25)
+            ctx.tick()
+
+
+class LeakyAccDesign(Design):
+    """acc = 0.9*acc + x: feedback, bounded in simulation but the
+    quasi-analytical range still converges (gain < 1)."""
+
+    name = "leaky"
+    inputs = ("x",)
+    output = "acc"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.acc = Reg("acc")
+        rng = np.random.default_rng(4)
+        self._stim = iter(rng.uniform(-1, 1, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.acc.assign(self.acc * 0.9 + self.x)
+            ctx.tick()
+
+
+class PureAccDesign(Design):
+    """Adaptive gain ``acc += 0.05*(x - acc*x)``: the simulated value
+    converges toward 1, but the propagated interval width multiplies by
+    ``(1 + 0.05*|x|)`` every step — exponential MSB explosion, exactly
+    the paper's adaptive-feedback case."""
+
+    name = "acc"
+    inputs = ("x",)
+    output = "acc"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.acc = Reg("acc")
+        rng = np.random.default_rng(5)
+        self._stim = iter(rng.uniform(0.5, 1.0, size=200000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            err = self.x - self.acc * self.x
+            self.acc.assign(self.acc + err * 0.05)
+            ctx.tick()
+
+
+class WrapPhaseDesign(Design):
+    """Modulo-1 phase accumulator with a wrap type: the float reference
+    runs off linearly, so the error statistics of ``phase`` diverge (the
+    mechanism behind the paper's NCO finding)."""
+
+    name = "wrapphase"
+    inputs = ("x",)
+    output = "phase"
+
+    PHASE_T = DType("T_phase", 10, 10, "us", "wrap", "round")
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.phase = Reg("phase", self.PHASE_T)
+        rng = np.random.default_rng(6)
+        self._stim = iter(rng.uniform(0.20, 0.30, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.phase.assign(self.phase + self.x)
+            ctx.tick()
+
+
+class TestAnnotations:
+    def test_apply_by_name(self):
+        with DesignContext("t") as ctx:
+            s = Sig("a")
+            Annotations(ranges={"a": (-1, 2)}).apply(ctx)
+            assert s.forced_range.lo == -1
+
+    def test_apply_dtype_and_error(self):
+        with DesignContext("t") as ctx:
+            s = Sig("a")
+            Annotations(dtypes={"a": T_IN}, errors={"a": 0.01}).apply(ctx)
+            assert s.dtype == T_IN
+            assert s.forced_error == 0.01
+
+    def test_array_expansion(self):
+        with DesignContext("t") as ctx:
+            arr = SigArray("d", 3)
+            Annotations(ranges={"d": (-1, 1)}).apply(ctx)
+            assert all(s.forced_range is not None for s in arr)
+
+    def test_missing_target(self):
+        from repro.core.errors import DesignError
+        with DesignContext("t") as ctx:
+            with pytest.raises(DesignError):
+                Annotations(ranges={"zz": (-1, 1)}).apply(ctx)
+
+    def test_expand_names(self):
+        all_names = ["x", "d[0]", "d[1]", "y"]
+        assert expand_names({"d", "x"}, all_names) == {"x", "d[0]", "d[1]"}
+
+
+class TestFeedForwardFlow:
+    def _flow(self, **kw):
+        cfg = FlowConfig(n_samples=2000, seed=9)
+        return RefinementFlow(ScaleDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)}, config=cfg, **kw)
+
+    def test_msb_one_iteration(self):
+        msb = self._flow().run_msb_phase()
+        assert msb.resolved
+        assert msb.n_iterations == 1
+        dec = msb.final.decisions["y"]
+        # y in [-0.25, 0.75]: msb 0 by both monitors.
+        assert dec.msb == 0
+        assert dec.case == "a"
+
+    def test_lsb_positions(self):
+        flow = self._flow()
+        lsb = flow.run_lsb_phase()
+        assert lsb.resolved
+        d = lsb.final.decisions["y"]
+        # y's noise is half the input quantization noise: one more bit.
+        x_f = lsb.final.decisions["x"].lsb
+        assert d.lsb == x_f + 1
+
+    def test_full_run(self):
+        res = self._flow().run()
+        assert res.verification.total_overflows == 0
+        assert "y" in res.types
+        assert res.types["y"].f >= 6
+        assert np.isfinite(res.verification.output_sqnr_db)
+        assert res.verification.output_sqnr_db > 30.0
+
+    def test_summary_text(self):
+        res = self._flow().run()
+        text = res.summary()
+        assert "MSB phase" in text and "SQNR" in text
+        assert "UNRESOLVED" not in text
+
+    def test_types_table(self):
+        res = self._flow().run()
+        table = res.types_table()
+        assert "y" in table and "spec" in table
+
+
+class TestFeedbackFlows:
+    def test_leaky_acc_converges_without_annotation(self):
+        cfg = FlowConfig(n_samples=2000, seed=9)
+        flow = RefinementFlow(LeakyAccDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)}, config=cfg)
+        msb = flow.run_msb_phase()
+        assert msb.resolved
+        # Geometric series: |acc| <= 1/(1-0.9) = 10 -> msb 4 by propagation.
+        dec = msb.final.decisions["acc"]
+        assert dec.prop_msb == 4
+
+    def test_pure_acc_explodes_then_user_range(self):
+        cfg = FlowConfig(n_samples=2000, seed=9, auto_range=False)
+        flow = RefinementFlow(PureAccDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (0.5, 1)},
+                              user_ranges={"acc": (-0.2, 1.2)}, config=cfg)
+        msb = flow.run_msb_phase()
+        assert msb.n_iterations == 2
+        assert msb.resolved
+        it1 = msb.iterations[0]
+        assert "acc" in it1.exploded
+        final = msb.final.decisions["acc"]
+        assert final.mode == "saturate"
+
+    def test_pure_acc_auto_range(self):
+        cfg = FlowConfig(n_samples=2000, seed=9, auto_range=True)
+        flow = RefinementFlow(PureAccDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)}, config=cfg)
+        msb = flow.run_msb_phase()
+        assert msb.resolved
+        assert "acc" in msb.annotations
+
+    def test_pure_acc_unresolvable_without_help(self):
+        cfg = FlowConfig(n_samples=1000, seed=9, auto_range=False)
+        flow = RefinementFlow(PureAccDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)}, config=cfg)
+        msb = flow.run_msb_phase()
+        assert not msb.resolved
+
+    def test_synthesize_raises_on_unresolved_msb(self):
+        from repro.core.errors import RefinementError
+        cfg = FlowConfig(n_samples=1000, seed=9, auto_range=False)
+        flow = RefinementFlow(PureAccDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)}, config=cfg)
+        msb = flow.run_msb_phase()
+        lsb = flow.run_lsb_phase(msb.annotations)
+        with pytest.raises(RefinementError):
+            flow.synthesize_types(msb, lsb)
+
+
+class TestDivergenceFlow:
+    def _flow(self, **kw):
+        cfg = kw.pop("config", FlowConfig(n_samples=3000, seed=9,
+                                          auto_error=True))
+        return RefinementFlow(
+            WrapPhaseDesign, input_types={"x": T_IN},
+            input_ranges={"x": (0.20, 0.30)},
+            preset_types={"phase": WrapPhaseDesign.PHASE_T},
+            config=cfg, **kw)
+
+    def test_wrap_phase_diverges_then_error_annotation(self):
+        lsb = self._flow().run_lsb_phase()
+        assert lsb.n_iterations == 2
+        assert lsb.resolved
+        assert "phase" in lsb.iterations[0].divergent
+        assert "phase" in lsb.annotations
+
+    def test_user_error_wins(self):
+        flow = self._flow(user_errors={"phase": 2.0 ** -10})
+        lsb = flow.run_lsb_phase()
+        assert lsb.annotations["phase"] == 2.0 ** -10
+
+    def test_unresolvable_without_help(self):
+        cfg = FlowConfig(n_samples=3000, seed=9, auto_error=False)
+        lsb = self._flow(config=cfg).run_lsb_phase()
+        assert not lsb.resolved
+
+    def test_wrap_events_separated_in_verification(self):
+        res = self._flow().run()
+        assert res.verification.total_overflows == 0
+        assert res.verification.wrap_events.get("phase", 0) > 0
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self):
+        cfg = FlowConfig(n_samples=1500, seed=11)
+        r1 = RefinementFlow(ScaleDesign, input_types={"x": T_IN},
+                            input_ranges={"x": (-1, 1)}, config=cfg).run()
+        r2 = RefinementFlow(ScaleDesign, input_types={"x": T_IN},
+                            input_ranges={"x": (-1, 1)}, config=cfg).run()
+        assert {k: t.spec() for k, t in r1.types.items()} == \
+               {k: t.spec() for k, t in r2.types.items()}
+        assert r1.verification.output_sqnr_db == r2.verification.output_sqnr_db

@@ -1,0 +1,195 @@
+"""Tests for the VHDL back-end (netlist extraction + code generation)."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError
+from repro.hdl import (UnsupportedOpError, build_netlist, const_dtype,
+                       derive_op_dtype, fixed_point_package, generate_design,
+                       generate_entity, vhdl_identifier)
+from repro.sfg import trace
+from repro.signal import DesignContext, Reg, Sig, select
+from repro.signal.ops import gt
+
+T8 = DType("T8", 8, 5, "tc", "saturate", "round")
+T6 = DType("T6", 6, 4, "tc", "saturate", "round")
+
+
+def traced_mac():
+    """acc <= acc + x*0.5, y = acc (combinational copy)."""
+    ctx = DesignContext("hdl-mac", seed=0)
+    with ctx:
+        x = Sig("x")
+        acc = Reg("acc")
+        y = Sig("y")
+        with trace(ctx) as t:
+            x.assign(0.25)
+            acc.assign(acc + x * 0.5)
+            y.assign(acc + 0.0)
+            ctx.tick()
+    types = {"x": T8, "acc": T8, "y": T6}
+    return t.sfg, types
+
+
+class TestIdentifier:
+    def test_arrays_and_dots(self):
+        assert vhdl_identifier("mf.v[3]") == "mf_v_3"
+        assert vhdl_identifier("d[0]") == "d_0"
+
+    def test_leading_digit(self):
+        assert vhdl_identifier("3x")[0].isalpha()
+
+    def test_lowercase(self):
+        assert vhdl_identifier("ACC") == "acc"
+
+
+class TestOpTypeDerivation:
+    def test_add_grows_one_bit(self):
+        dt = derive_op_dtype("add", [T8, T8])
+        assert dt.f == 5
+        assert dt.msb == T8.msb + 1
+
+    def test_mixed_fraction_add(self):
+        dt = derive_op_dtype("add", [T8, T6])
+        assert dt.f == 5
+
+    def test_mul_exact(self):
+        dt = derive_op_dtype("mul", [T8, T6])
+        assert dt.f == 9
+        assert dt.msb == T8.msb + T6.msb + 1
+
+    def test_select_union(self):
+        dt = derive_op_dtype("select", [T8, T8, T6])
+        assert dt.f == max(T8.f, T6.f)
+
+    def test_div_unsupported(self):
+        with pytest.raises(UnsupportedOpError):
+            derive_op_dtype("div", [T8, T8])
+
+    def test_unknown_unsupported(self):
+        with pytest.raises(UnsupportedOpError):
+            derive_op_dtype("sqrt", [T8])
+
+    def test_const_dtype_exact(self):
+        dt = const_dtype(0.5)
+        assert dt.quantize(0.5) == 0.5
+        dt = const_dtype(-1.25)
+        assert dt.quantize(-1.25) == -1.25
+
+
+class TestNetlist:
+    def test_nets_and_ops(self):
+        sfg, types = traced_mac()
+        nl = build_netlist(sfg, types, inputs=["x"], outputs=["y"])
+        assert {n.name for n in nl.inputs()} == {"x"}
+        assert {n.name for n in nl.outputs()} == {"y"}
+        assert {n.name for n in nl.registers()} == {"acc"}
+        assert len(nl.ops) >= 2  # mul and adds
+
+    def test_missing_type_rejected(self):
+        sfg, types = traced_mac()
+        del types["acc"]
+        with pytest.raises(DesignError):
+            build_netlist(sfg, types, inputs=["x"], outputs=["y"])
+
+
+def _balanced(text):
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if depth < 0:
+            return False
+    return depth == 0
+
+
+class TestPackage:
+    def test_contains_helpers(self):
+        pkg = fixed_point_package()
+        for fn in ("f_shift", "f_round", "f_floor", "f_saturate", "f_wrap"):
+            assert fn in pkg
+        assert "package body" in pkg
+
+    def test_balanced_parens(self):
+        assert _balanced(fixed_point_package())
+
+
+class TestEntityGeneration:
+    def test_structure(self):
+        sfg, types = traced_mac()
+        text = generate_entity("mac", sfg, types, inputs=["x"],
+                               outputs=["y"])
+        assert "entity mac is" in text
+        assert "architecture rtl of mac" in text
+        assert "x : in signed(7 downto 0)" in text
+        assert "y : out signed(5 downto 0)" in text
+        assert "rising_edge(clk)" in text
+        assert "acc" in text
+
+    def test_balanced(self):
+        sfg, types = traced_mac()
+        assert _balanced(generate_entity("mac", sfg, types, ["x"], ["y"]))
+
+    def test_register_reset(self):
+        sfg, types = traced_mac()
+        text = generate_entity("mac", sfg, types, ["x"], ["y"])
+        assert "(others => '0')" in text
+
+    def test_quantization_functions_used(self):
+        sfg, types = traced_mac()
+        text = generate_entity("mac", sfg, types, ["x"], ["y"])
+        # Saturating assignments must go through f_saturate.
+        assert "f_saturate" in text
+
+    def test_full_design_includes_package(self):
+        sfg, types = traced_mac()
+        text = generate_design("mac", sfg, types, ["x"], ["y"])
+        assert "package fixed_refine_pkg" in text
+        assert "entity mac is" in text
+
+    def test_select_emitted(self):
+        ctx = DesignContext("hdl-sel", seed=0)
+        with ctx:
+            a = Sig("a")
+            y = Sig("y")
+            with trace(ctx) as t:
+                a.assign(0.5)
+                y.assign(select(gt(a, 0.0), 1.0, -1.0))
+        types = {"a": T8, "y": DType("y_t", 2, 0)}
+        text = generate_entity("slice", t.sfg, types, ["a"], ["y"])
+        assert "when" in text and "else" in text
+
+
+class TestLmsGeneration:
+    """The full motivational example must generate end to end."""
+
+    def test_generate_from_refinement_result(self):
+        from repro.dsp.lms import LmsEqualizerDesign
+        from repro.refine import FlowConfig, RefinementFlow
+
+        flow = RefinementFlow(
+            design_factory=LmsEqualizerDesign,
+            input_types={"x": DType("T_input", 7, 5)},
+            input_ranges={"x": (-1.5, 1.5)},
+            user_ranges={"b": (-0.2, 0.2)},
+            config=FlowConfig(n_samples=600, auto_range=False, seed=1),
+        )
+        res = flow.run()
+        # Trace the structure once.
+        ctx = DesignContext("lms-trace", seed=0)
+        with ctx:
+            design = LmsEqualizerDesign()
+            design.build(ctx)
+            with trace(ctx) as t:
+                design.run(ctx, 3)
+        types = dict(res.types)
+        types["x"] = DType("T_input", 7, 5)
+        text = generate_design("lms_equalizer", t.sfg, types,
+                               inputs=["x"], outputs=["y"])
+        assert "entity lms_equalizer is" in text
+        assert _balanced(text)
+        # Every refined signal appears as a VHDL identifier.
+        for name in ("w", "b", "v[3]", "d[0]"):
+            assert vhdl_identifier(name) in text

@@ -1,0 +1,187 @@
+"""Unit tests for repro.core.interval (range propagation arithmetic)."""
+
+import math
+
+import pytest
+
+from repro.core.interval import EMPTY, FULL, Interval
+
+
+class TestConstruction:
+    def test_point(self):
+        iv = Interval.point(1.5)
+        assert iv.lo == iv.hi == 1.5
+
+    def test_single_arg_is_point(self):
+        assert Interval(2.0) == Interval(2.0, 2.0)
+
+    def test_empty(self):
+        assert Interval().is_empty
+        assert EMPTY.is_empty
+
+    def test_full(self):
+        assert FULL.lo == -math.inf and FULL.hi == math.inf
+        assert not FULL.is_finite
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+
+    def test_coerce(self):
+        assert Interval.coerce(3) == Interval(3.0, 3.0)
+        assert Interval.coerce((1, 2)) == Interval(1.0, 2.0)
+        iv = Interval(0, 1)
+        assert Interval.coerce(iv) is iv
+
+
+class TestPredicates:
+    def test_width(self):
+        assert Interval(-1, 3).width == 4.0
+        assert Interval().width == 0.0
+
+    def test_max_abs(self):
+        assert Interval(-3, 1).max_abs == 3.0
+        assert Interval(1, 2).max_abs == 2.0
+        assert Interval().max_abs == 0.0
+
+    def test_contains_value(self):
+        iv = Interval(-1, 1)
+        assert iv.contains(0.5)
+        assert not iv.contains(1.5)
+
+    def test_contains_interval(self):
+        assert Interval(-2, 2).contains(Interval(-1, 1))
+        assert not Interval(-1, 1).contains(Interval(-2, 0))
+        assert Interval(-1, 1).contains(Interval())
+
+
+class TestLattice:
+    def test_union(self):
+        assert Interval(0, 1).union(Interval(2, 3)) == Interval(0, 3)
+        assert Interval().union(Interval(1, 2)) == Interval(1, 2)
+        assert Interval(1, 2).union(Interval()) == Interval(1, 2)
+
+    def test_union_operator(self):
+        assert (Interval(0, 1) | Interval(-1, 0)) == Interval(-1, 1)
+
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_clip_inside(self):
+        assert Interval(-0.5, 0.5).clip(Interval(-1, 1)) == Interval(-0.5, 0.5)
+
+    def test_clip_overlapping(self):
+        assert Interval(-5, 0.5).clip(Interval(-1, 1)) == Interval(-1, 0.5)
+
+    def test_clip_disjoint_collapses_to_bound(self):
+        # Saturation semantics: everything lands on the nearest bound.
+        assert Interval(5, 9).clip(Interval(-1, 1)) == Interval(1, 1)
+        assert Interval(-9, -5).clip(Interval(-1, 1)) == Interval(-1, -1)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Interval(0, 1) + Interval(2, 3) == Interval(2, 4)
+
+    def test_add_scalar(self):
+        assert Interval(0, 1) + 1 == Interval(1, 2)
+        assert 1 + Interval(0, 1) == Interval(1, 2)
+
+    def test_sub(self):
+        assert Interval(0, 1) - Interval(2, 3) == Interval(-3, -1)
+        assert 1 - Interval(0, 1) == Interval(0, 1)
+
+    def test_mul_mixed_signs(self):
+        assert Interval(-1, 2) * Interval(-3, 4) == Interval(-6, 8)
+
+    def test_mul_scalar(self):
+        assert Interval(-1, 2) * -2 == Interval(-4, 2)
+
+    def test_mul_zero_times_inf(self):
+        # 0 * [-inf, inf] must stay 0 (annihilation convention).
+        assert Interval.point(0.0) * FULL == Interval(0, 0)
+
+    def test_div(self):
+        assert Interval(1, 2) / Interval(2, 4) == Interval(0.25, 1.0)
+
+    def test_div_crossing_zero_is_unbounded(self):
+        assert (Interval(1, 2) / Interval(-1, 1)) == FULL
+
+    def test_neg(self):
+        assert -Interval(-1, 2) == Interval(-2, 1)
+
+    def test_abs(self):
+        assert abs(Interval(-3, 1)) == Interval(0, 3)
+        assert abs(Interval(1, 2)) == Interval(1, 2)
+        assert abs(Interval(-2, -1)) == Interval(1, 2)
+
+    def test_shift(self):
+        assert (Interval(-1, 1) << 2) == Interval(-4, 4)
+        assert (Interval(-4, 4) >> 2) == Interval(-1, 1)
+
+    def test_power_even(self):
+        assert Interval(-2, 1).power(2) == Interval(0, 4)
+
+    def test_power_odd(self):
+        assert Interval(-2, 1).power(3) == Interval(-8, 1)
+
+    def test_power_zero(self):
+        assert Interval(-2, 1).power(0) == Interval(1, 1)
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1, 2).power(-1)
+
+    def test_minimum_maximum(self):
+        a = Interval(0, 3)
+        b = Interval(1, 2)
+        assert a.minimum(b) == Interval(0, 2)
+        assert a.maximum(b) == Interval(1, 3)
+
+    def test_empty_propagates(self):
+        assert (Interval() + Interval(1, 2)).is_empty
+        assert (Interval(1, 2) * Interval()).is_empty
+        assert (-Interval()).is_empty
+        assert abs(Interval()).is_empty
+
+
+class TestWidening:
+    def test_stable_bound_kept(self):
+        prev = Interval(-1, 1)
+        assert prev.widen_to(Interval(-1, 0.5)) == Interval(-1, 1)
+
+    def test_growing_bound_jumps_to_inf(self):
+        prev = Interval(-1, 1)
+        w = prev.widen_to(Interval(-1, 1.1))
+        assert w.lo == -1 and w.hi == math.inf
+
+    def test_both_grow(self):
+        w = Interval(-1, 1).widen_to(Interval(-2, 2))
+        assert w == FULL
+
+    def test_from_empty(self):
+        assert Interval().widen_to(Interval(0, 1)) == Interval(0, 1)
+
+
+class TestSoundness:
+    """Property-style checks: interval results contain pointwise results."""
+
+    CASES = [(-1.5, 2.0), (0.25, 0.75), (-3.0, -1.0), (0.0, 0.0)]
+
+    @pytest.mark.parametrize("alo,ahi", CASES)
+    @pytest.mark.parametrize("blo,bhi", CASES)
+    def test_binary_ops_sound(self, alo, ahi, blo, bhi):
+        import itertools
+        a = Interval(alo, ahi)
+        b = Interval(blo, bhi)
+        points_a = [alo, (alo + ahi) / 2, ahi]
+        points_b = [blo, (blo + bhi) / 2, bhi]
+        for pa, pb in itertools.product(points_a, points_b):
+            assert (a + b).contains(pa + pb)
+            assert (a - b).contains(pa - pb)
+            assert (a * b).contains(pa * pb)
+            if not b.contains(0.0):
+                assert (a / b).contains(pa / pb)

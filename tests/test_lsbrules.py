@@ -1,0 +1,160 @@
+"""Unit tests for the LSB refinement rules (paper Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import RefinementError
+from repro.core.interval import Interval
+from repro.refine.lsbrules import (LsbPolicy, audit_precision, decide_lsb,
+                                   detect_divergence, lsb_from_sigma)
+from repro.refine.monitors import ErrorSummary, SignalRecord
+
+
+def record(ep=(1000, 0.0, 0.0, 0.0), ec=(1000, 0.0, 0.0, 0.0), frac_bits=0,
+           val_rms=1.0, forced_error=None, dtype=None, name="s"):
+    return SignalRecord(
+        name=name, is_register=False, dtype=dtype, role="",
+        n_assign=ep[0], stat_min=-1.0, stat_max=1.0, frac_bits=frac_bits,
+        prop=Interval(-1, 1),
+        err_consumed=ErrorSummary(*ec),
+        err_produced=ErrorSummary(*ep),
+        val_rms=val_rms,
+        forced_error=forced_error,
+    )
+
+
+class TestLsbFromSigma:
+    def test_paper_rule(self):
+        # 2**l <= k_w * sigma, f = -l.
+        # sigma = 0.009 (the <7,5> input noise), k_w = 2:
+        # log2(0.018) ~ -5.8 -> l = -6 -> f = 6.
+        assert lsb_from_sigma(0.009, 2.0, 24) == 6
+
+    def test_smaller_kw_is_more_conservative(self):
+        fs = [lsb_from_sigma(0.009, kw, 24) for kw in (1.0, 2.0, 4.0)]
+        assert fs == sorted(fs, reverse=True)
+        assert fs[0] >= fs[-1]
+
+    def test_zero_sigma_gives_cap(self):
+        assert lsb_from_sigma(0.0, 2.0, 24) == 24
+
+    def test_huge_sigma_gives_zero(self):
+        assert lsb_from_sigma(100.0, 2.0, 24) == 0
+
+    def test_cap_applies(self):
+        assert lsb_from_sigma(1e-30, 2.0, 16) == 16
+
+    def test_exact_power_of_two(self):
+        # k_w * sigma = 2**-6 exactly: l = -6 allowed -> f = 6.
+        assert lsb_from_sigma(2.0 ** -7, 2.0, 24) == 6
+
+
+class TestDecideLsb:
+    def test_noisy_signal(self):
+        d = decide_lsb(record(ep=(4000, -1e-4, 0.009, 0.02)))
+        assert d.lsb == 6
+        assert d.mode == "round"
+        assert not d.divergent
+
+    def test_error_free_uses_value_grid(self):
+        # Slicer output: values exactly +-1 -> 0 fractional bits.
+        d = decide_lsb(record(ep=(4000, 0.0, 0.0, 0.0), frac_bits=0))
+        assert d.lsb == 0
+        assert "error-free" in d.note
+
+    def test_error_free_nonterminating_values_capped(self):
+        d = decide_lsb(record(ep=(1, 0.0, 0.0, 0.0), frac_bits=48),
+                       LsbPolicy(max_frac_bits=24))
+        assert d.lsb == 24
+
+    def test_constant_bias(self):
+        d = decide_lsb(record(ep=(100, 0.01, 0.0, 0.01)))
+        assert "constant bias" in d.note
+        assert d.lsb == lsb_from_sigma(0.01, 2.0, 24)
+
+    def test_no_data(self):
+        d = decide_lsb(record(ep=(0, 0.0, 0.0, 0.0)))
+        assert d.lsb is None
+
+    def test_divergent_flag(self):
+        d = decide_lsb(record(ep=(100, 0.0, 10.0, 50.0)), divergent=True)
+        assert d.divergent
+        assert d.lsb is None
+        assert d.needs_error_annotation
+
+    def test_floor_mode(self):
+        d = decide_lsb(record(ep=(100, 0.0, 0.01, 0.02)),
+                       LsbPolicy(allow_floor=True))
+        assert d.mode == "floor"
+
+    def test_policy_validation(self):
+        with pytest.raises(RefinementError):
+            LsbPolicy(k_w=0.0)
+        with pytest.raises(RefinementError):
+            LsbPolicy(max_frac_bits=-1)
+
+
+class TestDivergence:
+    def test_ratio_test(self):
+        # max error comparable to the signal itself.
+        rec = record(ep=(1000, 0.0, 0.2, 0.9), val_rms=1.0)
+        div, reason = detect_divergence(rec)
+        assert div
+        assert "rms" in reason
+
+    def test_stationary_not_flagged(self):
+        rec = record(ep=(1000, 0.0, 0.005, 0.02), val_rms=1.0)
+        div, _ = detect_divergence(rec)
+        assert not div
+
+    def test_growth_test(self):
+        rec = record(ep=(2000, 0.0, 0.010, 0.03), val_rms=1.0)
+        half = (1000, 0.0, 0.005, 0.02)
+        div, reason = detect_divergence(rec, half_snapshot=half)
+        assert div
+        assert "grew" in reason
+
+    def test_growth_below_threshold_ok(self):
+        rec = record(ep=(2000, 0.0, 0.0055, 0.02), val_rms=1.0)
+        half = (1000, 0.0, 0.005, 0.02)
+        div, _ = detect_divergence(rec, half_snapshot=half)
+        assert not div
+
+    def test_too_few_samples(self):
+        rec = record(ep=(10, 0.0, 0.2, 0.9), val_rms=1.0)
+        div, _ = detect_divergence(rec)
+        assert not div
+
+    def test_annotated_signal_not_flagged(self):
+        rec = record(ep=(1000, 0.0, 0.2, 0.9), val_rms=1.0,
+                     forced_error=2.0 ** -8)
+        div, _ = detect_divergence(rec)
+        assert not div
+
+
+class TestAudit:
+    def test_float_signal(self):
+        rec = record(ep=(100, 0.0, 0.01, 0.02), ec=(100, 0.0, 0.01, 0.02))
+        assert audit_precision(rec) == "float"
+
+    def test_loss(self):
+        from repro.core.dtype import DType
+        rec = record(ep=(100, 0.0, 0.05, 0.1), ec=(100, 0.0, 0.01, 0.02),
+                     dtype=DType("t", 8, 4))
+        assert audit_precision(rec) == "loss"
+
+    def test_lossless_quantizer(self):
+        from repro.core.dtype import DType
+        rec = record(ep=(100, 0.0, 0.0102, 0.02), ec=(100, 0.0, 0.01, 0.02),
+                     dtype=DType("t", 8, 4))
+        assert audit_precision(rec) == "lossless"
+
+    def test_feedback_gain(self):
+        rec = record(ep=(100, 0.0, 0.001, 0.002), ec=(100, 0.0, 0.01, 0.02),
+                     forced_error=2.0 ** -8)
+        assert audit_precision(rec) == "feedback-gain"
+
+    def test_no_data(self):
+        rec = record(ep=(0, 0.0, 0.0, 0.0))
+        assert audit_precision(rec) == "no-data"

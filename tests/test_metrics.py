@@ -1,0 +1,86 @@
+"""Unit tests for repro.dsp.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.metrics import (ber, evm_percent, mse, snr_db, sqnr_db,
+                               sqnr_from_stats)
+
+
+class TestMse:
+    def test_known(self):
+        assert mse([1, 2, 3], [1, 2, 5]) == pytest.approx(4 / 3)
+
+    def test_zero(self):
+        assert mse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse([1, 2], [1, 2, 3])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mse([], [])
+
+
+class TestSqnr:
+    def test_known_value(self):
+        ref = np.ones(100)
+        test = np.ones(100) * 0.9  # noise power 0.01, signal power 1
+        assert sqnr_db(ref, test) == pytest.approx(20.0)
+
+    def test_perfect_is_inf(self):
+        assert sqnr_db([1.0], [1.0]) == math.inf
+
+    def test_zero_signal(self):
+        assert sqnr_db([0.0, 0.0], [0.1, 0.1]) == -math.inf
+
+    def test_quantization_matches_theory(self):
+        rng = np.random.default_rng(0)
+        ref = rng.uniform(-1, 1, size=100000)
+        from repro.core.quantize import quantize_array
+        test = quantize_array(ref, 12, 10)
+        # Uniform in [-1,1]: P = 1/3; noise q^2/12 with q = 2^-10.
+        expected = 10 * math.log10((1 / 3) / (2.0 ** -20 / 12))
+        assert sqnr_db(ref, test) == pytest.approx(expected, abs=0.2)
+
+    def test_from_stats(self):
+        assert sqnr_from_stats(1.0, 0.1) == pytest.approx(20.0)
+        assert sqnr_from_stats(1.0, 0.0) == math.inf
+        assert sqnr_from_stats(0.0, 0.1) == -math.inf
+
+    def test_snr_db(self):
+        assert snr_db(1.0, 0.01) == pytest.approx(20.0)
+        assert snr_db(1.0, 0.0) == math.inf
+        assert snr_db(0.0, 1.0) == -math.inf
+
+
+class TestBer:
+    def test_no_errors(self):
+        assert ber([1, -1, 1], [1, -1, 1]) == 0.0
+
+    def test_all_errors(self):
+        assert ber([1, 1], [-1, -1]) == 1.0
+
+    def test_skip(self):
+        assert ber([-1, 1, 1], [1, 1, 1], skip=1) == 0.0
+
+    def test_truncates_to_shorter(self):
+        assert ber([1, 1, 1, -1], [1, 1]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ber([], [])
+
+
+class TestEvm:
+    def test_known(self):
+        ref = np.ones(10)
+        test = np.ones(10) * 1.1
+        assert evm_percent(ref, test) == pytest.approx(10.0)
+
+    def test_zero_reference(self):
+        with pytest.raises(ValueError):
+            evm_percent(np.zeros(5), np.ones(5))

@@ -1,0 +1,153 @@
+"""Unit tests for the MSB refinement rules (paper Section 5.1)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import RefinementError
+from repro.core.interval import Interval
+from repro.refine.monitors import ErrorSummary, SignalRecord
+from repro.refine.msbrules import MsbDecision, MsbPolicy, decide_msb
+
+
+def record(stat_min=None, stat_max=None, prop=None, n=100, forced=None,
+           name="s"):
+    return SignalRecord(
+        name=name, is_register=False, dtype=None, role="",
+        n_assign=n if stat_min is not None else 0,
+        stat_min=stat_min if stat_min is not None else math.nan,
+        stat_max=stat_max if stat_max is not None else math.nan,
+        frac_bits=8,
+        prop=Interval() if prop is None else Interval(*prop),
+        err_consumed=ErrorSummary(0, 0, 0, 0),
+        err_produced=ErrorSummary(0, 0, 0, 0),
+        forced_range=None if forced is None else Interval(*forced),
+    )
+
+
+class TestCaseA:
+    def test_agreement(self):
+        d = decide_msb(record(-1.4, 1.4, prop=(-1.5, 1.5)))
+        assert d.case == "a"
+        assert d.msb == 1
+        assert d.mode == "error"
+        assert d.overhead_bits() == 0
+
+    def test_stat_exceeds_prop_is_flagged(self):
+        d = decide_msb(record(-3.0, 3.0, prop=(-1.0, 1.0)))
+        assert d.case == "a"
+        assert d.msb == 2  # keeps the larger (simulated) requirement
+        assert "check input seeds" in d.note
+
+    def test_wrap_mode_policy(self):
+        d = decide_msb(record(-1.0, 1.0, prop=(-1.0, 1.0)),
+                       MsbPolicy(nonsat_mode="wrap"))
+        assert d.mode == "wrap"
+
+
+class TestCaseC:
+    def test_small_gap_takes_prop_by_default(self):
+        # stat msb 1, prop msb 2: designer trade-off.
+        d = decide_msb(record(-1.5, 1.5, prop=(-2.2, 2.2)))
+        assert d.case == "c"
+        assert d.msb == 2
+        assert d.mode == "error"
+        assert d.overhead_bits() == 1
+
+    def test_prefer_stat_saturates(self):
+        d = decide_msb(record(-1.5, 1.5, prop=(-2.2, 2.2)),
+                       MsbPolicy(prefer="stat"))
+        assert d.case == "c"
+        assert d.msb == 1
+        assert d.mode == "saturate"
+        assert d.guard_msb == 2
+
+
+class TestCaseB:
+    def test_pessimistic_propagation_saturates(self):
+        # stat msb -2, prop msb 3: accumulator-style gap of 5 bits.
+        d = decide_msb(record(-0.14, 0.14, prop=(-7.9, 7.9)))
+        assert d.case == "b"
+        assert d.msb == -2
+        assert d.mode == "saturate"
+        assert d.guard_msb == 3
+
+
+class TestExplosion:
+    def test_unbounded_prop(self):
+        d = decide_msb(record(-1.0, 1.0, prop=(-math.inf, math.inf)))
+        assert d.case == "explosion"
+        assert d.needs_range_annotation
+        assert d.mode == "saturate"
+        assert d.msb == 1  # fallback to simulated
+
+    def test_huge_finite_prop(self):
+        d = decide_msb(record(-1.0, 1.0, prop=(-1e15, 1e15)))
+        assert d.case == "explosion"
+
+    def test_margin_is_configurable(self):
+        rec = record(-1.0, 1.0, prop=(-2.0 ** 6, 2.0 ** 6))
+        assert decide_msb(rec, MsbPolicy(explosion_margin=5)).case == "explosion"
+        assert decide_msb(rec, MsbPolicy(explosion_margin=8)).case == "b"
+
+
+class TestForcedRange:
+    def test_annotation_dominates(self):
+        rec = record(-0.14, 0.14, prop=(-math.inf, math.inf),
+                     forced=(-0.2, 0.2))
+        d = decide_msb(rec)
+        assert d.mode == "saturate"
+        assert d.msb == -2
+        assert d.case == "b"
+        assert "range() annotation" in d.note
+
+
+class TestDegenerateCases:
+    def test_unobserved_with_prop(self):
+        d = decide_msb(record(prop=(-1.0, 1.0)))
+        assert d.case == "unobserved"
+        assert d.msb == 1
+
+    def test_unobserved_without_prop(self):
+        d = decide_msb(record())
+        assert d.msb is None
+
+    def test_zero_valued_signal(self):
+        d = decide_msb(record(0.0, 0.0, prop=(-0.5, 0.5)))
+        assert d.case == "a"
+        assert d.msb == 0
+
+    def test_zero_valued_exploded(self):
+        d = decide_msb(record(0.0, 0.0, prop=(-math.inf, math.inf)))
+        assert d.case == "explosion"
+        assert d.msb is None
+
+    def test_stat_only(self):
+        d = decide_msb(record(-1.0, 1.0))
+        assert d.case == "no-prop"
+        assert d.mode == "saturate"
+        assert d.msb == 1
+
+
+class TestPolicyValidation:
+    def test_bad_prefer(self):
+        with pytest.raises(RefinementError):
+            MsbPolicy(prefer="both")
+
+    def test_bad_mode(self):
+        with pytest.raises(RefinementError):
+            MsbPolicy(nonsat_mode="saturate")
+
+    def test_bad_margins(self):
+        with pytest.raises(RefinementError):
+            MsbPolicy(tradeoff_margin=8, explosion_margin=8)
+
+
+class TestDecisionHelpers:
+    def test_overhead_handles_none(self):
+        d = MsbDecision("s", None, 1, 1, "error", "unobserved")
+        assert d.overhead_bits() == 0
+
+    def test_overhead_handles_inf(self):
+        d = MsbDecision("s", 1, math.inf, 1, "saturate", "explosion")
+        assert d.overhead_bits() == 0

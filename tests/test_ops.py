@@ -1,0 +1,133 @@
+"""Tests for the extra overloaded operations (repro.signal.ops)."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.interval import Interval
+from repro.signal import (DesignContext, Sig, as_expr, cast, clamp, fabs,
+                          fmax, fmin, select)
+from repro.signal.ops import ge, gt, le, lt
+
+
+@pytest.fixture
+def ctx():
+    with DesignContext("ops-test", seed=0) as c:
+        yield c
+
+
+class TestSelect:
+    def test_bool_condition(self, ctx):
+        assert select(True, 1.0, -1.0).fx == 1.0
+        assert select(False, 1.0, -1.0).fx == -1.0
+
+    def test_expr_condition_uses_fx(self, ctx):
+        a = Sig("a", DType("t", 4, 1))
+        a.assign(0.24)   # fx 0.0, fl 0.24
+        out = select(a, 1.0, -1.0)
+        assert out.fx == -1.0 and out.fl == -1.0
+
+    def test_interval_is_branch_union(self, ctx):
+        a = Sig("a")
+        a.range(-1, 1)
+        b = Sig("b")
+        b.range(2, 3)
+        out = select(True, a + 0, b + 0)
+        assert out.ival == Interval(-1, 3)
+
+    def test_nested_selects(self, ctx):
+        v = select(True, select(False, 1.0, 2.0), 3.0)
+        assert v.fx == 2.0
+
+
+class TestComparisons:
+    def test_values(self, ctx):
+        a = Sig("a")
+        a.assign(0.5)
+        assert gt(a, 0.0).fx == 1.0
+        assert gt(a, 1.0).fx == 0.0
+        assert ge(a, 0.5).fx == 1.0
+        assert lt(a, 1.0).fx == 1.0
+        assert le(a, 0.4).fx == 0.0
+
+    def test_uniform_control(self, ctx):
+        # fl follows the fixed decision, even when fl differs.
+        a = Sig("a", DType("t", 4, 1))
+        a.assign(0.24)   # fx 0, fl 0.24
+        c = gt(a, 0.1)
+        assert c.fx == 0.0 and c.fl == 0.0
+
+    def test_truthiness(self, ctx):
+        a = Sig("a")
+        a.assign(2.0)
+        assert bool(gt(a, 1.0))
+        assert not bool(gt(a, 3.0))
+        if gt(a, 1.0):
+            branch = "yes"
+        else:
+            branch = "no"
+        assert branch == "yes"
+
+    def test_interval_is_unit(self, ctx):
+        a = Sig("a")
+        a.range(-1, 1)
+        assert gt(a, 0.0).ival == Interval(0.0, 1.0)
+
+
+class TestMinMaxAbsClamp:
+    def test_fmin_fmax(self, ctx):
+        a = Sig("a")
+        b = Sig("b")
+        a.assign(0.25)
+        b.assign(-0.5)
+        assert fmin(a, b).fx == -0.5
+        assert fmax(a, b).fx == 0.25
+
+    def test_scalars(self, ctx):
+        assert fmin(1.0, 2.0).fx == 1.0
+        assert fmax(1.0, 2.0).fx == 2.0
+
+    def test_fabs(self, ctx):
+        a = Sig("a")
+        a.assign(-0.75)
+        assert fabs(a).fx == 0.75
+
+    def test_clamp(self, ctx):
+        a = Sig("a")
+        for v, want in [(5.0, 1.0), (-5.0, -1.0), (0.3, 0.3)]:
+            a.assign(v)
+            assert clamp(a, -1.0, 1.0).fx == want
+
+    def test_clamp_interval(self, ctx):
+        a = Sig("a")
+        a.range(-10, 10)
+        out = clamp(a, -1.0, 1.0)
+        assert out.ival.lo >= -1.0 and out.ival.hi <= 1.0
+
+    def test_dual_track(self, ctx):
+        a = Sig("a", DType("t", 4, 1))
+        a.assign(0.24)   # fx 0, fl 0.24
+        m = fmax(a, 0.1)
+        assert m.fx == 0.1
+        assert m.fl == 0.24
+
+
+class TestCastExtra:
+    def test_cast_wrap_keeps_interval(self, ctx):
+        a = Sig("a")
+        a.range(-100, 100)
+        out = cast(a + 0.0, DType("t", 8, 5, msbspec="wrap"))
+        assert out.ival == Interval(-100, 100)
+
+    def test_cast_error_mode_saturates_value(self, ctx):
+        out = cast(as_expr(100.0), DType("t", 8, 5, msbspec="error"))
+        assert out.fx == DType("t", 8, 5).max_value
+
+    def test_shift_operators(self, ctx):
+        a = Sig("a")
+        a.assign(0.5)
+        assert (a << 2).fx == 2.0
+        assert (a >> 1).fx == 0.25
+
+    def test_expression_repr(self, ctx):
+        e = as_expr(1.0) + 2.0
+        assert "Expr" in repr(e)

@@ -1,0 +1,88 @@
+"""Tests for the greedy wordlength optimizer."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.refine import FlowConfig, RefinementFlow
+from repro.refine.optimizer import optimize_wordlengths
+from tests.test_flow import ScaleDesign, T_IN
+from tests.test_sensitivity import TwoPathDesign
+
+T_IN2 = DType("T_in", 9, 7, "tc", "saturate", "round")
+
+
+@pytest.fixture(scope="module")
+def refined_two_path():
+    flow = RefinementFlow(TwoPathDesign, input_types={"x": T_IN2},
+                          input_ranges={"x": (-1, 1)},
+                          config=FlowConfig(n_samples=1500, seed=4))
+    return flow.run()
+
+
+class TestReclaim:
+    def test_reclaims_bits_while_meeting_target(self, refined_two_path):
+        res = refined_two_path
+        target = res.verification.output_sqnr_db - 6.0
+        opt = optimize_wordlengths(TwoPathDesign, res.types,
+                                   {"x": T_IN2}, target_db=target,
+                                   n_samples=1500, seed=4)
+        assert opt.sqnr_db >= target
+        assert opt.bits_saved(res.types) > 0
+        assert all(op == "drop" for op, *_ in opt.moves)
+
+    def test_reclaims_from_insensitive_path_first(self, refined_two_path):
+        res = refined_two_path
+        target = res.verification.output_sqnr_db - 3.0
+        opt = optimize_wordlengths(TwoPathDesign, res.types,
+                                   {"x": T_IN2}, target_db=target,
+                                   n_samples=1500, seed=4)
+        dropped = [name for op, name, *_ in opt.moves if op == "drop"]
+        assert dropped, "expected at least one reclaimed bit"
+        # The 0.01-weighted path gives up bits before the dominant one.
+        assert dropped[0] == "small"
+
+    def test_tight_target_changes_nothing_much(self, refined_two_path):
+        res = refined_two_path
+        # Target just barely below current: few or no drops possible.
+        target = res.verification.output_sqnr_db - 0.05
+        opt = optimize_wordlengths(TwoPathDesign, res.types,
+                                   {"x": T_IN2}, target_db=target,
+                                   n_samples=1500, seed=4)
+        assert opt.sqnr_db >= target
+
+
+class TestRepair:
+    def test_repairs_an_undersized_map(self):
+        flow = RefinementFlow(ScaleDesign, input_types={"x": T_IN},
+                              input_ranges={"x": (-1, 1)},
+                              config=FlowConfig(n_samples=1500, seed=9))
+        res = flow.run()
+        # Cripple the map: strip y down hard.
+        bad = dict(res.types)
+        y = bad["y"]
+        bad["y"] = y.with_(n=y.n - 4, f=y.f - 4)
+        target = res.verification.output_sqnr_db - 1.0
+        opt = optimize_wordlengths(ScaleDesign, bad, {"x": T_IN},
+                                   target_db=target, n_samples=1500,
+                                   seed=9)
+        assert opt.sqnr_db >= target
+        assert any(op == "add" and name == "y"
+                   for op, name, *_ in opt.moves)
+
+    def test_counts_simulations(self, refined_two_path):
+        res = refined_two_path
+        opt = optimize_wordlengths(TwoPathDesign, res.types,
+                                   {"x": T_IN2},
+                                   target_db=res.verification.output_sqnr_db
+                                   - 3.0,
+                                   n_samples=800, seed=4)
+        assert opt.n_simulations >= 1 + len(opt.moves)
+
+    def test_original_map_not_mutated(self, refined_two_path):
+        res = refined_two_path
+        before = {k: v.spec() for k, v in res.types.items()}
+        optimize_wordlengths(TwoPathDesign, res.types, {"x": T_IN2},
+                             target_db=res.verification.output_sqnr_db
+                             - 4.0, n_samples=800, seed=4)
+        after = {k: v.spec() for k, v in res.types.items()}
+        assert before == after

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the fixed-point kernel."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import repro.core.quantize as q
+from repro.core import word
+from repro.core.dtype import DType
+
+wordlengths = st.integers(min_value=2, max_value=24)
+fracs = st.integers(min_value=0, max_value=20)
+values = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+roundings = st.sampled_from(["round", "floor", "ceil", "trunc"])
+
+
+class TestQuantizeProperties:
+    @given(values, wordlengths, fracs, roundings)
+    def test_result_is_representable(self, v, n, f, rounding):
+        out = q.quantize(v, n, f, rounding=rounding)
+        code = out * (2.0 ** f)
+        assert code == int(code)
+        assert word.fits(int(code), n)
+
+    @given(values, wordlengths, fracs, roundings)
+    def test_idempotent(self, v, n, f, rounding):
+        once = q.quantize(v, n, f, rounding=rounding)
+        assert q.quantize(once, n, f, rounding=rounding) == once
+
+    @given(values, wordlengths, fracs)
+    def test_round_error_bounded(self, v, n, f):
+        info = q.quantize_info(v, n, f, rounding="round")
+        if not info.overflowed:
+            assert abs(info.error) <= 2.0 ** -(f + 1) * (1 + 1e-9)
+
+    @given(values, wordlengths, fracs)
+    def test_floor_error_sign(self, v, n, f):
+        info = q.quantize_info(v, n, f, rounding="floor")
+        if not info.overflowed:
+            assert -(2.0 ** -f) * (1 + 1e-9) < info.error <= 0.0
+
+    @given(values, wordlengths, fracs)
+    def test_saturation_clamps_to_bounds(self, v, n, f):
+        out = q.quantize(v, n, f, overflow="saturate")
+        assert q.value_min(n, f) <= out <= q.value_max(n, f)
+
+    @given(values, values, wordlengths, fracs)
+    def test_monotone_saturating(self, a, b, n, f):
+        lo, hi = min(a, b), max(a, b)
+        assert (q.quantize(lo, n, f, overflow="saturate")
+                <= q.quantize(hi, n, f, overflow="saturate"))
+
+    @given(values, wordlengths, fracs, roundings)
+    def test_wrap_congruent_modulo_span(self, v, n, f, rounding):
+        # Wrapping preserves the code modulo 2**n.
+        raw = q.round_to_code(v, f, rounding)
+        out = q.quantize(v, n, f, overflow="wrap", rounding=rounding)
+        code = int(round(out * (2.0 ** f)))
+        assert (code - raw) % (1 << n) == 0
+
+
+class TestRequiredMsbProperties:
+    ranges = st.tuples(values, values).map(lambda t: (min(t), max(t)))
+
+    @given(ranges)
+    def test_covers_and_minimal(self, bounds):
+        lo, hi = bounds
+        assume(not (lo == 0.0 and hi == 0.0))
+        m = word.required_msb(lo, hi)
+        assert -(2.0 ** m) <= lo and hi < 2.0 ** m
+        # minimality
+        assert not (-(2.0 ** (m - 1)) <= lo and hi < 2.0 ** (m - 1))
+
+    @given(ranges, st.integers(min_value=0, max_value=16))
+    def test_dtype_from_range_covers(self, bounds, f):
+        lo, hi = bounds
+        assume(abs(lo) < 1e5 and abs(hi) < 1e5)
+        dt = DType.from_range("t", lo, hi, f)
+        assert dt.min_value <= lo
+        assert dt.max_value >= hi - dt.eps  # hi may need the next grid pt
+
+
+class TestVectorizedAgreesWithScalar:
+    @given(st.lists(values, min_size=1, max_size=32), wordlengths, fracs,
+           roundings, st.sampled_from(["wrap", "saturate"]))
+    @settings(max_examples=50)
+    def test_elementwise_identical(self, vs, n, f, rounding, overflow):
+        import numpy as np
+        got = q.quantize_array(np.array(vs), n, f, rounding=rounding,
+                               overflow=overflow)
+        want = [q.quantize(v, n, f, rounding=rounding, overflow=overflow)
+                for v in vs]
+        assert got.tolist() == want

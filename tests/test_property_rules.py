@@ -1,0 +1,109 @@
+"""Property-based tests: the refinement rules are total and consistent."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.refine.lsbrules import LsbPolicy, decide_lsb, lsb_from_sigma
+from repro.refine.monitors import ErrorSummary, SignalRecord
+from repro.refine.msbrules import MsbPolicy, decide_msb
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+small_pos = st.floats(min_value=1e-9, max_value=1e3,
+                      allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def records(draw):
+    observed = draw(st.booleans())
+    if observed:
+        a = draw(finite)
+        b = draw(finite)
+        stat_min, stat_max = min(a, b), max(a, b)
+        n = draw(st.integers(min_value=1, max_value=10000))
+    else:
+        stat_min = stat_max = math.nan
+        n = 0
+    prop_kind = draw(st.sampled_from(["empty", "finite", "inf"]))
+    if prop_kind == "empty":
+        prop = Interval()
+    elif prop_kind == "inf":
+        prop = Interval(-math.inf, math.inf)
+    else:
+        a = draw(finite)
+        b = draw(finite)
+        prop = Interval(min(a, b), max(a, b))
+    count = draw(st.integers(min_value=0, max_value=10000))
+    std = draw(st.floats(min_value=0, max_value=10))
+    mean = draw(st.floats(min_value=-1, max_value=1))
+    max_abs = max(abs(mean) + std, draw(st.floats(min_value=0,
+                                                  max_value=20)))
+    return SignalRecord(
+        name="s", is_register=draw(st.booleans()), dtype=None, role="",
+        n_assign=n, stat_min=stat_min, stat_max=stat_max,
+        frac_bits=draw(st.integers(min_value=0, max_value=48)),
+        prop=prop,
+        err_consumed=ErrorSummary(count, mean, std, max_abs),
+        err_produced=ErrorSummary(count, mean, std, max_abs),
+        val_rms=draw(st.floats(min_value=0, max_value=100)),
+    )
+
+
+class TestMsbRuleTotality:
+    @given(records())
+    @settings(max_examples=300)
+    def test_always_returns_a_decision(self, rec):
+        d = decide_msb(rec)
+        assert d.mode in ("error", "wrap", "saturate")
+        assert d.case in ("a", "b", "c", "explosion", "unobserved",
+                          "no-prop")
+
+    @given(records())
+    @settings(max_examples=300)
+    def test_decided_msb_covers_observation(self, rec):
+        d = decide_msb(rec)
+        if d.msb is None or not rec.observed:
+            return
+        if isinstance(d.msb, float):
+            return
+        if d.mode == "saturate":
+            return  # saturation intentionally clips beyond the range
+        stat = rec.stat_msb()
+        if stat is not None:
+            assert d.msb >= stat
+
+    @given(records())
+    @settings(max_examples=200)
+    def test_explosion_always_annotatable(self, rec):
+        d = decide_msb(rec)
+        if d.case == "explosion":
+            assert d.needs_range_annotation
+
+
+class TestLsbRuleTotality:
+    @given(records())
+    @settings(max_examples=300)
+    def test_always_returns_a_decision(self, rec):
+        d = decide_lsb(rec)
+        assert d.mode in ("round", "floor")
+        if rec.err_produced.count > 0 and not d.divergent:
+            assert d.lsb is not None
+            assert 0 <= d.lsb <= LsbPolicy().max_frac_bits
+
+    @given(small_pos, st.floats(min_value=0.25, max_value=8),
+           st.integers(min_value=1, max_value=32))
+    def test_lsb_monotone_in_sigma(self, sigma, k_w, cap):
+        f1 = lsb_from_sigma(sigma, k_w, cap)
+        f2 = lsb_from_sigma(sigma * 4, k_w, cap)
+        assert f2 <= f1
+
+    @given(small_pos, st.integers(min_value=1, max_value=32))
+    def test_lsb_step_is_sufficient(self, sigma, cap):
+        # The chosen step never exceeds k_w * sigma (unless capped).
+        k_w = 2.0
+        f = lsb_from_sigma(sigma, k_w, cap)
+        if 0 < f < cap:
+            assert 2.0 ** -f <= k_w * sigma + 1e-12

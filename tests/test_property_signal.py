@@ -1,0 +1,121 @@
+"""Property-based tests for signal-layer invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtype import DType
+from repro.signal import DesignContext, Sig, select
+from repro.signal.ops import gt
+
+values = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+small_values = st.floats(min_value=-3.0, max_value=3.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestAssignmentInvariants:
+    @given(st.lists(values, min_size=1, max_size=30),
+           st.integers(min_value=2, max_value=16),
+           st.integers(min_value=0, max_value=12))
+    @settings(max_examples=60)
+    def test_fx_always_on_grid_and_in_range(self, vs, n, f):
+        dt = DType("t", n, f, "tc", "saturate", "round")
+        with DesignContext("prop", seed=0):
+            s = Sig("s", dt)
+            for v in vs:
+                s.assign(v)
+                assert dt.min_value <= s.fx <= dt.max_value
+                code = s.fx * (2.0 ** f)
+                assert code == int(code)
+
+    @given(st.lists(values, min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_range_stat_brackets_all_inputs(self, vs):
+        with DesignContext("prop", seed=0):
+            s = Sig("s")
+            for v in vs:
+                s.assign(v)
+            assert s.range_stat.count == len(vs)
+            assert s.range_stat.min == min(vs)
+            assert s.range_stat.max == max(vs)
+
+    @given(st.lists(small_values, min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_prop_interval_contains_observed_range(self, vs):
+        # Soundness of the online propagation versus what happened.
+        with DesignContext("prop", seed=0):
+            x = Sig("x")
+            y = Sig("y")
+            x.range(-3.0, 3.0)
+            for v in vs:
+                x.assign(v)
+                y.assign(x * 0.5 + 0.25)
+            iv = y.prop_interval()
+            assert iv.lo <= y.range_stat.min + 1e-12
+            assert iv.hi >= y.range_stat.max - 1e-12
+
+    @given(st.lists(small_values, min_size=2, max_size=30),
+           st.integers(min_value=2, max_value=10))
+    @settings(max_examples=60)
+    def test_float_signal_has_zero_produced_error(self, vs, f):
+        dt = DType("t", 12, f, "tc", "saturate", "round")
+        with DesignContext("prop", seed=0):
+            x = Sig("x", dt)
+            y = Sig("y")
+            for v in vs:
+                x.assign(v)
+                y.assign(x * 1.5)
+                # Float signals: consumed == produced exactly.
+                assert y.err_consumed.max_abs == y.err_produced.max_abs
+
+    @given(st.lists(small_values, min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_uniform_control_keeps_select_error_free(self, vs):
+        # Whatever the inputs, a constant-branch select driven by fixed
+        # values produces identical fx/fl (no spurious error).
+        dt = DType("t", 6, 3, "tc", "saturate", "round")
+        with DesignContext("prop", seed=0):
+            x = Sig("x", dt)
+            y = Sig("y")
+            for v in vs:
+                x.assign(v)
+                y.assign(select(gt(x, 0.0), 1.0, -1.0))
+                assert y.fx == y.fl
+                assert y.err_produced.max_abs == 0.0
+
+
+class TestErrorAnnotationInvariants:
+    @given(st.integers(min_value=1, max_value=16),
+           st.lists(small_values, min_size=5, max_size=50))
+    @settings(max_examples=40)
+    def test_forced_error_bounded_by_half_q(self, fbits, vs):
+        q = 2.0 ** -fbits
+        with DesignContext("prop", seed=1):
+            s = Sig("s")
+            s.error(q)
+            for v in vs:
+                s.assign(v)
+            assert s.err_produced.max_abs <= q / 2 + 1e-15
+            # The reference sticks to the fixed value within half an LSB.
+            assert abs(s.fl - s.fx) <= q / 2 + 1e-15
+
+
+class TestSqnrInvariants:
+    @given(st.integers(min_value=4, max_value=10))
+    @settings(max_examples=20)
+    def test_sqnr_improves_with_wordlength(self, f):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        vs = rng.uniform(-1, 1, size=400)
+
+        def sqnr_for(frac):
+            dt = DType("t", frac + 2, frac, "tc", "saturate", "round")
+            with DesignContext("prop-%d" % frac, seed=0):
+                s = Sig("s", dt)
+                for v in vs:
+                    s.assign(float(v))
+                return s.sqnr_db()
+
+        assert sqnr_for(f + 2) > sqnr_for(f)

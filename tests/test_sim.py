@@ -1,0 +1,191 @@
+"""Tests for the simulation engine (channels, processors, engine)."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import ChannelEmpty, ChannelFull, SimulationError
+from repro.signal import DesignContext, Reg, Sig
+from repro.sim import Channel, Engine, FuncProcessor, Processor, Sink, Source
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        ch = Channel("c")
+        ch.extend([1, 2, 3])
+        assert [ch.get(), ch.get(), ch.get()] == [1, 2, 3]
+
+    def test_empty_get_raises(self):
+        with pytest.raises(ChannelEmpty):
+            Channel("c").get()
+
+    def test_try_get_default(self):
+        assert Channel("c").try_get(default=-1) == -1
+
+    def test_peek(self):
+        ch = Channel("c")
+        ch.put(7)
+        assert ch.peek() == 7
+        assert len(ch) == 1
+        with pytest.raises(ChannelEmpty):
+            Channel("x").peek()
+
+    def test_capacity(self):
+        ch = Channel("c", capacity=1)
+        ch.put(1)
+        with pytest.raises(ChannelFull):
+            ch.put(2)
+
+    def test_counters(self):
+        ch = Channel("c")
+        ch.put(1)
+        ch.get()
+        assert ch.n_put == 1 and ch.n_get == 1
+        assert ch.empty
+
+    def test_record(self):
+        ch = Channel("c", record=True)
+        ch.extend([1, 2])
+        ch.get()
+        assert ch.recorded == [1, 2]
+
+    def test_record_disabled(self):
+        with pytest.raises(ChannelEmpty):
+            Channel("c").recorded
+
+
+class _Doubler(Processor):
+    """x -> 2x, one sample per cycle, with a monitored signal."""
+
+    def build(self, ctx):
+        self.y = Sig("%s.y" % self.name, DType("T", 8, 4))
+
+    def behavior(self):
+        cin = self.inputs["in"]
+        cout = self.outputs["out"]
+        while True:
+            if not cin.empty:
+                x = cin.get()
+                self.y.assign(x * 2.0)
+                cout.put(self.y.fx)
+            yield
+
+
+class TestEngine:
+    def _pipeline(self, samples):
+        ctx = DesignContext("t", seed=0)
+        eng = Engine(ctx)
+        src = eng.add(Source("src", samples))
+        proc = eng.add(_Doubler("dbl"))
+        sink = eng.add(Sink("sink", limit=len(samples)))
+        eng.connect(src, "out", proc, "in")
+        eng.connect(proc, "out", sink, "in")
+        return ctx, eng, sink
+
+    def test_end_to_end(self):
+        ctx, eng, sink = self._pipeline([0.5, 1.0, -1.0])
+        eng.run(until_done=True, cycles=100)
+        assert sink.captured == [1.0, 2.0, -2.0]
+
+    def test_cycle_bound(self):
+        ctx, eng, sink = self._pipeline([1.0] * 10)
+        n = eng.run(cycles=3)
+        assert n == 3
+        assert ctx.cycle == 3
+
+    def test_until_done_stops_early(self):
+        ctx, eng, sink = self._pipeline([1.0])
+        n = eng.run(until_done=True, cycles=100)
+        assert n < 100
+        assert sink.captured == [2.0]
+
+    def test_signals_created_in_ctx(self):
+        ctx, eng, sink = self._pipeline([1.0])
+        eng.run(until_done=True, cycles=10)
+        assert "dbl.y" in ctx
+
+    def test_monitoring_happens_during_sim(self):
+        ctx, eng, sink = self._pipeline([0.5, -0.25])
+        eng.run(until_done=True, cycles=10)
+        y = ctx.get("dbl.y")
+        assert y.range_stat.count == 2
+        assert y.range_stat.min == -0.5
+        assert y.range_stat.max == 1.0
+
+    def test_run_without_bound_rejected(self):
+        ctx, eng, _ = self._pipeline([1.0])
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_empty_engine_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine(DesignContext("e")).build()
+
+
+class TestFuncProcessor:
+    def test_per_cycle_callable(self):
+        calls = []
+
+        def fn(proc):
+            calls.append(proc.name)
+            if len(calls) >= 3:
+                return False
+
+        ctx = DesignContext("t")
+        eng = Engine(ctx, [FuncProcessor("f", fn)])
+        eng.run(until_done=True, cycles=10)
+        assert calls == ["f", "f", "f"]
+
+    def test_build_fn(self):
+        def build(proc, ctx):
+            proc.s = Sig("s")
+
+        def fn(proc):
+            return False
+
+        ctx = DesignContext("t")
+        eng = Engine(ctx, [FuncProcessor("f", fn, build_fn=build)])
+        eng.run(until_done=True, cycles=5)
+        assert "s" in ctx
+
+
+class TestRegisterClocking:
+    def test_registers_commit_once_per_engine_cycle(self):
+        ctx = DesignContext("t")
+
+        class Acc(Processor):
+            def build(self, p_ctx):
+                self.acc = Reg("acc")
+
+            def behavior(self):
+                while True:
+                    self.acc.assign(self.acc + 1.0)
+                    yield
+
+        eng = Engine(ctx, [Acc("a")])
+        eng.run(cycles=5)
+        assert ctx.get("acc").fx == 5.0
+
+    def test_step_before_start_raises(self):
+        p = _Doubler("d")
+        with pytest.raises(SimulationError):
+            p.step()
+
+    def test_done_flag(self):
+        src = Source("s", [1.0])
+        src.connect_output("out", Channel("c"))
+        src.start()
+        assert src.step() is True
+        assert src.step() is False
+        assert src.done
+
+    def test_source_requires_channel(self):
+        src = Source("s", [1.0])
+        src.start()
+        with pytest.raises(SimulationError):
+            src.step()
+
+    def test_sink_requires_channel(self):
+        sink = Sink("s")
+        sink.start()
+        with pytest.raises(SimulationError):
+            sink.step()

@@ -1,0 +1,146 @@
+"""Unit tests for repro.core.stats (monitor accumulators)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.stats import ErrorStat, RangeStat
+
+
+class TestRangeStat:
+    def test_empty(self):
+        rs = RangeStat()
+        assert rs.is_empty
+        assert rs.count == 0
+        assert rs.max_abs == 0.0
+        assert rs.required_msb() is None
+
+    def test_update(self):
+        rs = RangeStat()
+        rs.update_many([0.5, -1.5, 1.0])
+        assert rs.count == 3
+        assert rs.min == -1.5
+        assert rs.max == 1.0
+        assert rs.max_abs == 1.5
+
+    def test_required_msb(self):
+        rs = RangeStat()
+        rs.update_many([-1.5, 1.5])
+        assert rs.required_msb() == 1
+
+    def test_required_msb_zero_signal(self):
+        rs = RangeStat()
+        rs.update(0.0)
+        assert rs.required_msb() is None
+
+    def test_merge(self):
+        a = RangeStat()
+        b = RangeStat()
+        a.update_many([1.0, 2.0])
+        b.update_many([-3.0])
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == -3.0
+        assert a.max == 2.0
+
+    def test_reset(self):
+        rs = RangeStat()
+        rs.update(1.0)
+        rs.reset()
+        assert rs.is_empty
+
+    def test_as_dict(self):
+        rs = RangeStat()
+        rs.update(2.0)
+        assert rs.as_dict() == {"count": 1, "min": 2.0, "max": 2.0,
+                                "frac_bits": 0}
+
+    def test_frac_bits_tracking(self):
+        rs = RangeStat()
+        rs.update(1.0)
+        assert rs.frac_bits == 0
+        rs.update(0.75)
+        assert rs.frac_bits == 2
+        rs.update(0.11)  # non-terminating in binary -> cap
+        assert rs.frac_bits == RangeStat.FRAC_CAP
+
+
+class TestErrorStat:
+    def test_empty(self):
+        es = ErrorStat()
+        assert es.is_empty
+        assert es.std == 0.0
+        assert es.rms == 0.0
+
+    def test_known_values(self):
+        es = ErrorStat()
+        es.update_many([1.0, 2.0, 3.0, 4.0])
+        assert es.count == 4
+        assert es.mean == pytest.approx(2.5)
+        assert es.variance == pytest.approx(1.25)
+        assert es.std == pytest.approx(math.sqrt(1.25))
+        assert es.max_abs == 4.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        xs = rng.normal(0.1, 2.0, size=10_000)
+        es = ErrorStat()
+        es.update_many(xs.tolist())
+        assert es.mean == pytest.approx(np.mean(xs), rel=1e-9)
+        assert es.std == pytest.approx(np.std(xs), rel=1e-9)
+        assert es.max_abs == pytest.approx(np.max(np.abs(xs)))
+
+    def test_rms_combines_bias_and_spread(self):
+        es = ErrorStat()
+        es.update_many([1.0, 1.0, 1.0])
+        assert es.std == 0.0
+        assert es.rms == pytest.approx(1.0)
+
+    def test_numerical_stability_large_offset(self):
+        # Welford must survive a huge common offset.
+        es = ErrorStat()
+        offset = 1e9
+        es.update_many([offset + v for v in (-1.0, 0.0, 1.0)])
+        assert es.std == pytest.approx(math.sqrt(2.0 / 3.0), rel=1e-6)
+
+    def test_merge_matches_single_pass(self):
+        rng = np.random.default_rng(5)
+        xs = rng.normal(size=1000)
+        full = ErrorStat()
+        full.update_many(xs.tolist())
+        a = ErrorStat()
+        b = ErrorStat()
+        a.update_many(xs[:300].tolist())
+        b.update_many(xs[300:].tolist())
+        a.merge(b)
+        assert a.count == full.count
+        assert a.mean == pytest.approx(full.mean, abs=1e-12)
+        assert a.std == pytest.approx(full.std, rel=1e-9)
+        assert a.max_abs == full.max_abs
+
+    def test_merge_into_empty(self):
+        a = ErrorStat()
+        b = ErrorStat()
+        b.update_many([1.0, -2.0])
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_abs == 2.0
+
+    def test_merge_empty_is_noop(self):
+        a = ErrorStat()
+        a.update(1.0)
+        a.merge(ErrorStat())
+        assert a.count == 1
+
+    def test_reset(self):
+        es = ErrorStat()
+        es.update(5.0)
+        es.reset()
+        assert es.is_empty
+        assert es.max_abs == 0.0
+
+    def test_as_dict_keys(self):
+        es = ErrorStat()
+        es.update(1.0)
+        assert set(es.as_dict()) == {"count", "mean", "std", "max_abs"}

@@ -1,0 +1,92 @@
+"""Tests for the VHDL testbench generator."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError
+from repro.hdl.testbench import collect_vectors, generate_testbench
+from repro.signal import DesignContext, Sig
+
+T_IN = DType("T_in", 8, 5)
+T_OUT = DType("T_out", 10, 7)
+
+
+def run_watched(n=16):
+    ctx = DesignContext("tb-test", seed=0)
+    import numpy as np
+    rng = np.random.default_rng(2)
+    with ctx:
+        x = Sig("x", T_IN).watch()
+        y = Sig("y", T_OUT).watch()
+        for v in rng.uniform(-1, 1, size=n):
+            x.assign(float(v))
+            y.assign(x * 0.5)
+            ctx.tick()
+    return ctx
+
+
+class TestCollectVectors:
+    def test_collects_aligned(self):
+        ctx = run_watched(16)
+        vectors, n = collect_vectors(ctx, ["x"], ["y"])
+        assert n == 16
+        assert len(vectors["x"]) == len(vectors["y"]) == 16
+
+    def test_max_vectors(self):
+        ctx = run_watched(16)
+        vectors, n = collect_vectors(ctx, ["x"], ["y"], max_vectors=5)
+        assert n == 5
+
+    def test_unwatched_rejected(self):
+        ctx = DesignContext("tb-uw", seed=0)
+        with ctx:
+            Sig("x", T_IN)
+        with pytest.raises(DesignError):
+            collect_vectors(ctx, ["x"], [])
+
+
+class TestGenerateTestbench:
+    def _tb(self, n=8):
+        ctx = run_watched(n)
+        vectors, _ = collect_vectors(ctx, ["x"], ["y"])
+        return generate_testbench("scaler", vectors,
+                                  {"x": T_IN, "y": T_OUT}, ["x"], ["y"])
+
+    def test_structure(self):
+        text = self._tb()
+        assert "entity scaler_tb is" in text
+        assert "dut : entity work.scaler" in text
+        assert "x_rom" in text and "y_rom" in text
+        assert "assert y = to_signed(y_rom(i), 10)" in text
+        assert "report \"testbench completed: 8 vectors\"" in text
+
+    def test_codes_are_integers_in_range(self):
+        text = self._tb()
+        import re
+        m = re.search(r"constant x_rom : t_x_rom := \(([^)]*)\)", text)
+        codes = [int(c) for c in m.group(1).split(",")]
+        assert all(-(1 << 7) <= c < (1 << 7) for c in codes)
+
+    def test_balanced_parens(self):
+        text = self._tb()
+        depth = 0
+        for ch in text:
+            depth += ch == "("
+            depth -= ch == ")"
+            assert depth >= 0
+        assert depth == 0
+
+    def test_requires_io(self):
+        with pytest.raises(DesignError):
+            generate_testbench("e", {}, {}, [], [])
+
+    def test_requires_vectors(self):
+        with pytest.raises(DesignError):
+            generate_testbench("e", {"x": [], "y": []},
+                               {"x": T_IN, "y": T_OUT}, ["x"], ["y"])
+
+    def test_no_trailing_comma_in_port_map(self):
+        text = self._tb()
+        import re
+        pm = re.search(r"port map \((.*?)\);", text, re.S).group(1)
+        assert not pm.rstrip().rstrip("\n").endswith(",")

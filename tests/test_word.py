@@ -1,0 +1,207 @@
+"""Unit tests for repro.core.word (integer code helpers)."""
+
+import math
+
+import pytest
+
+from repro.core import word
+from repro.core.errors import DTypeError
+
+
+class TestIntBounds:
+    def test_signed_bounds(self):
+        assert word.int_min(8) == -128
+        assert word.int_max(8) == 127
+
+    def test_unsigned_bounds(self):
+        assert word.int_min(8, signed=False) == 0
+        assert word.int_max(8, signed=False) == 255
+
+    def test_one_bit(self):
+        assert word.int_min(1) == -1
+        assert word.int_max(1) == 0
+        assert word.int_min(1, signed=False) == 0
+        assert word.int_max(1, signed=False) == 1
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_invalid_wordlength(self, n):
+        with pytest.raises(DTypeError):
+            word.int_min(n)
+        with pytest.raises(DTypeError):
+            word.int_max(n)
+
+
+class TestWrap:
+    def test_in_range_unchanged(self):
+        assert word.wrap_code(100, 8) == 100
+        assert word.wrap_code(-100, 8) == -100
+
+    def test_positive_overflow_wraps_negative(self):
+        assert word.wrap_code(128, 8) == -128
+        assert word.wrap_code(129, 8) == -127
+
+    def test_negative_overflow_wraps_positive(self):
+        assert word.wrap_code(-129, 8) == 127
+
+    def test_full_period(self):
+        assert word.wrap_code(256, 8) == 0
+        assert word.wrap_code(-256, 8) == 0
+
+    def test_unsigned_wrap(self):
+        assert word.wrap_code(256, 8, signed=False) == 0
+        assert word.wrap_code(257, 8, signed=False) == 1
+        assert word.wrap_code(-1, 8, signed=False) == 255
+
+    @pytest.mark.parametrize("code", range(-8, 8))
+    def test_idempotent_in_range(self, code):
+        assert word.wrap_code(code, 4) == code
+
+
+class TestSaturate:
+    def test_clamps_high(self):
+        assert word.saturate_code(1000, 8) == 127
+
+    def test_clamps_low(self):
+        assert word.saturate_code(-1000, 8) == -128
+
+    def test_in_range_unchanged(self):
+        assert word.saturate_code(5, 8) == 5
+
+    def test_unsigned(self):
+        assert word.saturate_code(-3, 8, signed=False) == 0
+        assert word.saturate_code(300, 8, signed=False) == 255
+
+
+class TestFits:
+    def test_limits(self):
+        assert word.fits(127, 8)
+        assert word.fits(-128, 8)
+        assert not word.fits(128, 8)
+        assert not word.fits(-129, 8)
+
+
+class TestBitLength:
+    def test_signed(self):
+        assert word.bit_length_signed(0) == 1
+        assert word.bit_length_signed(1) == 2
+        assert word.bit_length_signed(-1) == 1
+        assert word.bit_length_signed(127) == 8
+        assert word.bit_length_signed(-128) == 8
+        assert word.bit_length_signed(128) == 9
+
+    def test_unsigned(self):
+        assert word.bit_length_unsigned(0) == 1
+        assert word.bit_length_unsigned(255) == 8
+        assert word.bit_length_unsigned(256) == 9
+        with pytest.raises(DTypeError):
+            word.bit_length_unsigned(-1)
+
+
+class TestRequiredMsb:
+    """The paper's m(vmin, vmax) function."""
+
+    def test_paper_input_range(self):
+        # x.range(-1.5, 1.5) -> msb 1 (LMS equalizer example).
+        assert word.required_msb(-1.5, 1.5) == 1
+
+    def test_slicer_output(self):
+        # y in {-1, +1}: +1 needs weight-1 data bit -> msb 1.
+        assert word.required_msb(-1.0, 1.0) == 1
+
+    def test_exact_negative_power_fits(self):
+        # -2**m is representable in two's complement.
+        assert word.required_msb(-2.0, 0.0) == 1
+        assert word.required_msb(-1.0, 0.0) == 0
+
+    def test_exact_positive_power_needs_extra(self):
+        # +2**m is NOT representable: the max code is 2**m - eps.
+        assert word.required_msb(0.0, 2.0) == 2
+        assert word.required_msb(0.0, 1.0) == 1
+
+    def test_fractional_only(self):
+        assert word.required_msb(-0.25, 0.25) == -1
+
+    def test_degenerate_zero(self):
+        assert word.required_msb(0.0, 0.0) is None
+
+    def test_unbounded(self):
+        assert word.required_msb(-math.inf, 1.0) == math.inf
+
+    def test_unsigned(self):
+        assert word.required_msb(0.0, 3.0, signed=False) == 2
+        with pytest.raises(DTypeError):
+            word.required_msb(-1.0, 1.0, signed=False)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            word.required_msb(1.0, -1.0)
+        with pytest.raises(ValueError):
+            word.required_msb(math.nan, 1.0)
+
+    @pytest.mark.parametrize("lo,hi,m", [
+        (-0.2, 0.2, -2),
+        (-4.0, 3.9, 2),
+        (-3.3, 1.0, 2),
+        (0.0, 0.49, -1),
+        (-100.0, 100.0, 7),
+    ])
+    def test_table(self, lo, hi, m):
+        assert word.required_msb(lo, hi) == m
+
+    @pytest.mark.parametrize("lo,hi", [(-1.5, 1.5), (-0.2, 0.2),
+                                       (-7.1, 3.0), (0.0, 10.0)])
+    def test_is_minimal(self, lo, hi):
+        m = word.required_msb(lo, hi)
+        assert -(2.0 ** m) <= lo and hi < 2.0 ** m
+        assert not (-(2.0 ** (m - 1)) <= lo and hi < 2.0 ** (m - 1))
+
+
+class TestWordlengthConversions:
+    def test_roundtrip(self):
+        for msb in range(-3, 5):
+            for f in range(0, 8):
+                try:
+                    n = word.wordlength_for_msb(msb, f)
+                except DTypeError:
+                    continue
+                assert word.msb_of_wordlength(n, f) == msb
+
+    def test_paper_type(self):
+        # <7,5,tc>: msb position 1 (range [-2, 2-2^-5]).
+        assert word.msb_of_wordlength(7, 5, signed=True) == 1
+        assert word.wordlength_for_msb(1, 5, signed=True) == 7
+
+    def test_unsigned(self):
+        assert word.wordlength_for_msb(2, 5, signed=False) == 7
+        assert word.msb_of_wordlength(7, 5, signed=False) == 2
+
+    def test_empty_word(self):
+        with pytest.raises(DTypeError):
+            word.wordlength_for_msb(-6, 5, signed=True)
+
+
+class TestBits:
+    def test_to_bits(self):
+        assert word.to_bits(5, 8) == "00000101"
+        assert word.to_bits(-1, 8) == "11111111"
+        assert word.to_bits(-128, 8) == "10000000"
+
+    def test_to_bits_unsigned(self):
+        assert word.to_bits(255, 8, signed=False) == "11111111"
+
+    def test_roundtrip(self):
+        for code in range(-8, 8):
+            assert word.from_bits(word.to_bits(code, 4)) == code
+
+    def test_from_bits_unsigned(self):
+        assert word.from_bits("1111", signed=False) == 15
+
+    def test_overflowing_code_rejected(self):
+        with pytest.raises(DTypeError):
+            word.to_bits(128, 8)
+
+    def test_bad_string(self):
+        with pytest.raises(DTypeError):
+            word.from_bits("10a1")
+        with pytest.raises(DTypeError):
+            word.from_bits("")
