@@ -4,14 +4,17 @@ from repro.core.dtype import DType
 from repro.core.errors import (
     ChannelEmpty,
     ChannelFull,
+    DeadlockError,
     DesignError,
     DivergenceError,
     DTypeError,
     FixedPointOverflowError,
+    NonFiniteError,
     RangeExplosionError,
     RefinementError,
     ReproError,
     SimulationError,
+    WatchdogTimeout,
 )
 from repro.core.interval import Interval
 from repro.core.quantize import (
@@ -40,12 +43,15 @@ __all__ = [
     "wordlength_for_msb",
     "ReproError",
     "DTypeError",
+    "NonFiniteError",
     "FixedPointOverflowError",
     "RangeExplosionError",
     "DivergenceError",
     "SimulationError",
     "ChannelEmpty",
     "ChannelFull",
+    "WatchdogTimeout",
+    "DeadlockError",
     "DesignError",
     "RefinementError",
 ]

@@ -15,6 +15,22 @@ class DTypeError(ReproError):
     """An invalid fixed-point type specification was given."""
 
 
+class NonFiniteError(DTypeError):
+    """A NaN or infinity reached a quantizer or a monitored signal.
+
+    Non-finite values have no fixed-point representation; silently
+    quantizing them would poison every downstream statistic.  The guard
+    layer (see :mod:`repro.robust.guards`) decides whether an offending
+    assignment raises this error, is recorded and sanitized, or is
+    sanitized silently.
+    """
+
+    def __init__(self, message, signal=None, value=None):
+        super().__init__(message)
+        self.signal = signal
+        self.value = value
+
+
 class FixedPointOverflowError(ReproError):
     """A value exceeded the representable range of an ``error``-mode type.
 
@@ -64,6 +80,34 @@ class ChannelEmpty(SimulationError):
 
 class ChannelFull(SimulationError):
     """A processor performed ``put()`` on a bounded channel that is full."""
+
+
+class WatchdogTimeout(SimulationError):
+    """A simulation exceeded its cycle or wall-clock budget.
+
+    Raised by the watchdog attached to a :class:`DesignContext` or passed
+    to :meth:`Engine.run`; prevents stalled feedback loops or endless
+    free-running processors from hanging the refinement flow.
+    """
+
+    def __init__(self, message, cycles=None, elapsed=None):
+        super().__init__(message)
+        self.cycles = cycles
+        self.elapsed = elapsed
+
+
+class DeadlockError(SimulationError):
+    """Every live processor spun without any channel activity.
+
+    The engine's stall detector raises this when ``stall_limit``
+    consecutive cycles pass with zero FIFO traffic while processors are
+    still alive — the cooperative-scheduling equivalent of a deadlock.
+    """
+
+    def __init__(self, message, processors=(), cycles=None):
+        super().__init__(message)
+        self.processors = tuple(processors)
+        self.cycles = cycles
 
 
 class DesignError(ReproError):

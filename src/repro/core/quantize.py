@@ -19,7 +19,8 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.core import word
-from repro.core.errors import DTypeError, FixedPointOverflowError
+from repro.core.errors import (DTypeError, FixedPointOverflowError,
+                               NonFiniteError)
 
 __all__ = [
     "ROUNDING_MODES",
@@ -94,9 +95,12 @@ def quantize_info(value, n, f, signed=True, overflow="saturate",
     if overflow not in OVERFLOW_MODES:
         raise DTypeError("unknown overflow mode %r (expected one of %s)"
                          % (overflow, ", ".join(OVERFLOW_MODES)))
-    if math.isnan(value):
-        raise DTypeError("cannot quantize NaN%s"
-                         % ("" if name is None else " (signal %s)" % name))
+    if not math.isfinite(value):
+        raise NonFiniteError(
+            "cannot quantize non-finite value %r%s; enable a guard policy "
+            "(DesignContext guard_action='record') to sanitize it"
+            % (value, "" if name is None else " (signal %s)" % name),
+            signal=name, value=value)
     code = round_to_code(value, f, rounding)
     overflowed = not word.fits(code, n, signed)
     if overflowed:
@@ -148,7 +152,13 @@ def quantize_array(values, n, f, signed=True, overflow="saturate",
                          % (overflow, ", ".join(OVERFLOW_MODES)))
     if n > 53:
         raise DTypeError("vectorized path supports wordlengths up to 53 bits")
-    codes = _round_codes(values, f, rounding)
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.isfinite(arr).all():
+        n_bad_vals = int(np.count_nonzero(~np.isfinite(arr)))
+        raise NonFiniteError(
+            "cannot quantize %d non-finite value(s); sanitize the array "
+            "(np.nan_to_num) or fix the producer" % n_bad_vals)
+    codes = _round_codes(arr, f, rounding)
     lo = float(word.int_min(n, signed))
     hi = float(word.int_max(n, signed))
     bad = (codes < lo) | (codes > hi)

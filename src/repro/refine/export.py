@@ -80,7 +80,7 @@ def _lsb_decision_dict(d):
 
 def result_to_dict(result):
     """Flatten a :class:`RefinementResult` to a JSON-ready dict."""
-    return {
+    out = {
         "msb": {
             "iterations": result.msb.n_iterations,
             "resolved": result.msb.resolved,
@@ -107,6 +107,13 @@ def result_to_dict(result):
         "baseline_sqnr_db": _clean(result.baseline_sqnr_db),
         "total_bits": result.total_bits(),
     }
+    fallbacks = getattr(result, "fallbacks", None)
+    if fallbacks:
+        out["fallbacks"] = types_to_dict(fallbacks)
+    diagnostics = getattr(result, "diagnostics", None)
+    if diagnostics is not None and len(diagnostics):
+        out["diagnostics"] = diagnostics.to_dict()
+    return out
 
 
 def result_to_json(result, indent=2):

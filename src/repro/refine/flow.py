@@ -128,6 +128,16 @@ class FlowConfig:
     auto_error: bool = True
     auto_error_extra_bits: int = 2
     seed: int = 1234
+    #: non-finite-value guard applied to every flow simulation ("raise",
+    #: "record" or "sanitize"); see repro.robust.guards.
+    guard_action: str = "raise"
+    guard_replacement: str = "hold"
+    #: simulation watchdog budgets (None disables the respective check).
+    max_watchdog_cycles: int = None
+    max_wall_seconds: float = None
+    #: escalation ladder for run(strict=False); None uses the default
+    #: repro.robust.retry.EscalationPolicy.
+    escalation: object = None
 
 
 @dataclass
@@ -191,6 +201,12 @@ class RefinementResult:
     types: dict
     verification: VerificationResult
     baseline_sqnr_db: float    # inputs-only quantization (pre-refinement)
+    #: structured per-run events (repro.robust.diagnostics.Diagnostics);
+    #: populated by run(), None when phases were driven by hand.
+    diagnostics: object = None
+    #: conservative fallback types synthesized in graceful mode (subset
+    #: of ``types``), keyed by signal name.
+    fallbacks: dict = field(default_factory=dict)
 
     def types_table(self):
         return format_types_table(self.types)
@@ -209,12 +225,17 @@ class RefinementResult:
             "Synthesized %d fixed-point types, %d bits total"
             % (len(self.types), self.total_bits()),
         ]
+        if self.fallbacks:
+            lines.append("Conservative fallback types (LOW CONFIDENCE): %s"
+                         % ", ".join(sorted(self.fallbacks)))
         v = self.verification
         if v.output:
             lines.append("Output %r SQNR: %.2f dB (inputs-only baseline: "
                          "%.2f dB)" % (v.output, v.output_sqnr_db,
                                        self.baseline_sqnr_db))
         lines.append("Verification overflows: %d" % v.total_overflows)
+        if self.diagnostics is not None and len(self.diagnostics):
+            lines.append(self.diagnostics.summary())
         return "\n".join(lines)
 
 
@@ -234,9 +255,15 @@ class RefinementFlow:
 
     # -- simulation helper -------------------------------------------------
 
-    def _simulate(self, annotations, label):
-        cfg = self.cfg
-        ctx = DesignContext(label, seed=cfg.seed, overflow_action="record")
+    def _simulate(self, annotations, label, config=None):
+        cfg = config if config is not None else self.cfg
+        ctx = DesignContext(label, seed=cfg.seed, overflow_action="record",
+                            guard_action=cfg.guard_action,
+                            guard_replacement=cfg.guard_replacement)
+        if cfg.max_watchdog_cycles or cfg.max_wall_seconds:
+            from repro.robust.guards import Watchdog
+            ctx.watchdog = Watchdog(max_cycles=cfg.max_watchdog_cycles,
+                                    max_seconds=cfg.max_wall_seconds)
         with ctx:
             design = self.factory()
             design.build(ctx)
@@ -247,6 +274,11 @@ class RefinementFlow:
             design.run(ctx, cfg.n_samples - half)
         return ctx, design, collect(ctx), snapshot
 
+    @staticmethod
+    def _absorb_guards(diagnostics, ctx, label):
+        if diagnostics is not None:
+            diagnostics.absorb_guards(ctx, label)
+
     def _fixed_names(self, all_names):
         """Signals whose types are user-given (never refined)."""
         given = set(self.input_types) | set(self.preset_types)
@@ -254,8 +286,8 @@ class RefinementFlow:
 
     # -- MSB phase ------------------------------------------------------------
 
-    def run_msb_phase(self):
-        cfg = self.cfg
+    def run_msb_phase(self, config=None, diagnostics=None):
+        cfg = config if config is not None else self.cfg
         ranges = dict(self.input_ranges)
         iterations = []
         resolved = False
@@ -263,7 +295,9 @@ class RefinementFlow:
             ann = Annotations(
                 dtypes={**self.input_types, **self.preset_types},
                 ranges=ranges)
-            _, _, records, _ = self._simulate(ann, "msb-iter-%d" % it)
+            ctx, _, records, _ = self._simulate(ann, "msb-iter-%d" % it,
+                                                config=cfg)
+            self._absorb_guards(diagnostics, ctx, "msb-iter-%d" % it)
             decisions = {name: decide_msb(rec, cfg.msb_policy)
                          for name, rec in records.items()}
             exploded = [name for name, d in decisions.items()
@@ -280,8 +314,31 @@ class RefinementFlow:
                 # ... automatic fallback only when no knowledge applies.
                 if not added and cfg.auto_range:
                     for name in exploded:
-                        added[name] = _auto_range(records[name],
-                                                  cfg.auto_range_margin)
+                        rec = records[name]
+                        auto = _auto_range(rec, cfg.auto_range_margin)
+                        if auto is None:
+                            # A never-observed signal carries no range
+                            # evidence: inventing one would silently bless
+                            # an arbitrary (-1, 1) guess.  Leave it
+                            # unresolved and say so.
+                            if diagnostics is not None:
+                                diagnostics.add(
+                                    "auto-range", "warning", name,
+                                    "exploded but never observed in "
+                                    "simulation; refusing to invent a "
+                                    "range — annotate it (user_ranges) "
+                                    "or rely on graceful fallback",
+                                    iteration=it)
+                            continue
+                        if rec.observed and rec.stat_min == rec.stat_max:
+                            if diagnostics is not None:
+                                diagnostics.add(
+                                    "auto-range", "warning", name,
+                                    "auto range %r derived from a "
+                                    "constant simulated value %.4g — "
+                                    "LOW CONFIDENCE"
+                                    % (auto, rec.stat_min), iteration=it)
+                        added[name] = auto
             iterations.append(MsbIteration(it, records, decisions,
                                            exploded, dict(added)))
             if not exploded:
@@ -296,8 +353,8 @@ class RefinementFlow:
 
     # -- LSB phase --------------------------------------------------------------
 
-    def run_lsb_phase(self, msb_ranges=None):
-        cfg = self.cfg
+    def run_lsb_phase(self, msb_ranges=None, config=None, diagnostics=None):
+        cfg = config if config is not None else self.cfg
         ranges = dict(self.input_ranges)
         ranges.update(msb_ranges or {})
         errors = {}
@@ -307,7 +364,9 @@ class RefinementFlow:
             ann = Annotations(
                 dtypes={**self.input_types, **self.preset_types},
                 ranges=ranges, errors=errors)
-            _, _, records, snap = self._simulate(ann, "lsb-iter-%d" % it)
+            ctx, _, records, snap = self._simulate(ann, "lsb-iter-%d" % it,
+                                                   config=cfg)
+            self._absorb_guards(diagnostics, ctx, "lsb-iter-%d" % it)
             # Inputs cannot diverge (their error IS the input
             # quantization), but preset-typed signals can — e.g. a
             # wrap-typed NCO phase whose float reference runs off.
@@ -334,7 +393,7 @@ class RefinementFlow:
                     elif base in self.user_errors and base not in added:
                         added[base] = self.user_errors[base]
                     elif cfg.auto_error:
-                        added[name] = self._auto_error_q()
+                        added[name] = self._auto_error_q(cfg)
             iterations.append(LsbIteration(it, records, decisions,
                                            dict(divergent), dict(added)))
             if not divergent:
@@ -345,17 +404,27 @@ class RefinementFlow:
             errors.update(added)
         return PhaseResult(iterations, errors, resolved)
 
-    def _auto_error_q(self):
+    def _auto_error_q(self, config=None):
+        cfg = config if config is not None else self.cfg
         f_ref = max((dt.f for dt in self.input_types.values()), default=8)
-        return 2.0 ** -(f_ref + self.cfg.auto_error_extra_bits)
+        return 2.0 ** -(f_ref + cfg.auto_error_extra_bits)
 
     # -- synthesis ----------------------------------------------------------------
 
-    def synthesize_types(self, msb_phase, lsb_phase):
-        """Combine MSB and LSB decisions into full fixed-point types."""
+    def synthesize_types(self, msb_phase, lsb_phase, on_unresolved=None):
+        """Combine MSB and LSB decisions into full fixed-point types.
+
+        ``on_unresolved(name, msb_decision, lsb_decision, record)`` is
+        consulted for signals whose MSB stayed unresolved (explosion or
+        unbounded); it may return a fallback :class:`DType` (or ``None``
+        to leave the signal floating-point).  Without the hook an
+        unresolved signal raises :class:`RefinementError` — the strict
+        behaviour.
+        """
         cfg = self.cfg
         msb_final = msb_phase.final.decisions
         lsb_final = lsb_phase.final.decisions
+        msb_records = msb_phase.final.records
         all_names = list(lsb_final.keys())
         fixed = self._fixed_names(all_names)
         types = {}
@@ -367,16 +436,24 @@ class RefinementFlow:
             if mdec is None or (mdec.msb is None and
                                 (ldec is None or ldec.lsb is None)):
                 continue  # never exercised: stays floating-point
-            if mdec.case == "explosion":
-                raise RefinementError(
-                    "signal %r has an unresolved MSB explosion; add a "
-                    "range() annotation (user_ranges) or enable "
-                    "auto_range and rerun the MSB phase" % name)
-            msb = mdec.msb if mdec.msb is not None else 0
-            if isinstance(msb, float):
+            unresolved = (mdec.case == "explosion"
+                          or isinstance(mdec.msb, float))
+            if unresolved:
+                if on_unresolved is not None:
+                    dt = on_unresolved(name, mdec, ldec,
+                                       msb_records.get(name))
+                    if dt is not None:
+                        types[name] = dt
+                    continue
+                if mdec.case == "explosion":
+                    raise RefinementError(
+                        "signal %r has an unresolved MSB explosion; add a "
+                        "range() annotation (user_ranges) or enable "
+                        "auto_range and rerun the MSB phase" % name)
                 raise RefinementError(
                     "signal %r still has an unbounded MSB; rerun the MSB "
                     "phase with a range() annotation" % name)
+            msb = mdec.msb if mdec.msb is not None else 0
             f = ldec.lsb if (ldec is not None and ldec.lsb is not None) \
                 else cfg.lsb_policy.max_frac_bits
             f = max(f, -msb)            # keep the word at least 1 bit
@@ -387,12 +464,13 @@ class RefinementFlow:
 
     # -- verification ------------------------------------------------------------
 
-    def verify(self, types, lsb_phase=None):
+    def verify(self, types, lsb_phase=None, diagnostics=None):
         errors = dict(lsb_phase.annotations) if lsb_phase is not None else {}
         ann = Annotations(
             dtypes={**types, **self.input_types, **self.preset_types},
             errors=errors)
         ctx, design, records, _ = self._simulate(ann, "verify")
+        self._absorb_guards(diagnostics, ctx, "verify")
         output = getattr(design, "output", None)
         sqnr = records[output].sqnr_db() if output else float("nan")
         overflow_signals = {}
@@ -410,19 +488,66 @@ class RefinementFlow:
                                   sum(overflow_signals.values()),
                                   overflow_signals, wrap_events)
 
+    # -- baseline -----------------------------------------------------------------
+
+    def baseline_sqnr(self, diagnostics=None):
+        """Output SQNR with only the given types applied (pre-refinement).
+
+        Runs a dedicated inputs-only simulation: input and preset types
+        are applied, plus the *user-given* ``error()`` annotations of
+        those same signals (part of the a-priori partial type
+        definition) — but none of the annotations the flow derived.
+        """
+        given = expand_names(set(self.input_types) | set(self.preset_types),
+                             set(self.user_errors))
+        errors = {k: v for k, v in self.user_errors.items() if k in given}
+        ann = Annotations(
+            dtypes={**self.input_types, **self.preset_types}, errors=errors)
+        ctx, design, records, _ = self._simulate(ann, "baseline")
+        self._absorb_guards(diagnostics, ctx, "baseline")
+        output = getattr(design, "output", None)
+        if not output or output not in records:
+            if diagnostics is not None:
+                diagnostics.add("baseline", "info", None,
+                                "design declares no output signal; "
+                                "baseline SQNR unavailable")
+            return float("nan")
+        return records[output].sqnr_db()
+
     # -- one-shot -----------------------------------------------------------------
 
-    def run(self):
-        """Full flow: MSB phase, LSB phase, synthesis, verification."""
-        msb = self.run_msb_phase()
-        lsb = self.run_lsb_phase(msb.annotations)
-        types = self.synthesize_types(msb, lsb)
-        verification = self.verify(types, lsb)
-        output = verification.output
-        baseline = float("nan")
-        if output and output in lsb.final.records:
-            baseline = lsb.final.records[output].sqnr_db()
-        return RefinementResult(msb, lsb, types, verification, baseline)
+    def run(self, strict=True):
+        """Full flow: MSB phase, LSB phase, synthesis, verification.
+
+        With ``strict=True`` (default) an unresolved phase dead-ends in
+        :class:`RefinementError`, as the paper's manual flow would.  With
+        ``strict=False`` the flow never raises mid-flow: unresolved
+        phases are retried through the escalation ladder
+        (:mod:`repro.robust.retry`), signals that still resolve to
+        nothing receive conservative saturating fallback types, and the
+        returned result carries a populated
+        :class:`~repro.robust.diagnostics.Diagnostics`.
+        """
+        from repro.robust.diagnostics import Diagnostics
+        diag = Diagnostics()
+        baseline = self.baseline_sqnr(diagnostics=diag)
+        if strict:
+            msb = self.run_msb_phase(diagnostics=diag)
+            lsb = self.run_lsb_phase(msb.annotations, diagnostics=diag)
+            types = self.synthesize_types(msb, lsb)
+            fallbacks = {}
+        else:
+            from repro.robust.retry import run_graceful
+            msb, lsb, types, fallbacks = run_graceful(self, diag,
+                                                      self.cfg.escalation)
+        verification = self.verify(types, lsb, diagnostics=diag)
+        if verification.total_overflows:
+            diag.add("verification", "warning", None,
+                     "%d overflow(s) on non-wrap types during "
+                     "verification" % verification.total_overflows,
+                     overflows=verification.total_overflows)
+        return RefinementResult(msb, lsb, types, verification, baseline,
+                                diagnostics=diag, fallbacks=fallbacks)
 
 
 def _base_name(name):
@@ -431,8 +556,17 @@ def _base_name(name):
 
 
 def _auto_range(record, margin):
-    """Symmetric range annotation derived from the simulated range."""
-    if not record.observed or record.stat_min == record.stat_max == 0.0:
+    """Symmetric range annotation derived from the simulated range.
+
+    Returns ``None`` for a signal that was never assigned: there is no
+    evidence to derive a range from, and inventing one would silently
+    bless an arbitrary guess (the caller records a diagnostic instead).
+    A signal observed only at zero still gets the historic ``(-1, 1)``
+    fallback, flagged low-confidence by the caller.
+    """
+    if not record.observed:
+        return None
+    if record.stat_min == record.stat_max == 0.0:
         return (-1.0, 1.0)
     a = max(abs(record.stat_min), abs(record.stat_max)) * margin
     return (-a, a)

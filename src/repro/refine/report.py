@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 __all__ = ["format_msb_table", "format_lsb_table", "format_types_table",
-           "format_table"]
+           "format_diagnostics_table", "format_table"]
 
 
 def format_table(headers, rows, title=None):
@@ -96,6 +96,19 @@ def format_lsb_table(records, decisions, title="LSB analysis"):
             lsb,
             dec.mode[:2],
         ])
+    return format_table(headers, rows, title=title)
+
+
+def format_diagnostics_table(diagnostics, title="Diagnostics"):
+    """Event table of a run's :class:`~repro.robust.diagnostics.Diagnostics`.
+
+    Accepts anything iterable over objects with ``severity``, ``category``,
+    ``signal`` and ``message`` attributes.
+    """
+    headers = ["severity", "category", "signal", "message"]
+    rows = [[e.severity, e.category,
+             "-" if e.signal is None else e.signal, e.message]
+            for e in diagnostics]
     return format_table(headers, rows, title=title)
 
 

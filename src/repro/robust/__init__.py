@@ -1,0 +1,39 @@
+"""Robustness subsystem: guards, diagnostics, fault injection, retry.
+
+Four layers that keep a refinement run trustworthy when designs or
+stimuli misbehave:
+
+* :mod:`repro.robust.guards` — non-finite value policies and simulation
+  watchdogs;
+* :mod:`repro.robust.diagnostics` — structured event log attached to a
+  :class:`~repro.refine.flow.RefinementResult`;
+* :mod:`repro.robust.faults` — fault-injection campaigns measuring SQNR
+  degradation of a refined design under bit flips, stuck nodes, input
+  overdrive, dropped channel values and seed changes;
+* :mod:`repro.robust.retry` — escalation ladder and conservative
+  fallback types behind ``RefinementFlow.run(strict=False)``.
+
+Run ``python -m repro.robust.selfcheck`` for an end-to-end smoke test.
+"""
+
+from __future__ import annotations
+
+from repro.robust.diagnostics import DiagEvent, Diagnostics
+from repro.robust.faults import (BitFlip, CampaignResult, ChannelDrop, Fault,
+                                 FaultCampaign, FaultOutcome, InputScale,
+                                 NanInject, SeedPerturb, StuckAt,
+                                 standard_faults)
+from repro.robust.guards import (GuardEvent, GuardPolicy, Watchdog,
+                                 guard_summary)
+from repro.robust.retry import (EscalationPolicy, conservative_fallback,
+                                escalate_lsb, escalate_msb, run_graceful)
+
+__all__ = [
+    "GuardPolicy", "GuardEvent", "Watchdog", "guard_summary",
+    "DiagEvent", "Diagnostics",
+    "Fault", "BitFlip", "StuckAt", "InputScale", "NanInject", "ChannelDrop",
+    "SeedPerturb", "FaultOutcome", "CampaignResult", "FaultCampaign",
+    "standard_faults",
+    "EscalationPolicy", "escalate_msb", "escalate_lsb",
+    "conservative_fallback", "run_graceful",
+]

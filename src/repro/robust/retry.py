@@ -1,0 +1,184 @@
+"""Retry, escalation and graceful degradation for the refinement flow.
+
+The strict flow dead-ends when an MSB or LSB phase stays unresolved
+(range explosion without knowledge, divergent error statistics without
+an ``error()`` annotation).  This module turns those dead ends into a
+ladder:
+
+1. **reseed & retry** — rerun the phase under a perturbed seed (a phase
+   that only failed on one unlucky stimulus resolves here);
+2. **policy escalation** — enable automatic annotations and widen the
+   auto-range margin step by step;
+3. **conservative fallback** — signals that still resolve to nothing get
+   a saturating type wide enough for everything the simulation observed
+   (plus guard bits), flagged low-confidence in the diagnostics.
+
+``RefinementFlow.run(strict=False)`` drives :func:`run_graceful`; every
+rung taken is recorded as an ``escalation`` / ``fallback`` event in the
+run's :class:`~repro.robust.diagnostics.Diagnostics`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core import word
+from repro.core.dtype import DType
+
+__all__ = ["EscalationPolicy", "escalate_msb", "escalate_lsb",
+           "conservative_fallback", "run_graceful"]
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """Knobs of the escalation ladder."""
+
+    #: maximum extra phase attempts after the first unresolved one.
+    max_rounds: int = 2
+    #: seed offset between attempts (prime, to decorrelate streams).
+    reseed_step: int = 7919
+    #: enable automatic range annotations during escalation.
+    force_auto_range: bool = True
+    #: multiply the auto-range margin by this factor per attempt.
+    margin_growth: float = 2.0
+    #: enable automatic error annotations during escalation.
+    force_auto_error: bool = True
+    #: extra LSB bits granted to auto error annotations per attempt.
+    error_extra_bits_step: int = 2
+    #: extra MSB headroom bits of a conservative fallback type.
+    fallback_guard_bits: int = 2
+    #: assumed |range| for fallback types of never-observed signals.
+    fallback_magnitude: float = 1.0
+
+
+def _retry_config(cfg, policy, attempt):
+    """Escalated copy of a FlowConfig for the given retry attempt."""
+    return replace(
+        cfg,
+        seed=cfg.seed + policy.reseed_step * attempt,
+        auto_range=cfg.auto_range or policy.force_auto_range,
+        auto_range_margin=cfg.auto_range_margin
+        * (policy.margin_growth ** attempt),
+        auto_error=cfg.auto_error or policy.force_auto_error,
+        auto_error_extra_bits=cfg.auto_error_extra_bits
+        + policy.error_extra_bits_step * attempt,
+    )
+
+
+def escalate_msb(flow, diagnostics, policy=None):
+    """MSB phase with the retry/escalation ladder applied."""
+    policy = policy or EscalationPolicy()
+    phase = flow.run_msb_phase(diagnostics=diagnostics)
+    attempt = 0
+    while not phase.resolved and attempt < policy.max_rounds:
+        attempt += 1
+        cfg = _retry_config(flow.cfg, policy, attempt)
+        diagnostics.add(
+            "escalation", "info", None,
+            "MSB phase unresolved after %d iteration(s); retry %d with "
+            "seed %d, auto_range=%s, margin %.3g"
+            % (phase.n_iterations, attempt, cfg.seed, cfg.auto_range,
+               cfg.auto_range_margin),
+            phase="msb", attempt=attempt, seed=cfg.seed)
+        phase = flow.run_msb_phase(config=cfg, diagnostics=diagnostics)
+    if not phase.resolved:
+        exploded = phase.final.exploded
+        diagnostics.add(
+            "escalation", "warning", None,
+            "MSB phase still unresolved after %d escalation round(s); "
+            "unresolved signals: %s — falling back to conservative "
+            "saturating types" % (attempt, ", ".join(exploded) or "none"),
+            phase="msb", unresolved=", ".join(exploded))
+    return phase
+
+
+def escalate_lsb(flow, msb_ranges, diagnostics, policy=None):
+    """LSB phase with the retry/escalation ladder applied."""
+    policy = policy or EscalationPolicy()
+    phase = flow.run_lsb_phase(msb_ranges, diagnostics=diagnostics)
+    attempt = 0
+    while not phase.resolved and attempt < policy.max_rounds:
+        attempt += 1
+        cfg = _retry_config(flow.cfg, policy, attempt)
+        diagnostics.add(
+            "escalation", "info", None,
+            "LSB phase unresolved; retry %d with seed %d, auto_error=%s"
+            % (attempt, cfg.seed, cfg.auto_error),
+            phase="lsb", attempt=attempt, seed=cfg.seed)
+        phase = flow.run_lsb_phase(msb_ranges, config=cfg,
+                                   diagnostics=diagnostics)
+    if not phase.resolved:
+        divergent = sorted(phase.final.divergent)
+        diagnostics.add(
+            "escalation", "warning", None,
+            "LSB phase still unresolved after %d escalation round(s); "
+            "divergent signals %s keep the maximum fractional bits"
+            % (attempt, ", ".join(divergent) or "none"),
+            phase="lsb", divergent=", ".join(divergent))
+    return phase
+
+
+def conservative_fallback(flow, diagnostics, policy=None):
+    """Callback for ``synthesize_types(on_unresolved=...)``.
+
+    Builds a saturating type wide enough for the simulated range plus
+    guard bits (or ``fallback_magnitude`` when the signal was never
+    observed), with the LSB decision when one exists and the policy cap
+    otherwise.  Every fallback is recorded as a low-confidence
+    ``fallback`` diagnostic.
+    """
+    policy = policy or EscalationPolicy()
+    cfg = flow.cfg
+
+    def on_unresolved(name, mdec, ldec, record):
+        msb = None
+        basis = "never observed; assumed |x| <= %g" % policy.fallback_magnitude
+        if record is not None and record.observed:
+            lo, hi = record.stat_min, record.stat_max
+            if math.isfinite(lo) and math.isfinite(hi):
+                msb = word.required_msb(lo, hi)
+                basis = "simulated range [%.4g, %.4g]" % (lo, hi)
+        if msb is None or isinstance(msb, float):
+            m = policy.fallback_magnitude
+            msb = word.required_msb(-m, m)
+        msb = int(msb) + policy.fallback_guard_bits
+        if ldec is not None and ldec.lsb is not None:
+            f = ldec.lsb
+        else:
+            f = cfg.lsb_policy.max_frac_bits
+        f = max(f, -msb)    # keep the word at least one bit wide
+        dt = DType("%s_t" % name, msb + f + 1, f, "tc", "saturate", "round")
+        diagnostics.add(
+            "fallback", "warning", name,
+            "unresolved after escalation; conservative saturating "
+            "fallback %s (%s, +%d guard bit(s)) — LOW CONFIDENCE"
+            % (dt.spec(), basis, policy.fallback_guard_bits),
+            spec=dt.spec(), guard_bits=policy.fallback_guard_bits)
+        return dt
+
+    return on_unresolved
+
+
+def run_graceful(flow, diagnostics, policy=None):
+    """Graceful-degradation flow: never dead-ends mid-flow.
+
+    Returns ``(msb_phase, lsb_phase, types, fallbacks)`` where
+    ``fallbacks`` maps the signals that needed a conservative type to
+    their :class:`DType`.
+    """
+    policy = policy or getattr(flow.cfg, "escalation", None) \
+        or EscalationPolicy()
+    msb = escalate_msb(flow, diagnostics, policy)
+    lsb = escalate_lsb(flow, msb.annotations, diagnostics, policy)
+    fallbacks = {}
+    fallback_cb = conservative_fallback(flow, diagnostics, policy)
+
+    def on_unresolved(name, mdec, ldec, record):
+        dt = fallback_cb(name, mdec, ldec, record)
+        if dt is not None:
+            fallbacks[name] = dt
+        return dt
+
+    types = flow.synthesize_types(msb, lsb, on_unresolved=on_unresolved)
+    return msb, lsb, types, fallbacks

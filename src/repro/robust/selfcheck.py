@@ -1,0 +1,222 @@
+"""End-to-end smoke test of the robustness subsystem.
+
+Run as ``python -m repro.robust.selfcheck``.  Exercises each robustness
+layer against tiny designs in a few seconds — guards (raise and record),
+the quantizer's non-finite rejection, the watchdog, the engine stall
+detector, graceful flow degradation and a miniature fault campaign —
+and exits non-zero on the first broken invariant.  Meant for CI images
+and fresh checkouts, not as a replacement for the pytest suite.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+
+from repro.core.dtype import DType
+from repro.core.errors import (DeadlockError, NonFiniteError,
+                               RefinementError, WatchdogTimeout)
+from repro.core.quantize import quantize_array
+from repro.refine import Design, FlowConfig, RefinementFlow
+from repro.robust.faults import BitFlip, FaultCampaign, NanInject, StuckAt
+from repro.robust.guards import GuardPolicy, Watchdog
+from repro.robust.retry import EscalationPolicy
+from repro.signal import DesignContext, Reg, Sig
+from repro.sim import Engine, FuncProcessor
+
+T_IN = DType("T_in", 8, 6, "tc", "saturate", "round")
+
+
+class ScaleToy(Design):
+    """Feed-forward toy: y = 0.5*x + 0.25."""
+
+    name = "scale"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.y = Sig("y")
+        rng = np.random.default_rng(3)
+        self._stim = iter(rng.uniform(-1, 1, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.y.assign(self.x * 0.5 + 0.25)
+            ctx.tick()
+
+
+class ExplodingToy(Design):
+    """Adaptive feedback whose propagated range explodes (paper case d)."""
+
+    name = "acc"
+    inputs = ("x",)
+    output = "acc"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.acc = Reg("acc")
+        rng = np.random.default_rng(5)
+        self._stim = iter(rng.uniform(0.5, 1.0, size=100000).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            err = self.x - self.acc * self.x
+            self.acc.assign(self.acc + err * 0.05)
+            ctx.tick()
+
+
+def check_guard_raise():
+    with DesignContext("g-raise", guard_action="raise"):
+        s = Sig("s")
+        s.assign(1.0)
+        try:
+            s.assign(float("nan"))
+        except NonFiniteError:
+            return
+    raise AssertionError("NaN assignment survived a raise guard")
+
+
+def check_guard_record():
+    with DesignContext("g-rec", guard_action="record",
+                       guard_replacement="hold") as ctx:
+        s = Sig("s")
+        s.assign(0.75)
+        s.assign(float("nan"))
+    assert ctx.guard_trip_count == 1, ctx.guard_trip_count
+    assert len(ctx.guard_log) == 1
+    assert s.fx == 0.75, "hold replacement should keep the last good value"
+
+
+def check_guard_policy_object():
+    with DesignContext("g-pol") as ctx:
+        GuardPolicy(action="sanitize", replacement="zero").apply_to(ctx)
+        s = Sig("s")
+        s.assign(0.5)
+        s.assign(float("inf"))
+    assert s.fx == 0.0
+    assert ctx.guard_trip_count == 1
+    assert not ctx.guard_log, "sanitize mode must not retain events"
+
+
+def check_quantize_rejects_nonfinite():
+    try:
+        quantize_array([0.5, float("inf")], T_IN.n, T_IN.f)
+    except NonFiniteError:
+        return
+    raise AssertionError("quantize_array accepted a non-finite input")
+
+
+def check_watchdog():
+    with DesignContext("wd") as ctx:
+        ctx.watchdog = Watchdog(max_cycles=10)
+        try:
+            for _ in range(100):
+                ctx.tick()
+        except WatchdogTimeout:
+            assert ctx.cycle <= 11
+            return
+    raise AssertionError("watchdog never fired")
+
+
+def check_engine_stall():
+    ctx = DesignContext("stall")
+    eng = Engine(ctx)
+    eng.add(FuncProcessor("idle", lambda p: None))
+    eng.channel("c")    # present but never touched -> zero activity
+    try:
+        eng.run(cycles=100, stall_limit=5)
+    except DeadlockError as exc:
+        assert "idle" in exc.processors
+        return
+    raise AssertionError("stalled engine ran to completion")
+
+
+def _flow(design, **kw):
+    cfg = kw.pop("config", FlowConfig(n_samples=800, seed=9))
+    return RefinementFlow(design, input_types={"x": T_IN},
+                          input_ranges={"x": (-1, 1)}, config=cfg, **kw)
+
+
+def check_strict_still_raises():
+    cfg = FlowConfig(n_samples=400, seed=9, auto_range=False)
+    try:
+        _flow(ExplodingToy, config=cfg).run(strict=True)
+    except RefinementError:
+        return
+    raise AssertionError("strict run of an unresolvable design succeeded")
+
+
+def check_graceful_fallback():
+    policy = EscalationPolicy(max_rounds=1, force_auto_range=False)
+    cfg = FlowConfig(n_samples=400, seed=9, auto_range=False,
+                     escalation=policy)
+    res = _flow(ExplodingToy, config=cfg).run(strict=False)
+    assert "acc" in res.fallbacks, "expected a conservative fallback type"
+    assert res.types["acc"].msbspec == "saturate"
+    assert res.diagnostics is not None
+    assert res.diagnostics.fallback_signals == ["acc"]
+
+
+def check_graceful_escalation_resolves():
+    cfg = FlowConfig(n_samples=400, seed=9, auto_range=False)
+    res = _flow(ExplodingToy, config=cfg).run(strict=False)
+    assert not res.fallbacks, "default escalation should resolve the range"
+    assert res.diagnostics.by_category("escalation")
+
+
+def check_fault_campaign():
+    res = _flow(ScaleToy).run()
+    campaign = FaultCampaign(ScaleToy, res.types,
+                             errors=res.lsb.annotations, output="y",
+                             n_samples=800)
+    out = campaign.run([BitFlip("y", bit=0, at=100),
+                        StuckAt("y", 0.0),
+                        NanInject("x", at=50)])
+    assert len(out.outcomes) == 3
+    assert math.isfinite(out.baseline_sqnr_db)
+    flip, stuck, nan = out.outcomes
+    assert flip.completed and stuck.completed and nan.completed
+    assert stuck.degradation_db > flip.degradation_db
+    assert nan.guard_trips >= 1, "record guard should log the injected NaN"
+    assert out.certified(60.0, kinds=("bit-flip",))
+
+
+CHECKS = [
+    check_guard_raise,
+    check_guard_record,
+    check_guard_policy_object,
+    check_quantize_rejects_nonfinite,
+    check_watchdog,
+    check_engine_stall,
+    check_strict_still_raises,
+    check_graceful_fallback,
+    check_graceful_escalation_resolves,
+    check_fault_campaign,
+]
+
+
+def main(argv=None):
+    failed = 0
+    for check in CHECKS:
+        name = check.__name__
+        try:
+            check()
+        except Exception as exc:   # noqa: BLE001 - report and keep going
+            failed += 1
+            print("FAIL %-36s %s: %s" % (name, type(exc).__name__, exc))
+        else:
+            print("ok   %s" % name)
+    if failed:
+        print("%d/%d robustness self-check(s) FAILED" % (failed, len(CHECKS)))
+        return 1
+    print("all %d robustness self-checks passed" % len(CHECKS))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,13 +12,42 @@ pick up the innermost active context when none is passed explicitly.
 
 from __future__ import annotations
 
+import math
 import threading
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.errors import DesignError
+from repro.core.errors import DesignError, NonFiniteError
 
-__all__ = ["DesignContext", "current_context"]
+__all__ = ["DesignContext", "GuardEvent", "current_context"]
+
+#: Non-finite-value guard actions (see :mod:`repro.robust.guards`):
+#: ``raise`` aborts the simulation, ``record`` sanitizes and logs every
+#: trip, ``sanitize`` replaces the value and only counts.
+GUARD_ACTIONS = ("raise", "record", "sanitize")
+
+#: What a sanitized non-finite value is replaced with: ``hold`` keeps the
+#: signal's previous value, ``zero`` forces 0.0.
+GUARD_REPLACEMENTS = ("hold", "zero")
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One sanitized non-finite assignment (guard action ``record``)."""
+
+    cycle: int
+    signal: str
+    fx: float
+    fl: float
+    replacement_fx: float
+    replacement_fl: float
+
+    def describe(self):
+        return ("cycle %d: signal %r received (fx=%r, fl=%r), "
+                "sanitized to (%g, %g)"
+                % (self.cycle, self.signal, self.fx, self.fl,
+                   self.replacement_fx, self.replacement_fl))
 
 _local = threading.local()
 
@@ -50,13 +79,40 @@ class DesignContext:
         ``"record"`` (default) logs overflows of ``error``-mode types and
         continues with the saturated value; ``"raise"`` raises
         :class:`~repro.core.errors.FixedPointOverflowError` immediately.
+    guard_action:
+        Non-finite-value policy applied on every assignment: ``"raise"``
+        (default) raises :class:`~repro.core.errors.NonFiniteError` the
+        moment a NaN or infinity reaches a signal; ``"record"`` sanitizes
+        the value and logs a :class:`GuardEvent`; ``"sanitize"`` replaces
+        the value and only counts the trip.
+    guard_replacement:
+        Sanitization rule: ``"hold"`` (default) keeps the signal's last
+        good value, ``"zero"`` forces 0.0.
+    guard_max_events:
+        Cap on the number of retained :class:`GuardEvent` entries (the
+        trip *counter* is never capped).
     """
 
-    def __init__(self, name="design", seed=0, overflow_action="record"):
+    def __init__(self, name="design", seed=0, overflow_action="record",
+                 guard_action="raise", guard_replacement="hold",
+                 guard_max_events=1000):
+        if guard_action not in GUARD_ACTIONS:
+            raise DesignError("guard_action must be one of %s, got %r"
+                              % (", ".join(GUARD_ACTIONS), guard_action))
+        if guard_replacement not in GUARD_REPLACEMENTS:
+            raise DesignError("guard_replacement must be one of %s, got %r"
+                              % (", ".join(GUARD_REPLACEMENTS),
+                                 guard_replacement))
         self.name = name
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.overflow_action = overflow_action
+        self.guard_action = guard_action
+        self.guard_replacement = guard_replacement
+        self.guard_max_events = guard_max_events
+        self.guard_log = []
+        self.guard_trip_count = 0
+        self.watchdog = None
         self.cycle = 0
         self.tracer = None
         self._signals = {}
@@ -102,17 +158,51 @@ class DesignContext:
         for r in self._registers:
             r.commit()
         self.cycle += 1
+        if self.watchdog is not None:
+            self.watchdog.check(self.cycle)
 
     # -- bookkeeping -------------------------------------------------------
 
     def log_overflow(self, sig_name, value):
         self.overflow_log.append((self.cycle, sig_name, value))
 
+    def guard_non_finite(self, sig, fx, fl):
+        """Apply the non-finite-value policy to one assignment.
+
+        Returns the sanitized ``(fx, fl)`` pair, or raises
+        :class:`~repro.core.errors.NonFiniteError` under ``"raise"``.
+        Finite components pass through untouched; only the non-finite
+        side is replaced.
+        """
+        if self.guard_action == "raise":
+            raise NonFiniteError(
+                "non-finite value reached signal %r at cycle %d "
+                "(fx=%r, fl=%r)" % (sig.name, self.cycle, fx, fl),
+                signal=sig.name, value=fx if not math.isfinite(fx) else fl)
+        if self.guard_replacement == "hold":
+            sub_fx, sub_fl = sig.fx, sig.fl
+            if not math.isfinite(sub_fx):
+                sub_fx = 0.0
+            if not math.isfinite(sub_fl):
+                sub_fl = 0.0
+        else:  # zero
+            sub_fx = sub_fl = 0.0
+        new_fx = fx if math.isfinite(fx) else sub_fx
+        new_fl = fl if math.isfinite(fl) else sub_fl
+        self.guard_trip_count += 1
+        if (self.guard_action == "record"
+                and len(self.guard_log) < self.guard_max_events):
+            self.guard_log.append(GuardEvent(self.cycle, sig.name, fx, fl,
+                                             new_fx, new_fl))
+        return new_fx, new_fl
+
     def reset_stats(self):
         """Clear all monitoring statistics (values are preserved)."""
         for s in self.signals():
             s.reset_stats()
         self.overflow_log.clear()
+        self.guard_log.clear()
+        self.guard_trip_count = 0
 
     def snapshot_error_stats(self):
         """Per-signal copy of the produced-error statistics (for the

@@ -17,6 +17,7 @@ and float simulations always take the same control decisions.
 
 from __future__ import annotations
 
+import math
 import numbers
 
 from repro.core.interval import Interval
@@ -145,6 +146,11 @@ def as_expr(x):
         return x._to_expr()
     if isinstance(x, numbers.Real):
         v = float(x)
+        if math.isnan(v):
+            # A NaN carries no range information; give it an empty
+            # interval so the assignment guard, not the interval
+            # arithmetic, decides what happens to it.
+            return Expr(v, v, Interval())
         return Expr(v, v, Interval.point(v))
     raise TypeError("cannot use %r in a signal expression" % (x,))
 

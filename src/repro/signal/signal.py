@@ -71,6 +71,10 @@ class Sig(Operand):
         self._forced_range = None        # Interval from .range(lo, hi)
         self._forced_error = None        # LSB amplitude q from .error(q)
 
+        # Fault-injection hooks (see repro.robust.faults).
+        self._fault_pre = None           # fn(sig, fx, fl) -> (fx, fl)
+        self._fault_post = None          # fn(sig, qfx) -> qfx
+
         # Quasi-analytical propagated range (union over assignments).
         self._prop_ival = Interval()
 
@@ -205,9 +209,45 @@ class Sig(Operand):
         self.assign(value)
         return self
 
+    def fault_pre(self, fn):
+        """Install a pre-quantization fault hook (``fn(sig, fx, fl)``).
+
+        Models upstream faults — stuck-at values, scaled inputs, injected
+        NaNs — applied to the incoming value pair before any monitor sees
+        it.  Returns self; pass ``None`` to clear.
+        """
+        self._fault_pre = fn
+        return self
+
+    def fault_post(self, fn):
+        """Install a post-quantization fault hook (``fn(sig, qfx)``).
+
+        Models storage faults — bit flips in the quantized word — applied
+        after quantization; the float reference is untouched, so the
+        produced-error monitor measures the fault's impact directly.
+        Returns self; pass ``None`` to clear.
+        """
+        self._fault_post = fn
+        return self
+
+    def clear_faults(self):
+        self._fault_pre = None
+        self._fault_post = None
+        return self
+
     def _record(self, expr):
         in_fx = expr.fx
         in_fl = expr.fl
+
+        if self._fault_pre is not None:
+            in_fx, in_fl = self._fault_pre(self, in_fx, in_fl)
+
+        # Non-finite guard: NaN/Inf must never be quantized or folded
+        # into the monitors silently; the context policy decides between
+        # raising, recording + sanitizing, and sanitizing.  Runs after
+        # the fault hook so injected non-finites are guarded too.
+        if not (math.isfinite(in_fx) and math.isfinite(in_fl)):
+            in_fx, in_fl = self.ctx.guard_non_finite(self, in_fx, in_fl)
 
         # Statistic-based range monitoring (MSB side).
         self.range_stat.update(in_fx)
@@ -223,6 +263,9 @@ class Sig(Operand):
         if overflowed:
             self.overflow_count += 1
             self.ctx.log_overflow(self.name, in_fx)
+
+        if self._fault_post is not None:
+            qfx = self._fault_post(self, qfx)
 
         # Float reference: true value, unless an error() annotation
         # decouples it (uniform error of one assumed LSB).

@@ -1,9 +1,9 @@
 """Simulation engine: processors, channels, stimuli."""
 
-from repro.sim.channel import Channel
+from repro.sim.channel import DROP, Channel
 from repro.sim.engine import Engine
 from repro.sim.processor import FuncProcessor, Processor
 from repro.sim.stimuli import Sink, Source
 
-__all__ = ["Channel", "Engine", "Processor", "FuncProcessor", "Source",
-           "Sink"]
+__all__ = ["Channel", "DROP", "Engine", "Processor", "FuncProcessor",
+           "Source", "Sink"]

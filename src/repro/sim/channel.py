@@ -12,7 +12,10 @@ from collections import deque
 
 from repro.core.errors import ChannelEmpty, ChannelFull
 
-__all__ = ["Channel"]
+__all__ = ["Channel", "DROP"]
+
+#: Sentinel a channel fault hook returns to drop the value in transit.
+DROP = object()
 
 
 class Channel:
@@ -25,8 +28,26 @@ class Channel:
         self._record = [] if record else None
         self.n_put = 0
         self.n_get = 0
+        self.n_dropped = 0
+        self._fault = None
+
+    def set_fault(self, fn):
+        """Install a fault hook ``fn(value) -> value | DROP``.
+
+        Models lossy or corrupting links for fault-injection campaigns:
+        the hook sees every value entering the FIFO and may rewrite it or
+        return :data:`DROP` to lose it (counted in ``n_dropped``).  Pass
+        ``None`` to clear.
+        """
+        self._fault = fn
+        return self
 
     def put(self, value):
+        if self._fault is not None:
+            value = self._fault(value)
+            if value is DROP:
+                self.n_dropped += 1
+                return
         if self.capacity is not None and len(self._fifo) >= self.capacity:
             raise ChannelFull("channel %r is full (capacity %d)"
                               % (self.name, self.capacity))

@@ -9,19 +9,26 @@ correctness.
 
 from __future__ import annotations
 
-from repro.core.errors import SimulationError
+from repro.core.errors import DeadlockError, SimulationError
 from repro.sim.channel import Channel
 
 __all__ = ["Engine"]
 
 
 class Engine:
-    """Runs a set of processors against one design context."""
+    """Runs a set of processors against one design context.
 
-    def __init__(self, ctx, processors=()):
+    ``stall_limit`` arms the deadlock/stall detector: when that many
+    consecutive cycles pass with zero channel activity while processors
+    are still alive, :class:`~repro.core.errors.DeadlockError` is raised
+    instead of spinning forever on a stalled FIFO.
+    """
+
+    def __init__(self, ctx, processors=(), stall_limit=None):
         self.ctx = ctx
         self.processors = list(processors)
         self.channels = []
+        self.stall_limit = stall_limit
         self._started = False
 
     def add(self, processor):
@@ -59,7 +66,8 @@ class Engine:
         self._started = True
         return self
 
-    def run(self, cycles=None, until_done=False):
+    def run(self, cycles=None, until_done=False, watchdog=None,
+            stall_limit=None):
         """Advance the simulation.
 
         ``cycles`` bounds the number of clock edges; with
@@ -68,14 +76,24 @@ class Engine:
         with no channel activity (free-running transform processors never
         terminate by themselves — an idle cycle means the pipeline has
         drained).  Returns the number of cycles run.
+
+        ``watchdog`` (any object with ``start()`` and ``check(cycles)``,
+        typically :class:`repro.robust.guards.Watchdog`) bounds the run
+        by cycle count and wall-clock budget.  ``stall_limit`` overrides
+        the engine-level stall detector for this run.
         """
         if not self._started:
             self.build()
             self.start()
-        if cycles is None and not until_done:
-            raise SimulationError("run() needs a cycle bound or "
-                                  "until_done=True")
+        if cycles is None and not until_done and watchdog is None:
+            raise SimulationError("run() needs a cycle bound, a watchdog "
+                                  "or until_done=True")
+        if stall_limit is None:
+            stall_limit = self.stall_limit
+        if watchdog is not None:
+            watchdog.start()
         n = 0
+        idle = 0
         with self.ctx:
             while cycles is None or n < cycles:
                 activity_before = sum(c.n_put + c.n_get for c in self.channels)
@@ -85,13 +103,25 @@ class Engine:
                         any_alive = True
                 self.ctx.tick()
                 n += 1
+                if watchdog is not None:
+                    watchdog.check(n)
+                activity_after = sum(c.n_put + c.n_get
+                                     for c in self.channels)
+                stalled = (self.channels and any_alive
+                           and activity_after == activity_before)
                 if until_done:
                     if not any_alive:
                         break
-                    activity_after = sum(c.n_put + c.n_get
-                                         for c in self.channels)
-                    if self.channels and activity_after == activity_before:
+                    if stalled:
                         break
+                idle = idle + 1 if stalled else 0
+                if stall_limit is not None and idle >= stall_limit:
+                    alive = [p.name for p in self.processors if not p.done]
+                    raise DeadlockError(
+                        "no channel activity for %d consecutive cycles; "
+                        "processors still alive: %s"
+                        % (idle, ", ".join(alive)),
+                        processors=alive, cycles=self.ctx.cycle)
         return n
 
     def __repr__(self):

@@ -63,6 +63,12 @@ class TestQuantizeProperties:
 
 class TestRequiredMsbProperties:
     ranges = st.tuples(values, values).map(lambda t: (min(t), max(t)))
+    # Bounded variant generated in-domain (an assume() on the wide
+    # strategy filters out enough inputs to trip the health check).
+    small_values = st.floats(min_value=-99999.0, max_value=99999.0,
+                             allow_nan=False, allow_infinity=False)
+    small_ranges = st.tuples(small_values, small_values).map(
+        lambda t: (min(t), max(t)))
 
     @given(ranges)
     def test_covers_and_minimal(self, bounds):
@@ -73,10 +79,9 @@ class TestRequiredMsbProperties:
         # minimality
         assert not (-(2.0 ** (m - 1)) <= lo and hi < 2.0 ** (m - 1))
 
-    @given(ranges, st.integers(min_value=0, max_value=16))
+    @given(small_ranges, st.integers(min_value=0, max_value=16))
     def test_dtype_from_range_covers(self, bounds, f):
         lo, hi = bounds
-        assume(abs(lo) < 1e5 and abs(hi) < 1e5)
         dt = DType.from_range("t", lo, hi, f)
         assert dt.min_value <= lo
         assert dt.max_value >= hi - dt.eps  # hi may need the next grid pt

@@ -1,0 +1,136 @@
+"""Fault-injection campaigns against the paper's full designs.
+
+Marked ``slow``: each test refines a complete design and re-simulates it
+once per fault.  Run with ``pytest -m slow``.
+
+Documented robustness margins (asserted below):
+
+* LMS equalizer — a transient single-LSB bit flip on the output costs
+  < 3 dB SQNR; stimulus-seed perturbation stays within 6 dB of the
+  nominal SQNR (the refined types are not overfit to one stimulus).
+* Timing recovery — a transient single-LSB bit flip on the interpolator
+  output costs < 3 dB; seed perturbation stays within 10 dB (the loop's
+  lock transient varies more between stimuli than the LMS steady state).
+"""
+
+import math
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.dsp.timing_recovery import TimingRecoveryDesign
+from repro.refine import FlowConfig, RefinementFlow
+from repro.robust.faults import BitFlip, FaultCampaign, SeedPerturb
+
+pytestmark = pytest.mark.slow
+
+T_INPUT = DType("T_input", 7, 5, "tc", "saturate", "round")
+T_TIMING_IN = DType("T_in", 9, 7, "tc", "saturate", "round")
+PHASE_T = DType("T_eta", 12, 12, "us", "wrap", "round")
+
+
+class TestLmsCampaign:
+    @pytest.fixture(scope="class")
+    def refined(self):
+        flow = RefinementFlow(
+            design_factory=LmsEqualizerDesign,
+            input_types={"x": T_INPUT},
+            input_ranges={"x": (-1.5, 1.5)},
+            user_ranges={"b": (-0.2, 0.2)},
+            config=FlowConfig(n_samples=3000, auto_range=False, seed=1234),
+        )
+        return flow.run()
+
+    @pytest.fixture(scope="class")
+    def campaign(self, refined):
+        types = dict(refined.types)
+        types["x"] = T_INPUT
+        return FaultCampaign(
+            LmsEqualizerDesign, types, errors=refined.lsb.annotations,
+            n_samples=3000,
+            seeded_factory=lambda s: LmsEqualizerDesign(seed=s))
+
+    def test_nominal_sqnr_in_paper_ballpark(self, refined):
+        assert 34.0 < refined.baseline_sqnr_db < 46.0
+        assert 34.0 < refined.verification.output_sqnr_db < 46.0
+
+    def test_single_lsb_bitflip_margin(self, refined, campaign):
+        output = refined.verification.output
+        out = campaign.run([BitFlip(output, bit=0, at=1500)])
+        o = out.outcomes[0]
+        assert o.completed
+        assert o.degradation_db < 3.0
+
+    def test_seed_perturbation_margin(self, campaign):
+        out = campaign.run([SeedPerturb(20000), SeedPerturb(27919)])
+        for o in out.outcomes:
+            assert o.completed
+            assert abs(o.degradation_db) < 6.0
+        assert out.certified(6.0, kinds=("seed-perturb",))
+
+    def test_campaign_report_is_renderable(self, refined, campaign):
+        output = refined.verification.output
+        out = campaign.run([BitFlip(output, bit=0, at=1500),
+                            SeedPerturb(20000)])
+        text = out.table()
+        assert output in text
+        assert math.isfinite(out.worst_degradation_db())
+
+
+class TestTimingRecoveryCampaign:
+    KNOWLEDGE_RANGES = {
+        "lf.i": (-0.01, 0.01),
+        "nco.w": (0.35, 0.65),
+        "nco.mu": (0.0, 1.0),
+        "lf.out": (-0.05, 0.05),
+        "lf.p": (-0.05, 0.05),
+        "ted.err": (-4.0, 4.0),
+    }
+
+    @staticmethod
+    def _design(seed=77):
+        return TimingRecoveryDesign(noise_std=0.05,
+                                    nco_phase_dtype=PHASE_T, seed=seed)
+
+    @pytest.fixture(scope="class")
+    def refined(self):
+        flow = RefinementFlow(
+            design_factory=self._design,
+            input_types={"in": T_TIMING_IN},
+            input_ranges={"in": (-2.0, 2.0)},
+            preset_types={"nco.eta": PHASE_T},
+            user_ranges=dict(self.KNOWLEDGE_RANGES),
+            user_errors={"nco.eta": 2.0 ** -12},
+            config=FlowConfig(n_samples=8000, auto_range=True,
+                              auto_error=False, seed=21),
+        )
+        return flow.run()
+
+    @pytest.fixture(scope="class")
+    def campaign(self, refined):
+        types = dict(refined.types)
+        types["in"] = T_TIMING_IN
+        types["nco.eta"] = PHASE_T
+        return FaultCampaign(
+            self._design, types, errors=refined.lsb.annotations,
+            n_samples=8000,
+            seeded_factory=lambda s: self._design(seed=s))
+
+    def test_refinement_succeeds(self, refined):
+        assert refined.msb.resolved
+        assert refined.lsb.resolved
+        assert math.isfinite(refined.verification.output_sqnr_db)
+
+    def test_single_lsb_bitflip_margin(self, refined, campaign):
+        output = refined.verification.output
+        out = campaign.run([BitFlip(output, bit=0, at=4000)])
+        o = out.outcomes[0]
+        assert o.completed
+        assert o.degradation_db < 3.0
+
+    def test_seed_perturbation_margin(self, campaign):
+        out = campaign.run([SeedPerturb(500)])
+        o = out.outcomes[0]
+        assert o.completed
+        assert abs(o.degradation_db) < 10.0
