@@ -4,20 +4,65 @@ Not a paper artifact; establishes the cost envelope of this environment:
 
 * scalar quantization calls (the per-assignment hot path),
 * vectorized numpy quantization (block reference models),
-* monitored LMS simulation samples per second.
+* monitored LMS simulation samples per second,
+* sensitivity-sweep wall clock, serial vs parallel fan-out.
 
-These run under pytest-benchmark's normal statistics (multiple rounds).
+Two entry points:
+
+* **pytest-benchmark tests** (``pytest benchmarks/bench_throughput.py``)
+  with the usual multi-round statistics;
+* **a standalone trajectory harness**::
+
+      PYTHONPATH=src python benchmarks/bench_throughput.py [--quick]
+          [--out BENCH_throughput.json] [--check BENCH_throughput.json]
+
+  which emits machine-readable ``BENCH_throughput.json`` so each PR's
+  perf delta stays visible, and with ``--check`` fails (exit 1) on a
+  >30% regression against a committed baseline file.  Regression checks
+  are normalized by the reference-path speed ratio between the two
+  machines, so a slower CI box does not raise false alarms.
 """
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.isdir(_src) and _src not in sys.path:
+        sys.path.insert(0, _src)
 
 import numpy as np
 
 from repro.core.dtype import DType
-from repro.core.quantize import quantize, quantize_array
+from repro.core.quantize import quantize, quantize_array, quantize_info
 from repro.dsp.lms import LmsEqualizerDesign
+from repro.parallel import default_workers
+from repro.refine.sensitivity import analyze_sensitivity
 from repro.signal import DesignContext
 
 T = DType("T", 12, 8, "tc", "saturate", "round")
 
+#: Pre-PR numbers measured on the original (namedtuple-dispatch) code
+#: path, same machine class as the committed JSON — the origin of the
+#: perf trajectory.  Do not update these when optimizing; they are the
+#: "before" column.
+PRE_PR_BASELINE = {
+    "scalar_quantize_ns": 866.4,
+    "vector_quantize_msps": 82.5,
+    "lms_samples_per_s": 7477.3,
+}
+
+#: Allowed slow-down vs the committed baseline before --check fails.
+REGRESSION_TOLERANCE = 0.30
+
+
+# -- pytest-benchmark tests --------------------------------------------------
 
 def test_scalar_quantize(benchmark):
     values = np.random.default_rng(0).uniform(-8, 8, size=1000).tolist()
@@ -26,6 +71,20 @@ def test_scalar_quantize(benchmark):
         total = 0.0
         for v in values:
             total += quantize(v, 12, 8)
+        return total
+
+    benchmark(work)
+
+
+def test_scalar_kernel(benchmark):
+    """The bound compiled kernel — the actual per-assignment hot path."""
+    values = np.random.default_rng(0).uniform(-8, 8, size=1000).tolist()
+    kernel = T.kernel
+
+    def work():
+        total = 0.0
+        for v in values:
+            total += kernel(v)[0]
         return total
 
     benchmark(work)
@@ -54,3 +113,214 @@ def test_monitored_lms_simulation(benchmark):
 
     ctx = benchmark(run)
     assert ctx.get("v[3]").range_stat.count == 500
+
+
+# -- trajectory harness ------------------------------------------------------
+
+def _best_of(fn, repeats):
+    """Minimum wall-clock of several calls (noise-robust point estimate)."""
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best
+
+
+def measure_scalar_kernel_ns(quick):
+    values = np.random.default_rng(0).uniform(-8, 8, size=1000).tolist()
+    kernel = T.kernel
+
+    def work():
+        for v in values:
+            kernel(v)
+    return _best_of(work, 3 if quick else 7) / len(values) * 1e9
+
+
+def measure_scalar_dispatch_ns(quick):
+    values = np.random.default_rng(0).uniform(-8, 8, size=1000).tolist()
+
+    def work():
+        for v in values:
+            quantize(v, 12, 8)
+    return _best_of(work, 3 if quick else 7) / len(values) * 1e9
+
+
+def measure_reference_scalar_ns(quick):
+    values = np.random.default_rng(0).uniform(-8, 8, size=1000).tolist()
+
+    def work():
+        for v in values:
+            quantize_info(v, 12, 8)
+    return _best_of(work, 3 if quick else 7) / len(values) * 1e9
+
+
+def measure_vector_msps(quick):
+    size = 100_000
+    values = np.random.default_rng(0).uniform(-8, 8, size=size)
+    out = np.empty(size)
+
+    def work():
+        quantize_array(values, 12, 8, out=out)
+    return size / _best_of(work, 5 if quick else 11) / 1e6
+
+
+def measure_lms_samples_per_s(quick):
+    n = 800 if quick else 3000
+
+    def run():
+        ctx = DesignContext("perf", seed=0)
+        with ctx:
+            d = LmsEqualizerDesign()
+            d.build(ctx)
+            ctx.get("x").set_dtype(DType("T_input", 7, 5))
+            d.run(ctx, n)
+    return n / _best_of(run, 2 if quick else 4)
+
+
+def measure_sensitivity_wallclock(quick):
+    """Sensitivity sweep wall clock: serial loop vs parallel fan-out.
+
+    On a single-CPU machine the fan-out auto-falls back to the serial
+    path, so both numbers come out close — the field still documents
+    the overhead/benefit on whatever machine produced the JSON.
+    """
+    n_samples = 150 if quick else 400
+    t_in = DType("T_in", 9, 7, "tc", "saturate", "round")
+    t_w = DType("T_w", 10, 9, "tc", "saturate", "round")
+    types = {"y": t_w, "w": t_w, "c": t_w, "d": t_w}
+
+    def factory():
+        return LmsEqualizerDesign(seed=2024)
+
+    def sweep(workers):
+        analyze_sensitivity(factory, types, {"x": t_in},
+                            n_samples=n_samples, seed=7, workers=workers)
+
+    serial = _best_of(lambda: sweep(1), 1 if quick else 2)
+    parallel = _best_of(lambda: sweep(None), 1 if quick else 2)
+    return serial, parallel
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except OSError:
+        return None
+
+
+def run_harness(quick=False):
+    metrics = {
+        "scalar_quantize_ns": measure_scalar_kernel_ns(quick),
+        "scalar_dispatch_ns": measure_scalar_dispatch_ns(quick),
+        "reference_scalar_ns": measure_reference_scalar_ns(quick),
+        "vector_quantize_msps": measure_vector_msps(quick),
+        "lms_samples_per_s": measure_lms_samples_per_s(quick),
+    }
+    serial, par = measure_sensitivity_wallclock(quick)
+    metrics["sensitivity_serial_s"] = serial
+    metrics["sensitivity_parallel_s"] = par
+    metrics["parallel_workers"] = default_workers()
+
+    base = PRE_PR_BASELINE
+    speedups = {
+        "scalar_quantize":
+            base["scalar_quantize_ns"] / metrics["scalar_quantize_ns"],
+        "vector_quantize":
+            metrics["vector_quantize_msps"] / base["vector_quantize_msps"],
+        "lms_simulation":
+            metrics["lms_samples_per_s"] / base["lms_samples_per_s"],
+        "sensitivity_parallel":
+            metrics["sensitivity_serial_s"]
+            / metrics["sensitivity_parallel_s"],
+    }
+    return {
+        "schema": 1,
+        "mode": "quick" if quick else "full",
+        "git_rev": _git_rev(),
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": default_workers(),
+        },
+        "pre_pr_baseline": dict(base),
+        "metrics": {k: round(v, 3) if isinstance(v, float) else v
+                    for k, v in metrics.items()},
+        "speedup_vs_pre_pr": {k: round(v, 2) for k, v in speedups.items()},
+    }
+
+
+def check_regression(current, committed, tolerance=REGRESSION_TOLERANCE):
+    """Compare against a committed baseline JSON; return failure strings.
+
+    The committed file may come from a different machine, so expected
+    values are scaled by the reference-path speed ratio (the reference
+    scalar path is untouched by optimizations — it measures the machine,
+    not the code).
+    """
+    cur = current["metrics"]
+    old = committed["metrics"]
+    failures = []
+    machine = cur["reference_scalar_ns"] / old["reference_scalar_ns"]
+
+    expected_ns = old["scalar_quantize_ns"] * machine
+    if cur["scalar_quantize_ns"] > expected_ns * (1.0 + tolerance):
+        failures.append(
+            "scalar_quantize_ns %.1f exceeds %.1f (baseline %.1f x "
+            "machine factor %.2f, +%d%%)"
+            % (cur["scalar_quantize_ns"], expected_ns * (1.0 + tolerance),
+               old["scalar_quantize_ns"], machine,
+               int(tolerance * 100)))
+    for rate_key in ("vector_quantize_msps", "lms_samples_per_s"):
+        expected = old[rate_key] / machine
+        floor = expected / (1.0 + tolerance)
+        if cur[rate_key] < floor:
+            failures.append(
+                "%s %.1f below %.1f (baseline %.1f / machine factor "
+                "%.2f, -%d%%)"
+                % (rate_key, cur[rate_key], floor, old[rate_key], machine,
+                   int(tolerance * 100)))
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer repeats / smaller runs (CI smoke mode)")
+    ap.add_argument("--out", default=None, metavar="PATH",
+                    help="write BENCH_throughput.json here")
+    ap.add_argument("--check", default=None, metavar="PATH",
+                    help="fail (exit 1) on >30%% regression vs this "
+                         "committed baseline JSON")
+    args = ap.parse_args(argv)
+
+    report = run_harness(quick=args.quick)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print("\n[written to %s]" % args.out, file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as fh:
+            committed = json.load(fh)
+        failures = check_regression(report, committed)
+        if failures:
+            for f in failures:
+                print("PERF REGRESSION: %s" % f, file=sys.stderr)
+            return 1
+        print("[perf check vs %s: ok]" % args.check, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

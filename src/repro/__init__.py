@@ -34,6 +34,7 @@ from repro.core import (
     required_msb,
 )
 from repro.core.quantize import quantize
+from repro.parallel import SimCache, SimConfig, SimOutcome, run_simulations
 from repro.signal import (
     DesignContext,
     Expr,
@@ -82,6 +83,10 @@ __all__ = [
     "fmax",
     "fabs",
     "clamp",
+    "SimConfig",
+    "SimOutcome",
+    "SimCache",
+    "run_simulations",
     "dtype",
     "sig",
     "reg",

@@ -53,7 +53,8 @@ class DType:
         T1.quantize(0.123)   # -> 0.125
     """
 
-    __slots__ = ("name", "n", "f", "vtype", "msbspec", "lsbspec")
+    __slots__ = ("name", "n", "f", "vtype", "msbspec", "lsbspec",
+                 "_kernel", "_saturating", "_range_ival")
 
     def __init__(self, name, n, f, vtype="tc", msbspec="saturate",
                  lsbspec="round"):
@@ -73,6 +74,10 @@ class DType:
         self.vtype = _VTYPE_ALIASES[vtype]
         self.msbspec = _MSB_ALIASES[msbspec]
         self.lsbspec = _LSB_ALIASES[lsbspec]
+        # Lazily built caches (see the kernel/saturating properties).
+        self._kernel = None
+        self._saturating = None
+        self._range_ival = None
 
     # -- derived characteristics -------------------------------------------
 
@@ -104,14 +109,50 @@ class DType:
         return _q.value_max(self.n, self.f, self.signed)
 
     def range_interval(self):
-        """Representable range as an :class:`Interval`."""
-        return Interval(self.min_value, self.max_value)
+        """Representable range as an :class:`Interval` (cached; treat as
+        read-only)."""
+        ival = self._range_ival
+        if ival is None:
+            ival = self._range_ival = Interval(self.min_value,
+                                               self.max_value)
+        return ival
 
     @property
     def num_codes(self):
         return 1 << self.n
 
     # -- quantization --------------------------------------------------------
+
+    @property
+    def kernel(self):
+        """Compiled scalar fast path: ``kernel(v) -> (qvalue, overflowed)``.
+
+        Built lazily from :mod:`repro.core.kernels` and shared between
+        all types with the same characteristic.  Bit-identical to
+        :meth:`quantize_info` (property-tested).
+        """
+        k = self._kernel
+        if k is None:
+            from repro.core.kernels import scalar_kernel
+            k = self._kernel = scalar_kernel(self.n, self.f, self.signed,
+                                             self.msbspec, self.lsbspec)
+        return k
+
+    @property
+    def saturating(self):
+        """This type with ``msbspec="saturate"`` (cached; self if already
+        saturating).
+
+        The per-assignment hot path of ``error``-mode signals quantizes
+        through the saturating variant and flags the overflow — this
+        cache removes the former per-assignment :meth:`with_` call.
+        """
+        if self.msbspec == "saturate":
+            return self
+        sat = self._saturating
+        if sat is None:
+            sat = self._saturating = self.with_(msbspec="saturate")
+        return sat
 
     def quantize_info(self, value, name=None):
         """Quantize ``value`` per this type, reporting overflow and error."""
@@ -120,13 +161,14 @@ class DType:
                                 name=name)
 
     def quantize(self, value):
-        return self.quantize_info(value).value
+        """Quantize ``value`` through the compiled kernel (value only)."""
+        return self.kernel(value)[0]
 
-    def quantize_array(self, values, out_overflow=None):
+    def quantize_array(self, values, out_overflow=None, out=None):
         """Vectorized quantization of a numpy array."""
         return _q.quantize_array(values, self.n, self.f, signed=self.signed,
                                  overflow=self.msbspec, rounding=self.lsbspec,
-                                 out_overflow=out_overflow)
+                                 out_overflow=out_overflow, out=out)
 
     def is_representable(self, value):
         """True when ``value`` lies exactly on this type's grid."""
@@ -202,6 +244,13 @@ class DType:
         return cls(name, n, lsb, vtype, msbspec, lsbspec)
 
     # -- dunder ---------------------------------------------------------------
+
+    def __reduce__(self):
+        # Rebuild from the six defining fields: the lazy caches hold
+        # closures, which must never travel through pickle (the parallel
+        # runner ships DTypes to worker processes and back).
+        return (DType, (self.name, self.n, self.f, self.vtype,
+                        self.msbspec, self.lsbspec))
 
     def __eq__(self, other):
         if not isinstance(other, DType):

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Interval", "EMPTY", "FULL"]
+__all__ = ["Interval", "EMPTY", "FULL", "fast_interval",
+           "iv_add", "iv_sub", "iv_mul", "iv_neg"]
 
 
 def _mul_end(a, b):
@@ -52,6 +53,13 @@ class Interval:
         self.hi = hi
 
     # -- constructors ----------------------------------------------------
+
+    def copy(self):
+        """Independent snapshot of this interval."""
+        new = Interval.__new__(Interval)
+        new.lo = self.lo
+        new.hi = self.hi
+        return new
 
     @classmethod
     def empty(cls):
@@ -166,24 +174,18 @@ class Interval:
         return fn(other)
 
     def __add__(self, other):
-        return self._binary(other, lambda o: Interval(self.lo + o.lo,
-                                                      self.hi + o.hi))
+        return iv_add(self, Interval.coerce(other))
 
     __radd__ = __add__
 
     def __sub__(self, other):
-        return self._binary(other, lambda o: Interval(self.lo - o.hi,
-                                                      self.hi - o.lo))
+        return iv_sub(self, Interval.coerce(other))
 
     def __rsub__(self, other):
-        return Interval.coerce(other) - self
+        return iv_sub(Interval.coerce(other), self)
 
     def __mul__(self, other):
-        def mul(o):
-            products = (_mul_end(self.lo, o.lo), _mul_end(self.lo, o.hi),
-                        _mul_end(self.hi, o.lo), _mul_end(self.hi, o.hi))
-            return Interval(min(products), max(products))
-        return self._binary(other, mul)
+        return iv_mul(self, Interval.coerce(other))
 
     __rmul__ = __mul__
 
@@ -201,9 +203,7 @@ class Interval:
         return Interval.coerce(other) / self
 
     def __neg__(self):
-        if self.is_empty:
-            return Interval()
-        return Interval(-self.hi, -self.lo)
+        return iv_neg(self)
 
     def __abs__(self):
         if self.is_empty:
@@ -274,3 +274,72 @@ EMPTY = Interval()
 
 #: Shared unbounded interval.
 FULL = Interval.full()
+
+
+# -- hot-path helpers ---------------------------------------------------------
+#
+# The overloaded-operator simulation creates one interval per arithmetic
+# operation per sample; these functions are the allocation-lean core the
+# dunders (and repro.signal.expr directly) dispatch to.  They assume both
+# operands are Interval instances — coercion stays in the dunders.
+
+def fast_interval(lo, hi):
+    """Interval from known-good float bounds, skipping validation.
+
+    Internal fast path: callers guarantee ``lo <= hi`` (or the empty
+    convention ``inf > -inf``) and non-NaN bounds.
+    """
+    new = Interval.__new__(Interval)
+    new.lo = lo
+    new.hi = hi
+    return new
+
+
+def iv_add(a, b):
+    if a.lo > a.hi or b.lo > b.hi:
+        return EMPTY
+    lo = a.lo + b.lo
+    hi = a.hi + b.hi
+    if lo != lo or hi != hi:
+        raise ValueError("interval bounds must not be NaN")
+    return fast_interval(lo, hi)
+
+
+def iv_sub(a, b):
+    if a.lo > a.hi or b.lo > b.hi:
+        return EMPTY
+    lo = a.lo - b.hi
+    hi = a.hi - b.lo
+    if lo != lo or hi != hi:
+        raise ValueError("interval bounds must not be NaN")
+    return fast_interval(lo, hi)
+
+
+def iv_mul(a, b):
+    if a.lo > a.hi or b.lo > b.hi:
+        return EMPTY
+    p1 = _mul_end(a.lo, b.lo)
+    p2 = _mul_end(a.lo, b.hi)
+    p3 = _mul_end(a.hi, b.lo)
+    p4 = _mul_end(a.hi, b.hi)
+    lo = p1
+    hi = p1
+    if p2 < lo:
+        lo = p2
+    elif p2 > hi:
+        hi = p2
+    if p3 < lo:
+        lo = p3
+    elif p3 > hi:
+        hi = p3
+    if p4 < lo:
+        lo = p4
+    elif p4 > hi:
+        hi = p4
+    return fast_interval(lo, hi)
+
+
+def iv_neg(a):
+    if a.lo > a.hi:
+        return EMPTY
+    return fast_interval(-a.hi, -a.lo)

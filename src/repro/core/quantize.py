@@ -21,6 +21,8 @@ import numpy as np
 from repro.core import word
 from repro.core.errors import (DTypeError, FixedPointOverflowError,
                                NonFiniteError)
+from repro.core.kernels import _CACHE as _kernel_cache
+from repro.core.kernels import scalar_kernel as _scalar_kernel
 
 __all__ = [
     "ROUNDING_MODES",
@@ -119,48 +121,100 @@ def quantize_info(value, n, f, signed=True, overflow="saturate",
 
 
 def quantize(value, n, f, signed=True, overflow="saturate", rounding="round"):
-    """Quantize ``value``; return only the quantized real value."""
-    return quantize_info(value, n, f, signed=signed, overflow=overflow,
-                         rounding=rounding).value
+    """Quantize ``value``; return only the quantized real value.
+
+    Dispatches to a compiled per-format kernel (see
+    :mod:`repro.core.kernels`); bit-identical to
+    ``quantize_info(...).value``.
+    """
+    kernel = _kernel_cache.get((n, f, signed, overflow, rounding))
+    if kernel is None:
+        kernel = _scalar_kernel(n, f, signed, overflow, rounding)
+    return kernel(value)[0]
 
 
-def _round_codes(values, f, rounding):
-    scaled = np.asarray(values, dtype=np.float64) * np.ldexp(1.0, f)
+class _VectorConsts:
+    """Hoisted per-format constants of the vectorized path.
+
+    ``np.ldexp``, the integer code bounds and the wrap span used to be
+    recomputed on every :func:`quantize_array` call; one instance per
+    ``(n, f, signed)`` format now carries them ready-made.
+    """
+
+    __slots__ = ("scale", "inv", "lo", "hi", "span", "offset")
+
+    def __init__(self, n, f, signed):
+        self.scale = float(np.ldexp(1.0, f))
+        self.inv = float(np.ldexp(1.0, -f))
+        self.lo = float(word.int_min(n, signed))
+        self.hi = float(word.int_max(n, signed))
+        self.span = float(1 << n)
+        self.offset = float(1 << (n - 1)) if signed else 0.0
+
+
+_VCONSTS = {}
+
+
+def _vector_consts(n, f, signed):
+    key = (n, f, signed)
+    vc = _VCONSTS.get(key)
+    if vc is None:
+        vc = _VCONSTS[key] = _VectorConsts(n, f, signed)
+    return vc
+
+
+def _round_codes(scaled, rounding):
+    """Round pre-scaled values to codes, in place."""
     if rounding == "round":
-        return np.floor(scaled + 0.5)
+        scaled += 0.5
+        return np.floor(scaled, out=scaled)
     if rounding == "floor":
-        return np.floor(scaled)
+        return np.floor(scaled, out=scaled)
     if rounding == "ceil":
-        return np.ceil(scaled)
+        return np.ceil(scaled, out=scaled)
     if rounding == "trunc":
-        return np.trunc(scaled)
+        return np.trunc(scaled, out=scaled)
     raise DTypeError("unknown rounding mode %r (expected one of %s)"
                      % (rounding, ", ".join(ROUNDING_MODES)))
 
 
 def quantize_array(values, n, f, signed=True, overflow="saturate",
-                   rounding="round", out_overflow=None):
+                   rounding="round", out_overflow=None, out=None):
     """Vectorized :func:`quantize` over a numpy array.
 
     Codes are kept in float64, which is exact for wordlengths up to 53
     bits — far beyond any practical DSP datapath.  When ``out_overflow``
     is a one-element list, the number of overflowed elements is appended
     to it (cheap way to get the count without a second pass).
+
+    ``out`` may name a preallocated float64 buffer of the input's shape;
+    the quantized values land there (and are returned) without any
+    intermediate allocation beyond the working copy — the fast path for
+    block reference models that quantize the same-sized frame each call.
     """
     if overflow not in OVERFLOW_MODES:
         raise DTypeError("unknown overflow mode %r (expected one of %s)"
                          % (overflow, ", ".join(OVERFLOW_MODES)))
     if n > 53:
         raise DTypeError("vectorized path supports wordlengths up to 53 bits")
+    vc = _vector_consts(n, f, signed)
     arr = np.asarray(values, dtype=np.float64)
     if not np.isfinite(arr).all():
         n_bad_vals = int(np.count_nonzero(~np.isfinite(arr)))
         raise NonFiniteError(
             "cannot quantize %d non-finite value(s); sanitize the array "
             "(np.nan_to_num) or fix the producer" % n_bad_vals)
-    codes = _round_codes(arr, f, rounding)
-    lo = float(word.int_min(n, signed))
-    hi = float(word.int_max(n, signed))
+    if out is not None:
+        if (getattr(out, "shape", None) != arr.shape
+                or getattr(out, "dtype", None) != np.float64):
+            raise DTypeError("out buffer must be float64 with shape %r"
+                             % (arr.shape,))
+        codes = np.multiply(arr, vc.scale, out=out)
+    else:
+        codes = arr * vc.scale
+    codes = _round_codes(codes, rounding)
+    lo = vc.lo
+    hi = vc.hi
     bad = (codes < lo) | (codes > hi)
     n_bad = int(np.count_nonzero(bad))
     if n_bad:
@@ -169,11 +223,12 @@ def quantize_array(values, n, f, signed=True, overflow="saturate",
                 "%d values overflow <%d,%d,%s>"
                 % (n_bad, n, f, "tc" if signed else "us"))
         if overflow == "saturate":
-            codes = np.clip(codes, lo, hi)
+            np.clip(codes, lo, hi, out=codes)
         else:  # wrap
-            span = float(1 << n)
-            offset = 0.0 if not signed else float(1 << (n - 1))
-            codes = np.mod(codes + offset, span) - offset
+            codes += vc.offset
+            np.mod(codes, vc.span, out=codes)
+            codes -= vc.offset
     if out_overflow is not None:
         out_overflow.append(n_bad)
-    return codes * np.ldexp(1.0, -f)
+    codes *= vc.inv
+    return codes

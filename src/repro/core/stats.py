@@ -47,10 +47,15 @@ class RangeStat:
             self.min = value
         if value > self.max:
             self.max = value
-        if self.frac_bits < self.FRAC_CAP:
-            fb = word.needed_frac_bits(value, cap=self.FRAC_CAP)
-            if fb > self.frac_bits:
-                self.frac_bits = fb
+        fb = self.frac_bits
+        if fb < self.FRAC_CAP:
+            # Values already on the current 2**-fb grid (the common case
+            # once a signal is quantized) cannot raise frac_bits.
+            scaled = math.ldexp(value, fb)
+            if scaled % 1.0 != 0.0:
+                nfb = word.needed_frac_bits(value, cap=self.FRAC_CAP)
+                if nfb > fb:
+                    self.frac_bits = nfb
 
     def update_many(self, values):
         for v in values:

@@ -1,0 +1,8 @@
+"""Parallel re-simulation runner (see :mod:`repro.parallel.runner`)."""
+
+from repro.parallel.runner import (SimCache, SimConfig, SimOutcome,
+                                   default_workers, fingerprint,
+                                   run_simulations)
+
+__all__ = ["SimConfig", "SimOutcome", "SimCache", "run_simulations",
+           "default_workers", "fingerprint"]

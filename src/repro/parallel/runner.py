@@ -1,0 +1,346 @@
+"""Deterministic parallel re-simulation fan-out.
+
+The refinement loop is simulation-hungry: a sensitivity sweep costs
+``2N + 1`` runs, the greedy wordlength optimizer probes every candidate
+signal per move, and a fault campaign re-simulates once per fault.  All
+of those runs are *independent* — same design factory, different
+annotations / seeds / faults — which makes them embarrassingly
+parallel.
+
+:func:`run_simulations` executes a batch of :class:`SimConfig` jobs and
+returns one :class:`SimOutcome` per job, in order.  Three execution
+strategies, picked automatically:
+
+* **fork pool** — a ``ProcessPoolExecutor`` on the ``fork`` start
+  method.  The design factory is stashed in module state *before* the
+  workers fork, so arbitrary (even unpicklable) factories are inherited
+  by the children for free; only the configs and outcomes cross the
+  pipe.  Results are deterministic because every job carries its own
+  stimulus seed — scheduling order cannot change the numbers.
+* **serial fallback** — when ``fork`` is unavailable (Windows/macOS
+  spawn), only one CPU is visible, ``workers <= 1``, or the pool dies
+  (e.g. an outcome fails to pickle), the same jobs run in-process.
+  Bit-identical results either way.
+* **result cache** — an optional :class:`SimCache` keyed by a
+  fingerprint of (design factory, annotations, samples, seed, faults).
+  The optimizer re-probes many type maps it has already measured; the
+  cache turns those into dictionary hits.
+
+Environment knobs: ``REPRO_WORKERS`` overrides the auto worker count,
+``REPRO_PARALLEL=0`` forces the serial path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import ReproError
+from repro.signal.context import DesignContext
+
+__all__ = ["SimConfig", "SimOutcome", "SimCache", "run_simulations",
+           "default_workers", "fingerprint"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One independent simulation job.
+
+    ``dtypes`` / ``ranges`` / ``errors`` are the annotation maps applied
+    after ``design.build()`` (see
+    :class:`~repro.refine.flow.Annotations`).  ``factory_seed`` requests
+    the runner's ``seeded_factory`` (stimulus re-seeding, e.g.
+    :class:`~repro.robust.faults.SeedPerturb`).  With ``catch_errors``
+    set, a :class:`~repro.core.errors.ReproError` aborts only this job
+    and lands in ``SimOutcome.error``; otherwise it propagates to the
+    caller exactly like a serial run.
+    """
+
+    label: str = "sim"
+    dtypes: dict = field(default_factory=dict)
+    ranges: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+    n_samples: int = 2000
+    seed: int = 1234
+    overflow_action: str = "record"
+    guard_action: str = "raise"
+    faults: tuple = ()
+    factory_seed: object = None
+    catch_errors: bool = False
+
+
+@dataclass(frozen=True)
+class SimOutcome:
+    """Result of one :class:`SimConfig` job.
+
+    ``records`` is the :func:`~repro.refine.monitors.collect` snapshot,
+    ``fault_fired`` holds each fault's ``n_fired`` counter as observed
+    *inside* the run (the caller's fault objects are not mutated when
+    the job ran in a worker process — always read the counts from
+    here).
+    """
+
+    label: str
+    records: dict
+    output: object
+    guard_trips: int = 0
+    fault_fired: tuple = ()
+    error: object = None
+
+    @property
+    def completed(self):
+        return self.error is None
+
+    def sqnr_db(self, name=None):
+        """Output (or named signal) SQNR of this run."""
+        key = self.output if name is None else name
+        return self.records[key].sqnr_db()
+
+
+# -- worker state ------------------------------------------------------------
+
+# Factories are installed here before the pool forks, so child processes
+# inherit them through copy-on-write instead of pickling.  The serial
+# fallback uses the same slot for symmetry.
+_WORKER_STATE = {"factory": None, "seeded_factory": None}
+
+
+def _execute(config):
+    """Run one job against the installed factory (worker entry point)."""
+    # Imported lazily: repro.refine's own modules (sensitivity, the
+    # optimizer) import this runner at module scope, so importing the
+    # refine package back at *our* module scope would be circular.
+    from repro.refine.flow import Annotations
+    from repro.refine.monitors import collect
+
+    factory = _WORKER_STATE["factory"]
+    seeded = _WORKER_STATE["seeded_factory"]
+    faults = config.faults
+    try:
+        ctx = DesignContext(config.label, seed=config.seed,
+                            overflow_action=config.overflow_action,
+                            guard_action=config.guard_action)
+        with ctx:
+            if config.factory_seed is not None and seeded is not None:
+                design = seeded(config.factory_seed)
+            else:
+                design = factory()
+            design.build(ctx)
+            Annotations(dtypes=config.dtypes, ranges=config.ranges,
+                        errors=config.errors).apply(ctx)
+            for fault in faults:
+                fault.install(ctx, design)
+            design.run(ctx, config.n_samples)
+        records = collect(ctx)
+        output = getattr(design, "output", None)
+        return SimOutcome(config.label, records, output,
+                          ctx.guard_trip_count,
+                          tuple(f.n_fired for f in faults), None)
+    except ReproError as exc:
+        if not config.catch_errors:
+            raise
+        return SimOutcome(config.label, {}, None, 0,
+                          tuple(getattr(f, "n_fired", None) for f in faults),
+                          str(exc))
+
+
+# -- worker count ------------------------------------------------------------
+
+def default_workers():
+    """Auto worker count: ``REPRO_WORKERS`` env, else visible CPUs."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _fork_available():
+    if os.environ.get("REPRO_PARALLEL") == "0":
+        return False
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# -- fingerprint cache -------------------------------------------------------
+
+def _callable_fingerprint(fn):
+    """Best-effort stable identity of a factory callable.
+
+    A ``fingerprint`` attribute on the factory wins (set one when
+    constructing factories dynamically).  Otherwise the qualified name
+    plus the compiled bytecode and closure contents are hashed, so two
+    distinct lambdas with the same name but different captured values do
+    not collide.
+    """
+    if fn is None:
+        return "none"
+    fp = getattr(fn, "fingerprint", None)
+    if fp is not None:
+        return str(fp)
+    parts = [getattr(fn, "__module__", "") or "",
+             getattr(fn, "__qualname__", None) or repr(fn)]
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        parts.append(hashlib.sha256(code.co_code).hexdigest())
+        parts.append(repr(code.co_consts))
+    cells = getattr(fn, "__closure__", None)
+    if cells:
+        try:
+            parts.append(repr([c.cell_contents for c in cells]))
+        except ValueError:  # empty cell
+            parts.append("<unset-cell>")
+    return "|".join(parts)
+
+
+def _dtype_key(dt):
+    return (dt.n, dt.f, dt.vtype, dt.msbspec, dt.lsbspec)
+
+
+def fingerprint(design_factory, config, seeded_factory=None):
+    """Cache key of one job: design identity + everything that shapes it."""
+    h = hashlib.sha256()
+
+    def feed(tag, value):
+        h.update(("%s=%r;" % (tag, value)).encode())
+
+    feed("factory", _callable_fingerprint(design_factory))
+    if config.factory_seed is not None:
+        feed("seeded", _callable_fingerprint(seeded_factory))
+        feed("factory_seed", config.factory_seed)
+    feed("dtypes", sorted((k, _dtype_key(v))
+                          for k, v in config.dtypes.items()))
+    feed("ranges", sorted(config.ranges.items()))
+    feed("errors", sorted(config.errors.items()))
+    feed("n_samples", config.n_samples)
+    feed("seed", config.seed)
+    feed("overflow", config.overflow_action)
+    feed("guard", config.guard_action)
+    feed("faults", tuple(repr(f) for f in config.faults))
+    return h.hexdigest()
+
+
+class SimCache:
+    """In-memory result cache for :func:`run_simulations`.
+
+    Keys are :func:`fingerprint` digests; values are completed
+    :class:`SimOutcome` objects (failed runs are never cached).  Pass
+    the same instance across :func:`analyze_sensitivity` /
+    :func:`optimize_wordlengths` calls to skip re-measuring type maps
+    the refinement loop has already probed.
+    """
+
+    def __init__(self, max_entries=4096):
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._store = {}
+
+    def get(self, key):
+        outcome = self._store.get(key)
+        if outcome is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return outcome
+
+    def put(self, key, outcome):
+        if outcome.error is not None:
+            return
+        if len(self._store) >= self.max_entries:
+            # Drop the oldest entry (insertion order) — simple, bounded.
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = outcome
+
+    def clear(self):
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._store)
+
+    def __contains__(self, key):
+        return key in self._store
+
+
+# -- the runner --------------------------------------------------------------
+
+def _run_serial(pending):
+    return [(idx, key, _execute(cfg)) for idx, key, cfg in pending]
+
+
+def _run_pool(pending, n_workers):
+    mp_ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=n_workers,
+                             mp_context=mp_ctx) as pool:
+        futures = [(idx, key, pool.submit(_execute, cfg))
+                   for idx, key, cfg in pending]
+        return [(idx, key, fut.result()) for idx, key, fut in futures]
+
+
+def run_simulations(design_factory, configs, workers=None, cache=None,
+                    seeded_factory=None):
+    """Run a batch of simulation jobs, in parallel when it pays off.
+
+    ``design_factory`` is called (in each worker) to build a fresh
+    design per job; ``configs`` is an iterable of :class:`SimConfig`.
+    ``workers=None`` auto-sizes to the visible CPUs (serial on a 1-CPU
+    box); any explicit ``workers >= 2`` forces a pool when ``fork`` is
+    available.  ``cache`` is an optional :class:`SimCache`.
+
+    Returns a list of :class:`SimOutcome` in config order — the same
+    values a serial loop would produce, regardless of worker count.
+    """
+    configs = list(configs)
+    results = [None] * len(configs)
+
+    pending = []
+    for idx, cfg in enumerate(configs):
+        key = None
+        if cache is not None:
+            key = fingerprint(design_factory, cfg, seeded_factory)
+            hit = cache.get(key)
+            if hit is not None:
+                # Cached outcomes keep their original label; re-label so
+                # the caller sees the name it asked for.
+                results[idx] = hit if hit.label == cfg.label \
+                    else replace(hit, label=cfg.label)
+                continue
+        pending.append((idx, key, cfg))
+
+    if not pending:
+        return results
+
+    _WORKER_STATE["factory"] = design_factory
+    _WORKER_STATE["seeded_factory"] = seeded_factory
+    try:
+        n_workers = default_workers() if workers is None else int(workers)
+        n_workers = min(n_workers, len(pending))
+        if n_workers >= 2 and _fork_available():
+            try:
+                done = _run_pool(pending, n_workers)
+            except (BrokenProcessPool, pickle.PicklingError, OSError):
+                # Pool infrastructure failure (not a simulation error):
+                # jobs are pure, so re-running them serially is safe.
+                done = _run_serial(pending)
+        else:
+            done = _run_serial(pending)
+    finally:
+        _WORKER_STATE["factory"] = None
+        _WORKER_STATE["seeded_factory"] = None
+
+    for idx, key, outcome in done:
+        results[idx] = outcome
+        if cache is not None and key is not None:
+            cache.put(key, outcome)
+    return results

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.parallel.runner import SimConfig, run_simulations
 from repro.refine.flow import Annotations
 from repro.refine.monitors import collect
 from repro.signal.context import DesignContext
@@ -55,35 +56,56 @@ def _sqnr(design_factory, dtypes, n_samples, seed):
 
 def optimize_wordlengths(design_factory, types, input_types, target_db,
                          n_samples=2000, seed=1234, max_moves=64,
-                         signals=None):
+                         signals=None, workers=None, cache=None):
     """Greedy bit reclaim/repair against an output SQNR target.
 
     ``types``: the synthesized map to optimize (not mutated);
     ``input_types``: fixed input formats; ``target_db``: the quality
     floor.  Returns an :class:`OptimizeResult` whose types meet the
     target (or the best-achievable map if even adding bits cannot).
+
+    Each greedy iteration probes every candidate signal; the probes of
+    one iteration are independent and run as one
+    :func:`repro.parallel.run_simulations` batch (``workers`` /
+    ``cache`` forwarded).  With a shared :class:`~repro.parallel.SimCache`
+    the optimizer also skips any type map it has already measured.
     """
     types = dict(types)
     names = sorted(signals if signals is not None else types)
     sims = 0
     moves = []
 
-    def probe(current):
+    def probe_batch(trials):
+        """SQNR of several candidate type maps, one fan-out batch."""
         nonlocal sims
-        sims += 1
-        return _sqnr(design_factory, {**current, **input_types},
-                     n_samples, seed)
+        sims += len(trials)
+        configs = [SimConfig(label="wlopt",
+                             dtypes={**trial, **input_types},
+                             n_samples=n_samples, seed=seed)
+                   for trial in trials]
+        outcomes = run_simulations(design_factory, configs,
+                                   workers=workers, cache=cache)
+        return [o.records[o.output].sqnr_db() for o in outcomes]
 
-    current_sqnr = probe(types)
+    current_sqnr = probe_batch([types])[0]
+
+    def grown(name):
+        dt = types[name]
+        trial = dict(types)
+        trial[name] = dt.with_(n=dt.n + 1, f=dt.f + 1)
+        return trial
+
+    def shrunk(name):
+        dt = types[name]
+        trial = dict(types)
+        trial[name] = dt.with_(n=dt.n - 1, f=dt.f - 1)
+        return trial
 
     # Repair phase: grow the most effective signal until on target.
     while current_sqnr < target_db and len(moves) < max_moves:
+        sqnrs = probe_batch([grown(name) for name in names])
         best = None
-        for name in names:
-            dt = types[name]
-            trial = dict(types)
-            trial[name] = dt.with_(n=dt.n + 1, f=dt.f + 1)
-            sqnr = probe(trial)
+        for name, sqnr in zip(names, sqnrs):
             if best is None or sqnr > best[1]:
                 best = (name, sqnr)
         name, sqnr = best
@@ -98,14 +120,11 @@ def optimize_wordlengths(design_factory, types, input_types, target_db,
     improved = True
     while improved and len(moves) < max_moves:
         improved = False
+        shrinkable = [name for name in names
+                      if types[name].f > 0 and types[name].n > 1]
+        sqnrs = probe_batch([shrunk(name) for name in shrinkable])
         best = None
-        for name in names:
-            dt = types[name]
-            if dt.f <= 0 or dt.n <= 1:
-                continue
-            trial = dict(types)
-            trial[name] = dt.with_(n=dt.n - 1, f=dt.f - 1)
-            sqnr = probe(trial)
+        for name, sqnr in zip(shrinkable, sqnrs):
             if sqnr >= target_db and (best is None or sqnr > best[1]):
                 best = (name, sqnr)
         if best is not None:

@@ -33,7 +33,8 @@ import math
 from dataclasses import dataclass, field
 
 from repro.core import word
-from repro.core.errors import DesignError, ReproError
+from repro.core.errors import DesignError
+from repro.parallel.runner import SimConfig, run_simulations
 from repro.refine.flow import Annotations
 from repro.refine.monitors import collect
 from repro.refine.report import format_table
@@ -100,6 +101,12 @@ class BitFlip(Fault):
                               % (self.bit, dt.n, self.signal))
         self.n_fired = 0
         state = {"n": 0}
+        # Hoist the per-call constants out of the hot hook.
+        scale = 2.0 ** dt.f
+        inv = 2.0 ** -dt.f
+        flip = 1 << self.bit
+        n_bits = dt.n
+        signed = dt.signed
 
         def hook(s, qfx):
             i = state["n"]
@@ -109,9 +116,9 @@ class BitFlip(Fault):
             if not fire:
                 return qfx
             self.n_fired += 1
-            code = int(round(qfx * (2.0 ** dt.f))) ^ (1 << self.bit)
-            code = word.wrap_code(code, dt.n, dt.signed)
-            return code * (2.0 ** -dt.f)
+            code = int(round(qfx * scale)) ^ flip
+            code = word.wrap_code(code, n_bits, signed)
+            return code * inv
 
         sig.fault_post(hook)
 
@@ -434,28 +441,55 @@ class FaultCampaign:
 
     # -- campaign ------------------------------------------------------------
 
-    def run(self, faults):
-        """Execute the campaign; returns a :class:`CampaignResult`."""
-        records, output, _ = self._run_once(label="fault-baseline")
-        if output is None or output not in records:
-            raise DesignError("campaign needs a resolvable output signal "
-                              "(got %r)" % output)
-        baseline = records[output].sqnr_db()
-        result = CampaignResult(output, baseline, self.n_samples)
+    def _config(self, faults=(), seed=None, label="fault"):
+        """Describe one campaign run as a parallel-runner job."""
+        return SimConfig(label=label, dtypes=self.types, errors=self.errors,
+                         n_samples=self.n_samples,
+                         seed=self.seed if seed is None else seed,
+                         overflow_action="record",
+                         guard_action=self.guard_action,
+                         faults=tuple(faults), factory_seed=seed,
+                         catch_errors=bool(faults))
+
+    def run(self, faults, workers=None, cache=None):
+        """Execute the campaign; returns a :class:`CampaignResult`.
+
+        The baseline and the per-fault runs are independent and go out
+        as one :func:`repro.parallel.run_simulations` batch (``workers``
+        / ``cache`` forwarded; ``workers=None`` auto-sizes to the
+        visible CPUs, falling back to an in-process serial loop).  The
+        numbers are identical either way — each run carries its own
+        seed, and fault fire counts travel back inside the outcomes.
+        """
+        faults = list(faults)
+        configs = [self._config(label="fault-baseline")]
         for fault in faults:
             seed = fault.seed if isinstance(fault, SeedPerturb) else None
-            try:
-                records, _, ctx = self._run_once(
-                    [fault], seed=seed, label="fault-%s" % fault.kind)
-                sqnr = records[output].sqnr_db()
-                outcome = FaultOutcome(
-                    fault.describe(), fault.kind, sqnr, baseline - sqnr,
-                    self._overflows(records), ctx.guard_trip_count,
-                    triggered=(fault.n_fired is None or fault.n_fired > 0))
-            except ReproError as exc:
+            configs.append(self._config([fault], seed=seed,
+                                        label="fault-%s" % fault.kind))
+        sim_outcomes = run_simulations(self.factory, configs,
+                                       workers=workers, cache=cache,
+                                       seeded_factory=self.seeded_factory)
+
+        base = sim_outcomes[0]
+        output = self.output or base.output
+        if output is None or output not in base.records:
+            raise DesignError("campaign needs a resolvable output signal "
+                              "(got %r)" % output)
+        baseline = base.records[output].sqnr_db()
+        result = CampaignResult(output, baseline, self.n_samples)
+        for fault, oc in zip(faults, sim_outcomes[1:]):
+            if oc.error is not None:
                 outcome = FaultOutcome(fault.describe(), fault.kind,
                                        math.nan, math.nan, 0, 0,
-                                       error=str(exc))
+                                       error=str(oc.error))
+            else:
+                sqnr = oc.records[output].sqnr_db()
+                n_fired = oc.fault_fired[0] if oc.fault_fired else None
+                outcome = FaultOutcome(
+                    fault.describe(), fault.kind, sqnr, baseline - sqnr,
+                    self._overflows(oc.records), oc.guard_trips,
+                    triggered=(n_fired is None or n_fired > 0))
             result.outcomes.append(outcome)
         return result
 

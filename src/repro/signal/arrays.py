@@ -45,10 +45,19 @@ class SigArray:
         return i
 
     def __getitem__(self, i):
-        return self._sigs[self._index(i)]
+        # Exact-int fast path; _index keeps the error reporting (and the
+        # rejection of slices / odd index types) for everything else.
+        sigs = self._sigs
+        if type(i) is int and -len(sigs) <= i < len(sigs):
+            return sigs[i]
+        return sigs[self._index(i)]
 
     def __setitem__(self, i, value):
-        self._sigs[self._index(i)].assign(value)
+        sigs = self._sigs
+        if type(i) is int and -len(sigs) <= i < len(sigs):
+            sigs[i].assign(value)
+        else:
+            sigs[self._index(i)].assign(value)
 
     def __len__(self):
         return len(self._sigs)

@@ -20,7 +20,8 @@ from __future__ import annotations
 import math
 import numbers
 
-from repro.core.interval import Interval
+from repro.core.interval import (EMPTY, Interval, fast_interval, iv_add,
+                                 iv_mul, iv_neg, iv_sub)
 
 __all__ = ["Expr", "as_expr", "Operand"]
 
@@ -38,21 +39,53 @@ class Operand:
         raise NotImplementedError
 
     # -- arithmetic -----------------------------------------------------------
+    #
+    # add/sub/mul/neg are the per-sample hot path of every monitored
+    # simulation; they inline the interval arithmetic and build the
+    # result Expr without re-validating floats.  Rarer operations
+    # (div, shifts) keep the generic _binop/_unop route.
 
     def __add__(self, other):
-        return _binop("add", self, other, lambda a, b: a + b)
+        ea = self._to_expr()
+        eb = as_expr(other)
+        e = Expr.__new__(Expr)
+        e.fx = ea.fx + eb.fx
+        e.fl = ea.fl + eb.fl
+        e.ival = iv_add(ea.ival, eb.ival)
+        ctx = e.ctx = ea.ctx if ea.ctx is not None else eb.ctx
+        e.node = (None if ctx is None or ctx.tracer is None
+                  else _trace_node(ctx, "add", (ea, eb)))
+        return e
 
     def __radd__(self, other):
         return _binop("add", other, self, lambda a, b: a + b)
 
     def __sub__(self, other):
-        return _binop("sub", self, other, lambda a, b: a - b)
+        ea = self._to_expr()
+        eb = as_expr(other)
+        e = Expr.__new__(Expr)
+        e.fx = ea.fx - eb.fx
+        e.fl = ea.fl - eb.fl
+        e.ival = iv_sub(ea.ival, eb.ival)
+        ctx = e.ctx = ea.ctx if ea.ctx is not None else eb.ctx
+        e.node = (None if ctx is None or ctx.tracer is None
+                  else _trace_node(ctx, "sub", (ea, eb)))
+        return e
 
     def __rsub__(self, other):
         return _binop("sub", other, self, lambda a, b: a - b)
 
     def __mul__(self, other):
-        return _binop("mul", self, other, lambda a, b: a * b)
+        ea = self._to_expr()
+        eb = as_expr(other)
+        e = Expr.__new__(Expr)
+        e.fx = ea.fx * eb.fx
+        e.fl = ea.fl * eb.fl
+        e.ival = iv_mul(ea.ival, eb.ival)
+        ctx = e.ctx = ea.ctx if ea.ctx is not None else eb.ctx
+        e.node = (None if ctx is None or ctx.tracer is None
+                  else _trace_node(ctx, "mul", (ea, eb)))
+        return e
 
     def __rmul__(self, other):
         return _binop("mul", other, self, lambda a, b: a * b)
@@ -64,7 +97,15 @@ class Operand:
         return _binop("div", other, self, lambda a, b: a / b)
 
     def __neg__(self):
-        return _unop("neg", self, lambda a: -a)
+        ea = self._to_expr()
+        e = Expr.__new__(Expr)
+        e.fx = -ea.fx
+        e.fl = -ea.fl
+        e.ival = iv_neg(ea.ival)
+        ctx = e.ctx = ea.ctx
+        e.node = (None if ctx is None or ctx.tracer is None
+                  else _trace_node(ctx, "neg", (ea,)))
+        return e
 
     def __pos__(self):
         return self._to_expr()
@@ -140,16 +181,28 @@ class Expr(Operand):
 
 def as_expr(x):
     """Coerce a signal, expression or numeric scalar to an :class:`Expr`."""
-    if isinstance(x, Expr):
+    tx = type(x)
+    if tx is Expr:
         return x
+    if tx is float or tx is int:
+        # Exact-type fast path for the overwhelmingly common literal
+        # operands (coefficients, 0.0 resets, comparison constants).
+        v = float(x)
+        e = Expr.__new__(Expr)
+        e.fx = v
+        e.fl = v
+        # A NaN carries no range information; give it an empty interval
+        # so the assignment guard, not the interval arithmetic, decides
+        # what happens to it.
+        e.ival = EMPTY if v != v else fast_interval(v, v)
+        e.ctx = None
+        e.node = None
+        return e
     if isinstance(x, Operand):
         return x._to_expr()
     if isinstance(x, numbers.Real):
         v = float(x)
         if math.isnan(v):
-            # A NaN carries no range information; give it an empty
-            # interval so the assignment guard, not the interval
-            # arithmetic, decides what happens to it.
             return Expr(v, v, Interval())
         return Expr(v, v, Interval.point(v))
     raise TypeError("cannot use %r in a signal expression" % (x,))

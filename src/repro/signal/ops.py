@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from repro.core.dtype import DType
 from repro.core.errors import DesignError
+from repro.core.interval import Interval
 from repro.signal.expr import Expr, as_expr
+
+#: Shared 0/1 range of traced comparisons (read-only by convention).
+_BOOL_IVAL = Interval(0.0, 1.0)
 
 __all__ = ["select", "cast", "fmin", "fmax", "fabs", "clamp",
            "gt", "ge", "lt", "le"]
@@ -73,8 +77,8 @@ def cast(value, dtype):
     if not isinstance(dtype, DType):
         raise DesignError("cast target must be a DType, got %r" % (dtype,))
     e = as_expr(value)
-    eff = dtype if dtype.msbspec != "error" else dtype.with_(msbspec="saturate")
-    qfx = eff.quantize(e.fx)
+    qfx = dtype.saturating.kernel(e.fx)[0] if dtype.msbspec != "wrap" \
+        else dtype.quantize(e.fx)
     ival = e.ival
     if dtype.msbspec == "saturate":
         ival = ival.clip(dtype.range_interval())
@@ -126,8 +130,7 @@ def _compare(opname, a, b, fn):
     v = 1.0 if fn(ea.fx, eb.fx) else 0.0
     ctx = _ctx_of(ea, eb)
     node = _trace(ctx, opname, (ea, eb))
-    from repro.core.interval import Interval
-    return Expr(v, v, Interval(0.0, 1.0), ctx, node)
+    return Expr(v, v, _BOOL_IVAL, ctx, node)
 
 
 def gt(a, b):

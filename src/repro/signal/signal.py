@@ -25,16 +25,30 @@ Python cannot overload ``=``, so three equivalent forms are provided::
     y.assign(a * b)      # explicit
     y <<= a * b          # HDL-style
     arr[i] = a * b       # true __setitem__ hook on SigArray/RegArray
+
+Performance notes
+-----------------
+``assign`` is the single hottest call of every monitored simulation, so
+this module is written for the interpreter, not for elegance:
+
+* quantization goes through a compiled per-format kernel
+  (:mod:`repro.core.kernels`) cached on the signal — no mode strings,
+  no ``QuantizeResult``, no per-assignment ``DType.with_`` for the
+  ``error``-mode saturating variant,
+* the propagated range is accumulated by mutating one privately-owned
+  :class:`~repro.core.interval.Interval` in place instead of allocating
+  a union per assignment (``prop_interval()`` returns a snapshot copy),
+* ``__slots__`` keeps instances dict-free.
 """
 
 from __future__ import annotations
 
-import math
 from collections import deque
+from math import inf, log10, nan
 
 from repro.core.dtype import DType
 from repro.core.errors import DesignError, FixedPointOverflowError
-from repro.core.interval import Interval
+from repro.core.interval import Interval, fast_interval
 from repro.core.stats import ErrorStat, RangeStat
 from repro.signal.context import current_context
 from repro.signal.expr import Expr, Operand, as_expr
@@ -45,6 +59,14 @@ __all__ = ["Sig", "Reg"]
 class Sig(Operand):
     """A (possibly fixed-point) signal with built-in monitors."""
 
+    __slots__ = (
+        "name", "dtype", "ctx", "role", "_fx", "_fl", "init_value",
+        "range_stat", "val_stat", "err_consumed", "err_produced",
+        "overflow_count", "_forced_range", "_forced_error", "_fault_pre",
+        "_fault_post", "_prop_ival", "_read_ival", "_history", "_node",
+        "_kernel", "_err_mode", "_sat_lo", "_sat_hi", "_expr_cache",
+    )
+
     is_register = False
 
     def __init__(self, name, dtype=None, ctx=None, init=0.0):
@@ -52,7 +74,6 @@ class Sig(Operand):
             raise DesignError("dtype of signal %r must be a DType, got %r"
                               % (name, dtype))
         self.name = str(name)
-        self.dtype = dtype
         self.ctx = ctx if ctx is not None else current_context()
         self.role = ""
 
@@ -75,12 +96,47 @@ class Sig(Operand):
         self._fault_pre = None           # fn(sig, fx, fl) -> (fx, fl)
         self._fault_post = None          # fn(sig, qfx) -> qfx
 
-        # Quasi-analytical propagated range (union over assignments).
+        # Quasi-analytical propagated range (union over assignments),
+        # mutated in place by _record.
         self._prop_ival = Interval()
 
         self._history = None
         self._node = None
+        self._bind_dtype(dtype)
         self.ctx.register_signal(self)
+
+    def _bind_dtype(self, dtype):
+        """Install ``dtype`` and rebuild the per-signal fast-path caches."""
+        self.dtype = dtype
+        self._expr_cache = None
+        if dtype is None:
+            self._kernel = None
+            self._err_mode = False
+            self._sat_lo = None
+            self._sat_hi = None
+            # Range visible to readers: propagated range plus the
+            # power-on value, maintained incrementally.
+            self._read_ival = fast_interval(self.init_value, self.init_value)
+            p = self._prop_ival
+            if p.lo <= p.hi:
+                r = self._read_ival
+                if p.lo < r.lo:
+                    r.lo = p.lo
+                if p.hi > r.hi:
+                    r.hi = p.hi
+            return
+        self._err_mode = dtype.msbspec == "error"
+        # error-mode signals quantize through the saturating variant and
+        # flag the overflow; the context policy decides raise/record.
+        self._kernel = (dtype.saturating.kernel if self._err_mode
+                        else dtype.kernel)
+        self._read_ival = None
+        if dtype.msbspec == "saturate":
+            self._sat_lo = dtype.min_value
+            self._sat_hi = dtype.max_value
+        else:
+            self._sat_lo = None
+            self._sat_hi = None
 
     # -- value access ----------------------------------------------------------
 
@@ -121,25 +177,47 @@ class Sig(Operand):
         is always part of the achievable set, so it seeds the propagation
         through feedback loops (this is what lets an unbounded
         accumulator *explode* instead of staying silently empty).
+
+        The returned interval is a live, read-only view (it may grow as
+        further assignments are monitored).
         """
         if self._forced_range is not None:
             return self._forced_range
-        if self.dtype is not None:
-            return self.dtype.range_interval()
-        return self._prop_ival.union(Interval.point(self.init_value))
+        dt = self.dtype
+        if dt is not None:
+            return dt.range_interval()
+        return self._read_ival
 
     def prop_interval(self):
         """Accumulated propagated range (diagnostics / reports)."""
         if self._forced_range is not None:
             return self._forced_range
-        return self._prop_ival
+        return self._prop_ival.copy()
 
     def _to_expr(self):
-        fx, fl = self._read()
-        node = None
-        if self.ctx.tracer is not None:
-            node = self.ctx.tracer.sig_node(self)
-        return Expr(fx, fl, self.read_interval(), self.ctx, node)
+        ctx = self.ctx
+        if ctx.tracer is not None:
+            e = Expr.__new__(Expr)
+            e.fx = self._fx
+            e.fl = self._fl
+            e.ival = self.read_interval()
+            e.ctx = ctx
+            e.node = ctx.tracer.sig_node(self)
+            return e
+        # Untraced reads reuse one Expr per signal: its interval is the
+        # live read view anyway, and fx/fl are refreshed per read.  The
+        # object is consumed immediately by the expression machinery, so
+        # sharing it between reads of the same signal is safe.
+        e = self._expr_cache
+        if e is None:
+            e = Expr.__new__(Expr)
+            e.ival = self.read_interval()
+            e.ctx = ctx
+            e.node = None
+            self._expr_cache = e
+        e.fx = self._fx
+        e.fl = self._fl
+        return e
 
     # -- annotations --------------------------------------------------------------
 
@@ -150,6 +228,7 @@ class Sig(Operand):
         feedback signals or to seed propagation at inputs.
         """
         self._forced_range = Interval(lo, hi)
+        self._expr_cache = None
         return self
 
     def error_spec(self, q):
@@ -169,6 +248,7 @@ class Sig(Operand):
     def clear_annotations(self):
         self._forced_range = None
         self._forced_error = None
+        self._expr_cache = None
         return self
 
     @property
@@ -184,8 +264,8 @@ class Sig(Operand):
         if dtype is not None and not isinstance(dtype, DType):
             raise DesignError("dtype of signal %r must be a DType or None"
                               % self.name)
-        self.dtype = dtype
         self._prop_ival = Interval()
+        self._bind_dtype(dtype)
         return self
 
     def watch(self, maxlen=None):
@@ -201,12 +281,11 @@ class Sig(Operand):
 
     def assign(self, value):
         """Quantize-on-assign with simultaneous range & error monitoring."""
-        expr = as_expr(value)
-        self._record(expr)
+        self._record(as_expr(value))
         return self
 
     def __ilshift__(self, value):
-        self.assign(value)
+        self._record(as_expr(value))
         return self
 
     def fault_pre(self, fn):
@@ -246,7 +325,8 @@ class Sig(Operand):
         # into the monitors silently; the context policy decides between
         # raising, recording + sanitizing, and sanitizing.  Runs after
         # the fault hook so injected non-finites are guarded too.
-        if not (math.isfinite(in_fx) and math.isfinite(in_fl)):
+        # (x - x == 0.0 exactly when x is finite.)
+        if in_fx - in_fx != 0.0 or in_fl - in_fl != 0.0:
             in_fx, in_fl = self.ctx.guard_non_finite(self, in_fx, in_fl)
 
         # Statistic-based range monitoring (MSB side).
@@ -255,22 +335,28 @@ class Sig(Operand):
         # Consumed difference error (LSB side, before quantization).
         self.err_consumed.update(in_fl - in_fx)
 
-        # Quantize the fixed-point value.
-        if self.dtype is not None:
-            qfx, overflowed = self._quantize(in_fx)
+        # Quantize the fixed-point value through the compiled kernel.
+        kernel = self._kernel
+        if kernel is not None:
+            qfx, overflowed = kernel(in_fx)
+            if overflowed:
+                if self._err_mode and self.ctx.overflow_action == "raise":
+                    raise FixedPointOverflowError(
+                        "value %r overflows %s on signal %s"
+                        % (in_fx, self.dtype.spec(), self.name),
+                        signal=self.name, value=in_fx, dtype=self.dtype)
+                self.overflow_count += 1
+                self.ctx.log_overflow(self.name, in_fx)
         else:
-            qfx, overflowed = in_fx, False
-        if overflowed:
-            self.overflow_count += 1
-            self.ctx.log_overflow(self.name, in_fx)
+            qfx = in_fx
 
         if self._fault_post is not None:
             qfx = self._fault_post(self, qfx)
 
         # Float reference: true value, unless an error() annotation
         # decouples it (uniform error of one assumed LSB).
-        if self._forced_error is not None:
-            q = self._forced_error
+        q = self._forced_error
+        if q is not None:
             fl = qfx + self.ctx.rng.uniform(-0.5 * q, 0.5 * q)
         else:
             fl = in_fl
@@ -279,43 +365,59 @@ class Sig(Operand):
         self.err_produced.update(fl - qfx)
         self.val_stat.update(fl)
 
-        # Quasi-analytical range propagation.
-        self._accumulate_interval(expr.ival)
+        # Quasi-analytical range propagation, in place.  Forced ranges
+        # freeze propagation (paper: explicit range overrides and stops
+        # feedback explosion); saturating types clip the incoming range.
+        if self._forced_range is None:
+            ival = expr.ival
+            lo = ival.lo
+            hi = ival.hi
+            if lo <= hi:
+                slo = self._sat_lo
+                if slo is not None:
+                    shi = self._sat_hi
+                    lo = shi if lo > shi else (slo if lo < slo else lo)
+                    hi = slo if hi < slo else (shi if hi > shi else hi)
+                p = self._prop_ival
+                if lo < p.lo:
+                    p.lo = lo
+                if hi > p.hi:
+                    p.hi = hi
+                r = self._read_ival
+                if r is not None:
+                    if lo < r.lo:
+                        r.lo = lo
+                    if hi > r.hi:
+                        r.hi = hi
 
         self._store(qfx, fl)
 
         if self._history is not None:
             self._history.append((qfx, fl))
-        if self.ctx.tracer is not None:
+        tracer = self.ctx.tracer
+        if tracer is not None:
             src = expr.node
             if src is None:
-                src = self.ctx.tracer.const_node(in_fx)
-            self.ctx.tracer.assign_edge(src, self)
+                src = tracer.const_node(in_fx)
+            tracer.assign_edge(src, self)
 
     def _quantize(self, value):
-        dt = self.dtype
-        if dt.msbspec == "error":
-            # Quantize with saturation but flag the overflow; the context
-            # policy decides between recording and raising.
-            info = dt.with_(msbspec="saturate").quantize_info(value,
-                                                              name=self.name)
-            if info.overflowed and self.ctx.overflow_action == "raise":
-                raise FixedPointOverflowError(
-                    "value %r overflows %s on signal %s"
-                    % (value, dt.spec(), self.name),
-                    signal=self.name, value=value, dtype=dt)
-            return info.value, info.overflowed
-        info = dt.quantize_info(value, name=self.name)
-        return info.value, info.overflowed
+        """Reference entry point of the per-assignment quantization.
 
-    def _accumulate_interval(self, ival):
-        if self._forced_range is not None:
-            # Forced ranges freeze propagation (paper: explicit range
-            # overrides and stops feedback explosion).
-            return
-        if self.dtype is not None and self.dtype.msbspec == "saturate":
-            ival = ival.clip(self.dtype.range_interval())
-        self._prop_ival = self._prop_ival.union(ival)
+        Kept for API compatibility and tests; ``_record`` inlines the
+        same kernel call.
+        """
+        kernel = self._kernel
+        if kernel is None:
+            return value, False
+        qfx, overflowed = kernel(value)
+        if (overflowed and self._err_mode
+                and self.ctx.overflow_action == "raise"):
+            raise FixedPointOverflowError(
+                "value %r overflows %s on signal %s"
+                % (value, self.dtype.spec(), self.name),
+                signal=self.name, value=value, dtype=self.dtype)
+        return qfx, overflowed
 
     def _store(self, fx, fl):
         self._fx = fx
@@ -330,6 +432,9 @@ class Sig(Operand):
         self.err_produced.reset()
         self.overflow_count = 0
         self._prop_ival = Interval()
+        if self.dtype is None:
+            self._read_ival = fast_interval(self.init_value, self.init_value)
+            self._expr_cache = None
         if self._history is not None:
             self._history.clear()
 
@@ -342,14 +447,14 @@ class Sig(Operand):
         was collected.
         """
         if self.val_stat.is_empty:
-            return math.nan
+            return nan
         noise = self.err_produced.rms
         if noise == 0.0:
-            return math.inf
+            return inf
         signal = self.val_stat.rms
         if signal == 0.0:
-            return -math.inf
-        return 20.0 * math.log10(signal / noise)
+            return -inf
+        return 20.0 * log10(signal / noise)
 
     def __repr__(self):
         spec = self.dtype.spec() if self.dtype is not None else "float"
@@ -365,33 +470,52 @@ class Reg(Sig):
     register is not assigned during a cycle it holds its value.
     """
 
+    __slots__ = ("_pend_fx", "_pend_fl", "_has_pending")
+
     is_register = True
 
     def __init__(self, name, dtype=None, ctx=None, init=0.0):
         super().__init__(name, dtype=dtype, ctx=ctx, init=init)
-        self._pending = None
+        self._pend_fx = 0.0
+        self._pend_fl = 0.0
+        self._has_pending = False
 
     def _store(self, fx, fl):
-        self._pending = (fx, fl)
+        self._pend_fx = fx
+        self._pend_fl = fl
+        self._has_pending = True
 
     def commit(self):
         """Clock edge: move the pending value into the visible slot."""
-        if self._pending is not None:
-            self._fx, self._fl = self._pending
-            self._pending = None
+        if self._has_pending:
+            self._fx = self._pend_fx
+            self._fl = self._pend_fl
+            self._has_pending = False
 
     @property
     def next_fx(self):
         """Pending fixed-point value (None when not assigned this cycle)."""
-        return None if self._pending is None else self._pending[0]
+        return self._pend_fx if self._has_pending else None
 
     def set_init(self, value):
         """Set the power-on value of both simulations (no monitoring)."""
         v = float(value)
         if self.dtype is not None:
-            v = self.dtype.with_(msbspec="saturate").quantize(v)
+            v = self.dtype.saturating.quantize(v)
         self._fx = v
         self._fl = float(value)
         self.init_value = float(value)
-        self._pending = None
+        self._has_pending = False
+        if self.dtype is None:
+            # The power-on value seeds the readable range; rebuild it
+            # from the accumulated propagation plus the new init.
+            r = fast_interval(float(value), float(value))
+            p = self._prop_ival
+            if p.lo <= p.hi:
+                if p.lo < r.lo:
+                    r.lo = p.lo
+                if p.hi > r.hi:
+                    r.hi = p.hi
+            self._read_ival = r
+            self._expr_cache = None
         return self

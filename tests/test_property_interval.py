@@ -37,6 +37,11 @@ TOL = 1e-6
 
 
 def _contains(iv, v):
+    # Exact containment first: the tolerance arithmetic below produces
+    # NaN for infinite bounds (inf - inf), e.g. when a denormal divisor
+    # overflows a quotient to inf.
+    if iv.lo <= v <= iv.hi:
+        return True
     span = max(1.0, abs(iv.lo), abs(iv.hi))
     return iv.lo - TOL * span <= v <= iv.hi + TOL * span
 

@@ -1,0 +1,175 @@
+"""Bit-exactness of the compiled fast paths vs the reference quantizer.
+
+The compiled scalar kernels (:mod:`repro.core.kernels`) and the
+vectorized path (:func:`repro.core.quantize.quantize_array`) exist
+purely for speed — they must agree with :func:`quantize_info` (the
+straight-line reference implementation) to the last bit, across every
+rounding x overflow mode, signed and unsigned, for every representable
+wordlength (the float-code paths are exact up to n = 53), and in
+particular at the nasty spots: exact format boundaries and half-LSB
+ties.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtype import DType
+from repro.core.errors import FixedPointOverflowError, NonFiniteError
+from repro.core.kernels import kernel_cache_size, scalar_kernel
+from repro.core.quantize import quantize, quantize_array, quantize_info
+
+ROUNDINGS = ("round", "floor", "ceil", "trunc")
+OVERFLOWS = ("wrap", "saturate", "error")
+
+formats = st.tuples(
+    st.integers(min_value=1, max_value=53),   # n
+    st.integers(min_value=-8, max_value=40),  # f (negative = coarse grids)
+    st.booleans(),                            # signed
+)
+values = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+roundings = st.sampled_from(ROUNDINGS)
+overflows = st.sampled_from(OVERFLOWS)
+
+
+def _reference(v, n, f, signed, overflow, rounding):
+    """quantize_info collapsed to (value, overflowed, raised)."""
+    try:
+        info = quantize_info(v, n, f, signed=signed, overflow=overflow,
+                             rounding=rounding)
+        return info.value, info.overflowed, None
+    except FixedPointOverflowError:
+        return None, None, FixedPointOverflowError
+
+
+def _assert_kernel_matches(v, n, f, signed, overflow, rounding):
+    ref_val, ref_ovf, ref_exc = _reference(v, n, f, signed, overflow,
+                                           rounding)
+    kernel = scalar_kernel(n, f, signed, overflow, rounding)
+    if ref_exc is not None:
+        with pytest.raises(FixedPointOverflowError):
+            kernel(v)
+        return
+    qv, ovf = kernel(v)
+    assert qv == ref_val, \
+        "kernel<%d,%d,%s,%s,%s>(%r) = %r != reference %r" % (
+            n, f, signed, overflow, rounding, v, qv, ref_val)
+    assert ovf == ref_ovf
+    # The signs must match too: 0.0 vs -0.0 both compare equal but
+    # differ downstream (1/x, copysign).
+    assert math.copysign(1.0, qv) == math.copysign(1.0, ref_val)
+
+
+class TestScalarKernelBitExact:
+    @given(values, formats, overflows, roundings)
+    @settings(max_examples=400, deadline=None)
+    def test_random_values(self, v, fmt, overflow, rounding):
+        n, f, signed = fmt
+        _assert_kernel_matches(v, n, f, signed, overflow, rounding)
+
+    @given(formats, overflows, roundings,
+           st.integers(min_value=-6, max_value=6))
+    @settings(max_examples=400, deadline=None)
+    def test_boundary_and_ties(self, fmt, overflow, rounding, k):
+        """Exact code grid points, format boundaries, and half-LSB ties."""
+        n, f, signed = fmt
+        lsb = math.ldexp(1.0, -f)
+        lo = -math.ldexp(1.0, n - 1) * lsb if signed else 0.0
+        hi = (math.ldexp(1.0, n - 1) - 1) * lsb if signed \
+            else (math.ldexp(1.0, n) - 1) * lsb
+        probes = [
+            lo + k * lsb, hi + k * lsb,            # around the boundaries
+            k * lsb, k * lsb + 0.5 * lsb,          # grid points + ties
+            lo - 0.5 * lsb, hi + 0.5 * lsb,        # ties at the edges
+        ]
+        for v in probes:
+            if math.isfinite(v) and abs(v) < 1e300:
+                _assert_kernel_matches(v, n, f, signed, overflow, rounding)
+
+    @given(values, formats, overflows, roundings)
+    @settings(max_examples=200, deadline=None)
+    def test_quantize_dispatch_matches(self, v, fmt, overflow, rounding):
+        """The public quantize() entry point uses the same kernels."""
+        n, f, signed = fmt
+        ref_val, _, ref_exc = _reference(v, n, f, signed, overflow, rounding)
+        if ref_exc is not None:
+            with pytest.raises(FixedPointOverflowError):
+                quantize(v, n, f, signed=signed, overflow=overflow,
+                         rounding=rounding)
+        else:
+            assert quantize(v, n, f, signed=signed, overflow=overflow,
+                            rounding=rounding) == ref_val
+
+    def test_non_finite_raises(self):
+        kernel = scalar_kernel(8, 4)
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(NonFiniteError):
+                kernel(bad)
+
+    def test_kernel_cache_reuse(self):
+        before = kernel_cache_size()
+        k1 = scalar_kernel(17, 11, True, "wrap", "ceil")
+        k2 = scalar_kernel(17, 11, True, "wrap", "ceil")
+        assert k1 is k2
+        assert kernel_cache_size() >= before
+
+
+class TestVectorPathBitExact:
+    @given(st.lists(values, min_size=1, max_size=40),
+           formats, st.sampled_from(("wrap", "saturate")), roundings)
+    @settings(max_examples=200, deadline=None)
+    def test_array_matches_reference(self, vals, fmt, overflow, rounding):
+        n, f, signed = fmt
+        refs = [quantize_info(v, n, f, signed=signed, overflow=overflow,
+                              rounding=rounding).value for v in vals]
+        got = quantize_array(np.array(vals), n, f, signed=signed,
+                             overflow=overflow, rounding=rounding)
+        np.testing.assert_array_equal(got, np.array(refs))
+
+    @given(st.lists(values, min_size=1, max_size=40), formats, roundings)
+    @settings(max_examples=100, deadline=None)
+    def test_out_buffer_path_identical(self, vals, fmt, rounding):
+        n, f, signed = fmt
+        arr = np.array(vals)
+        plain = quantize_array(arr, n, f, signed=signed, rounding=rounding)
+        out = np.empty(arr.shape)
+        reused = quantize_array(arr, n, f, signed=signed, rounding=rounding,
+                                out=out)
+        assert reused is out
+        np.testing.assert_array_equal(plain, out)
+
+
+class TestDTypeFastPaths:
+    @given(values, st.integers(min_value=1, max_value=24),
+           st.integers(min_value=0, max_value=20), overflows, roundings)
+    @settings(max_examples=200, deadline=None)
+    def test_dtype_quantize_matches(self, v, n, f, overflow, rounding):
+        dt = DType("T", n, f, "tc", overflow, rounding)
+        ref_val, _, ref_exc = _reference(v, n, f, True, overflow, rounding)
+        if ref_exc is not None:
+            with pytest.raises(FixedPointOverflowError):
+                dt.quantize(v)
+        else:
+            assert dt.quantize(v) == ref_val
+
+    def test_saturating_variant_cached(self):
+        dt = DType("T", 10, 6, "tc", "wrap", "round")
+        assert dt.saturating is dt.saturating
+        assert dt.saturating.msbspec == "saturate"
+        sat = DType("S", 10, 6, "tc", "saturate", "round")
+        assert sat.saturating is sat
+
+    def test_pickle_roundtrip_drops_kernel_caches(self):
+        import pickle
+        dt = DType("T", 10, 6, "tc", "saturate", "round")
+        dt.kernel  # force the caches to exist
+        dt.saturating
+        clone = pickle.loads(pickle.dumps(dt))
+        assert (clone.name, clone.n, clone.f, clone.vtype, clone.msbspec,
+                clone.lsbspec) == (dt.name, dt.n, dt.f, dt.vtype,
+                                   dt.msbspec, dt.lsbspec)
+        assert clone.quantize(0.3) == dt.quantize(0.3)
