@@ -19,12 +19,19 @@ bit) and the LSB position is ``f`` fractional bits (weight ``2**-f``).
 
 from __future__ import annotations
 
+import re
+
 from repro.core import quantize as _q
 from repro.core import word
 from repro.core.errors import DTypeError
 from repro.core.interval import Interval
 
 __all__ = ["DType"]
+
+#: Traced cast-operation label, e.g. ``cast<8,5,tc,sa,ro>`` (see
+#: :func:`repro.signal.ops.cast`).  Shared by the analytical range
+#: propagation, the netlist builder and the static lint rules.
+_CAST_LABEL_RE = re.compile(r"^cast<(\d+),(\d+),(tc|us),(\w\w),(\w\w)>$")
 
 _VTYPE_ALIASES = {
     "tc": "tc", "twos_complement": "tc", "signed": "tc",
@@ -120,6 +127,25 @@ class DType:
     @property
     def num_codes(self):
         return 1 << self.n
+
+    # -- static-analysis queries --------------------------------------------
+
+    def covers(self, interval):
+        """True when every value of ``interval`` is within this type's
+        representable range (MSB side only; the grid is ignored)."""
+        return self.range_interval().contains(Interval.coerce(interval))
+
+    def discarded_frac_bits(self, f_in):
+        """Fractional bits a value on the ``2**-f_in`` grid loses when
+        quantized to this type (0 when the grid is fine enough)."""
+        return max(0, int(f_in) - self.f)
+
+    def lossless_from(self, other):
+        """True when every value of ``other`` passes through this type
+        unchanged: the fractional grid is at least as fine and the whole
+        range of ``other`` is representable."""
+        return (self.f >= other.f
+                and self.covers(other.range_interval()))
 
     # -- quantization --------------------------------------------------------
 
@@ -234,6 +260,17 @@ class DType:
                 raise DTypeError("bad dtype spec %r" % (spec,)) from None
         return cls(name if name is not None else spec, n, f, vtype,
                    msbspec, lsbspec)
+
+    @classmethod
+    def from_cast_label(cls, label, name="cast"):
+        """Parse a traced cast-op label (``cast<8,5,tc,sa,ro>``).
+
+        Returns ``None`` when ``label`` is not a cast operation, so
+        callers can use it as a combined test-and-parse.
+        """
+        if not _CAST_LABEL_RE.match(label):
+            return None
+        return cls.from_spec(label[4:], name=name)
 
     @classmethod
     def from_positions(cls, name, msb, lsb, vtype="tc", msbspec="saturate",

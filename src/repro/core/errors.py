@@ -58,6 +58,27 @@ class RangeExplosionError(ReproError):
         self.signals = tuple(signals)
 
 
+class DesignError(ReproError):
+    """A design description is malformed (duplicate names, missing signals...)."""
+
+
+class RangeDivergenceError(RangeExplosionError, DesignError):
+    """Analytical SFG propagation diverged, with the first offender named.
+
+    Unlike the plain :class:`RangeExplosionError` (which only lists the
+    exploded signals), this error pinpoints *which* node first widened to
+    infinity and in which fixpoint round — the actionable location for a
+    ``range()`` annotation or a saturating type.
+    """
+
+    def __init__(self, message, signal=None, round=None, signals=()):
+        super().__init__(message, signals=signals)
+        #: name of the signal whose interval first became unbounded
+        self.signal = signal
+        #: fixpoint round at which the divergence first appeared
+        self.round = round
+
+
 class DivergenceError(ReproError):
     """The coupled float/fixed simulation diverged on a feedback signal.
 
@@ -108,10 +129,6 @@ class DeadlockError(SimulationError):
         super().__init__(message)
         self.processors = tuple(processors)
         self.cycles = cycles
-
-
-class DesignError(ReproError):
-    """A design description is malformed (duplicate names, missing signals...)."""
 
 
 class RefinementError(ReproError):

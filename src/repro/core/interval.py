@@ -110,6 +110,15 @@ class Interval:
             return v.is_empty or (self.lo <= v.lo and v.hi <= self.hi)
         return self.lo <= v <= self.hi
 
+    def issubset(self, other):
+        """True when every value of this interval lies in ``other``.
+
+        The empty interval is a subset of everything.  Used by the static
+        analyzer to compare propagated ranges against declared type
+        ranges without simulation values.
+        """
+        return Interval.coerce(other).contains(self)
+
     def __eq__(self, other):
         if not isinstance(other, Interval):
             return NotImplemented

@@ -225,6 +225,12 @@ def quantize_array(values, n, f, signed=True, overflow="saturate",
         if overflow == "saturate":
             np.clip(codes, lo, hi, out=codes)
         else:  # wrap
+            # Reduce modulo the span *before* applying the signed offset:
+            # fmod of a float is exact, but offset + a code near 2**60
+            # is not (the sum rounds to a multiple of the ulp, which can
+            # exceed the span).  The remainder is small, so the offset
+            # arithmetic below stays exact.
+            np.mod(codes, vc.span, out=codes)
             codes += vc.offset
             np.mod(codes, vc.span, out=codes)
             codes -= vc.offset

@@ -64,11 +64,9 @@ def derive_op_dtype(label, operand_dtypes):
         (a,) = operand_dtypes
         k = int(label[3:]) * (1 if label.startswith("shl") else -1)
         return DType(label, a.n, max(0, a.f - k), "tc", "wrap", "round")
-    if label.startswith("cast<"):
-        import re
-        m = re.match(r"^cast<(\d+),(\d+),(tc|us),(\w\w),(\w\w)>$", label)
-        n, f = int(m.group(1)), int(m.group(2))
-        return DType("cast", n, f, m.group(3))
+    cast_dt = DType.from_cast_label(label)
+    if cast_dt is not None:
+        return cast_dt
     if label == "div":
         raise UnsupportedOpError(
             "division has no direct RTL mapping; restructure the design "

@@ -1,0 +1,31 @@
+"""Simulation-free fixed-point hazard linter over the traced SFG.
+
+The paper's analytical MSB method derives signal ranges from the signal
+flow graph *without running the design* (Section 4.1).  This package
+turns that machinery into a first-class static-analysis tool: a set of
+rule objects walk a traced :class:`~repro.sfg.graph.SFG` plus the
+declared :class:`~repro.core.dtype.DType` annotations and emit
+structured :class:`Finding` diagnostics — MSB-explosion risks, overflow
+hazards of wrap-mode declarations, provably dead integer bits,
+double-rounding cast chains, undriven registers, write-only signals and
+redundant casts — each with a stable rule id, a severity and a fix-it
+hint.  No simulation values are involved.
+
+Entry points:
+
+* :func:`run_lint` — lint one traced graph, programmatically.
+* ``python -m repro.lint`` — lint the bundled ``repro.dsp`` designs,
+  with text / JSON / SARIF 2.1.0 output and baseline support.
+* :meth:`repro.refine.flow.RefinementFlow.lint` — the refinement flow's
+  hook; ``RefinementFlow.run()`` surfaces findings in its diagnostics.
+"""
+
+from repro.lint.core import (Finding, LintConfig, LintContext, LintReport,
+                             Rule, all_rules, run_lint)
+from repro.lint.baseline import (apply_baseline, load_baseline,
+                                 write_baseline)
+from repro.lint.output import to_json_dict, to_sarif_dict
+
+__all__ = ["Finding", "LintConfig", "LintContext", "LintReport", "Rule",
+           "all_rules", "run_lint", "load_baseline", "write_baseline",
+           "apply_baseline", "to_json_dict", "to_sarif_dict"]

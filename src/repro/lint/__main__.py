@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,65 @@
+"""Baseline files: suppress known findings, fail only on new ones.
+
+A baseline is a JSON file keyed by finding fingerprints (see
+:meth:`~repro.lint.core.Finding.fingerprint` — structural, not
+message-based, so reworded diagnostics or moved lines do not churn it).
+The CLI writes one with ``--write-baseline`` and applies one with
+``--baseline``; CI then fails only on findings that are not in the
+checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import LintReport
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline",
+           "baseline_dict"]
+
+BASELINE_VERSION = 1
+
+
+def baseline_dict(reports):
+    """Baseline payload covering every finding of ``reports``."""
+    if isinstance(reports, LintReport):
+        reports = [reports]
+    fingerprints = {}
+    for report in reports:
+        for f in report.findings:
+            fingerprints[f.fingerprint()] = {
+                "rule": f.rule_id,
+                "signal": f.signal,
+                "design": report.design_name,
+            }
+    return {"version": BASELINE_VERSION, "fingerprints": fingerprints}
+
+
+def write_baseline(path, reports):
+    """Write a baseline file suppressing every current finding."""
+    payload = baseline_dict(reports)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def load_baseline(path):
+    """Load a baseline file; returns the set of suppressed fingerprints."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError("malformed baseline file %r" % (path,))
+    return set(payload["fingerprints"])
+
+
+def apply_baseline(report, fingerprints):
+    """New report with baselined findings removed (counted as suppressed)."""
+    if not fingerprints:
+        return report
+    kept = [f for f in report.findings
+            if f.fingerprint() not in fingerprints]
+    suppressed = len(report.findings) - len(kept)
+    return LintReport(kept, design_name=report.design_name,
+                      artifact=report.artifact,
+                      suppressed=report.suppressed + suppressed)

@@ -1,0 +1,343 @@
+"""Rule / Finding / LintReport core of the static analyzer.
+
+A :class:`LintContext` bundles everything a rule may query: the traced
+:class:`~repro.sfg.graph.SFG`, the declared per-signal
+:class:`~repro.core.dtype.DType` map, the analytical
+:class:`~repro.sfg.analyze.RangeAnalysis` (fixpoint interval propagation
+— *structure only*, no simulation values), the deterministic cycle sets
+and a memoized fractional-bit derivation over expression trees.  Rules
+are small classes with a stable id, a default severity and a
+``check(lctx, config)`` generator; :func:`run_lint` drives them and
+collects a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import word
+from repro.core.dtype import DType
+from repro.sfg.analyze import propagate_ranges
+
+__all__ = ["Finding", "Rule", "LintConfig", "LintContext", "LintReport",
+           "all_rules", "register_rule", "run_lint", "SEVERITY_ORDER"]
+
+#: Ascending severity order (indexable for threshold comparisons).
+SEVERITY_ORDER = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured diagnostic emitted by a rule."""
+
+    rule_id: str                     # stable id, e.g. "FX001"
+    severity: str                    # "info" | "warning" | "error"
+    message: str                     # what is wrong
+    hint: str = ""                   # how to fix it
+    signal: Optional[str] = None     # anchoring signal name, if any
+    cycle: tuple = ()                # signal names of the offending cycle
+    site: Optional[tuple] = None     # (filename, lineno) of the declaration
+    data: dict = field(default_factory=dict)
+
+    def fingerprint(self):
+        """Stable identity for baseline suppression.
+
+        Deliberately message-free (messages carry ranges that move with
+        unrelated edits); the identity is the rule plus the structural
+        anchor.
+        """
+        raw = "%s|%s|%s" % (self.rule_id, self.signal or "",
+                            ",".join(self.cycle))
+        return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+    def describe(self):
+        where = "" if self.signal is None else " [%s]" % self.signal
+        text = "%s %s%s: %s" % (self.rule_id, self.severity, where,
+                                self.message)
+        if self.hint:
+            text += " (fix: %s)" % self.hint
+        return text
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check` as a
+    generator of :class:`Finding`.  Use :meth:`finding` so severity
+    overrides from the :class:`LintConfig` are applied uniformly.
+    """
+
+    id = "FX000"
+    title = ""
+    severity = "warning"          # default severity
+    description = ""
+    hint = ""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else LintConfig()
+
+    def check(self, lctx):
+        raise NotImplementedError
+
+    def finding(self, message, hint=None, signal=None, cycle=(), site=None,
+                **data):
+        return Finding(self.id,
+                       self.config.severity_of(self.id, self.severity),
+                       message, hint if hint is not None else self.hint,
+                       signal, tuple(cycle), site, data)
+
+    def option(self, name, default):
+        return self.config.option(self.id, name, default)
+
+
+#: Registered rule classes in id order (populated by ``register_rule``).
+_REGISTRY = {}
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to the global registry."""
+    if cls.id in _REGISTRY:
+        raise ValueError("duplicate lint rule id %r" % cls.id)
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules():
+    """Registered rule classes, sorted by rule id."""
+    import repro.lint.rules  # noqa: F401  (registers on import)
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+class LintConfig:
+    """Per-rule enablement, severity overrides and options."""
+
+    def __init__(self, disabled=(), enabled_only=None, severities=None,
+                 options=None):
+        self.disabled = set(disabled)
+        self.enabled_only = (None if enabled_only is None
+                             else set(enabled_only))
+        self.severities = dict(severities or {})
+        self.options = dict(options or {})
+        for sev in self.severities.values():
+            if sev not in SEVERITY_ORDER:
+                raise ValueError("unknown severity %r" % (sev,))
+
+    def enabled(self, rule_id):
+        if rule_id in self.disabled:
+            return False
+        if self.enabled_only is not None:
+            return rule_id in self.enabled_only
+        return True
+
+    def severity_of(self, rule_id, default):
+        return self.severities.get(rule_id, default)
+
+    def option(self, rule_id, name, default):
+        return self.options.get(rule_id, {}).get(name, default)
+
+
+class LintContext:
+    """Everything the rules may query about one traced design."""
+
+    #: Constants needing more fractional bits than this are treated as
+    #: "unbounded precision" (non-dyadic coefficients such as 0.11): the
+    #: precision rules stay silent rather than flagging their inevitable
+    #: quantization.
+    CONST_FRAC_CAP = 16
+
+    def __init__(self, sfg, dtypes=None, input_ranges=None,
+                 forced_ranges=None, outputs=(), design_name="design",
+                 artifact=None):
+        self.sfg = sfg
+        self.design_name = design_name
+        #: source file the design lives in (SARIF location fallback)
+        self.artifact = artifact
+        self.outputs = set(outputs)
+        self.dtypes = {}
+        self.forced = dict(forced_ranges or {})
+        self.inputs = set(input_ranges or {})
+        explicit = dict(dtypes or {})
+        for node in sfg.signal_nodes():
+            name = node.label
+            sig = sfg.sig_payload(name)
+            self.dtypes[name] = explicit.get(name,
+                                             getattr(sig, "dtype", None))
+            fr = getattr(sig, "forced_range", None)
+            if fr is not None and name not in self.forced:
+                self.forced[name] = fr
+            if getattr(sig, "role", "") == "output":
+                self.outputs.add(name)
+        self.analysis = propagate_ranges(sfg, input_ranges=input_ranges,
+                                         forced_ranges=forced_ranges)
+        self.cycles = sfg.cycles()
+        self._frac_memo = {}
+
+    # -- per-signal queries -------------------------------------------------
+
+    def dtype(self, name):
+        return self.dtypes.get(name)
+
+    def prop(self, name):
+        """Analytically propagated interval of a signal (may be None)."""
+        return self.analysis.ranges.get(name)
+
+    def site(self, name):
+        """Declaration site (filename, lineno) of a signal, or None."""
+        sig = self.sfg.sig_payload(name)
+        return getattr(sig, "decl_site", None)
+
+    def typed_signals(self):
+        """(name, node, dtype) of every signal with a declared DType."""
+        for node in self.sfg.signal_nodes():
+            dt = self.dtypes.get(node.label)
+            if dt is not None:
+                yield node.label, node, dt
+
+    # -- fractional-bit derivation over expression trees --------------------
+
+    def frac_bits(self, node):
+        """Exact fractional bits of the value a node produces, or None.
+
+        ``None`` means "unknown / unbounded" — floating-point signals,
+        divisions, and constants beyond :data:`CONST_FRAC_CAP` (their
+        binary expansion is impractically long, so discarding tail bits
+        is inevitable rather than a hazard).  This is the typed-SFG view
+        the netlist builder uses, restricted to the LSB dimension.
+        """
+        memo = self._frac_memo
+        if node in memo:
+            return memo[node]
+        memo[node] = f = self._frac_bits(node)
+        return f
+
+    def _frac_bits(self, node):
+        if node.kind == "const":
+            f = word.needed_frac_bits(node.payload,
+                                      cap=self.CONST_FRAC_CAP + 1)
+            return f if f <= self.CONST_FRAC_CAP else None
+        if node.kind in ("sig", "reg"):
+            dt = self.dtypes.get(node.label)
+            return None if dt is None else dt.f
+        label = node.label
+        preds = self.sfg.preds(node)
+        cast_dt = DType.from_cast_label(label)
+        if cast_dt is not None:
+            f_in = self.frac_bits(preds[0])
+            return cast_dt.f if f_in is None else min(f_in, cast_dt.f)
+        if label in ("gt", "ge", "lt", "le"):
+            return 0
+        if label in ("neg", "abs"):
+            return self.frac_bits(preds[0])
+        if label.startswith("shl") or label.startswith("shr"):
+            f = self.frac_bits(preds[0])
+            if f is None:
+                return None
+            k = int(label[3:])
+            return f + k if label.startswith("shr") else max(0, f - k)
+        ins = [self.frac_bits(p) for p in
+               (preds[-2:] if label == "select" else preds)]
+        if any(f is None for f in ins) or not ins:
+            return None
+        if label in ("add", "sub", "min", "max", "select"):
+            return max(ins)
+        if label == "mul":
+            return sum(ins)
+        return None  # div and anything unknown: precision unbounded
+
+
+class LintReport:
+    """Ordered findings of one lint run plus summary helpers."""
+
+    def __init__(self, findings, design_name="design", artifact=None,
+                 suppressed=0):
+        self.findings = list(findings)
+        self.design_name = design_name
+        self.artifact = artifact
+        #: findings removed by a baseline file
+        self.suppressed = suppressed
+
+    def __len__(self):
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def by_rule(self, rule_id):
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def by_severity(self, severity):
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self):
+        return self.by_severity("error")
+
+    @property
+    def warnings(self):
+        return self.by_severity("warning")
+
+    def worst_severity(self):
+        """Highest severity present, or None for a clean report."""
+        worst = None
+        for f in self.findings:
+            if worst is None or (SEVERITY_ORDER.index(f.severity)
+                                 > SEVERITY_ORDER.index(worst)):
+                worst = f.severity
+        return worst
+
+    def table(self, title=None):
+        from repro.refine.report import format_lint_table
+        return format_lint_table(
+            self.findings,
+            title=title if title is not None
+            else "Lint findings — %s" % self.design_name)
+
+    def summary(self):
+        counts = {s: len(self.by_severity(s)) for s in SEVERITY_ORDER}
+        text = ("%s: %d finding(s) (%d error, %d warning, %d info)"
+                % (self.design_name, len(self.findings), counts["error"],
+                   counts["warning"], counts["info"]))
+        if self.suppressed:
+            text += ", %d suppressed by baseline" % self.suppressed
+        return text
+
+    def to_dict(self):
+        return {
+            "design": self.design_name,
+            "suppressed": self.suppressed,
+            "findings": [{
+                "rule": f.rule_id,
+                "severity": f.severity,
+                "signal": f.signal,
+                "message": f.message,
+                "hint": f.hint,
+                "cycle": list(f.cycle),
+                "site": list(f.site) if f.site else None,
+                "fingerprint": f.fingerprint(),
+            } for f in self.findings],
+        }
+
+
+def run_lint(sfg, dtypes=None, input_ranges=None, forced_ranges=None,
+             outputs=(), design_name="design", artifact=None, config=None,
+             rules=None):
+    """Lint one traced graph and return a :class:`LintReport`.
+
+    ``dtypes`` overrides/extends the DTypes found on the traced signal
+    payloads; ``input_ranges`` seeds the analytical propagation exactly
+    like :func:`~repro.sfg.analyze.propagate_ranges`; ``outputs`` names
+    sink signals that must not be flagged as write-only.
+    """
+    config = config if config is not None else LintConfig()
+    lctx = LintContext(sfg, dtypes=dtypes, input_ranges=input_ranges,
+                       forced_ranges=forced_ranges, outputs=outputs,
+                       design_name=design_name, artifact=artifact)
+    findings = []
+    for cls in (rules if rules is not None else all_rules()):
+        if not config.enabled(cls.id):
+            continue
+        findings.extend(cls(config).check(lctx))
+    findings.sort(key=lambda f: (f.rule_id, f.signal or "", f.message))
+    return LintReport(findings, design_name=design_name, artifact=artifact)

@@ -138,6 +138,11 @@ class FlowConfig:
     #: escalation ladder for run(strict=False); None uses the default
     #: repro.robust.retry.EscalationPolicy.
     escalation: object = None
+    #: run the static linter (repro.lint) before the MSB phase and surface
+    #: its findings as "lint"-category diagnostics of run().
+    lint_design: bool = True
+    #: samples to run under trace for the lint pass.
+    lint_samples: int = 32
 
 
 @dataclass
@@ -514,6 +519,52 @@ class RefinementFlow:
             return float("nan")
         return records[output].sqnr_db()
 
+    # -- static analysis ----------------------------------------------------------
+
+    def lint(self, n_samples=None, config=None):
+        """Static pre-flight check: lint the traced design structure.
+
+        Applies the same a-priori knowledge the flow itself starts from
+        (input types, preset types, input ranges and the user's
+        ``range()`` annotations), traces a short run and returns a
+        :class:`~repro.lint.core.LintReport`.  An FX001 finding here
+        predicts the MSB explosion the simulation phases would hit —
+        without running them.
+        """
+        from repro.lint.core import run_lint
+        from repro.sfg import trace
+        cfg = self.cfg
+        n = n_samples if n_samples is not None else cfg.lint_samples
+        ctx = DesignContext("lint", seed=cfg.seed, overflow_action="record",
+                            guard_action="sanitize")
+        with ctx:
+            design = self.factory()
+            design.build(ctx)
+            known = {s.name for s in ctx.signals()}
+            ranges = {k: v for k, v in self.user_ranges.items()
+                      if k in known or any(s.startswith(k + "[")
+                                           for s in known)}
+            Annotations(dtypes={**self.input_types, **self.preset_types},
+                        ranges=ranges).apply(ctx)
+            with trace(ctx) as tracer:
+                design.run(ctx, n)
+        return run_lint(tracer.sfg, input_ranges=self.input_ranges,
+                        design_name=getattr(design, "name", "design"),
+                        config=config)
+
+    def _lint_into(self, diagnostics):
+        """Run :meth:`lint` defensively; findings become diagnostics."""
+        try:
+            report = self.lint()
+        except Exception as exc:  # lint must never break the flow
+            diagnostics.add("lint", "warning", None,
+                            "static lint pass failed: %s" % exc)
+            return None
+        for f in report:
+            diagnostics.add("lint", f.severity, f.signal, f.describe(),
+                            rule=f.rule_id)
+        return report
+
     # -- one-shot -----------------------------------------------------------------
 
     def run(self, strict=True):
@@ -530,6 +581,8 @@ class RefinementFlow:
         """
         from repro.robust.diagnostics import Diagnostics
         diag = Diagnostics()
+        if self.cfg.lint_design:
+            self._lint_into(diag)
         baseline = self.baseline_sqnr(diagnostics=diag)
         if strict:
             msb = self.run_msb_phase(diagnostics=diag)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 
 __all__ = ["format_msb_table", "format_lsb_table", "format_types_table",
-           "format_diagnostics_table", "format_table"]
+           "format_diagnostics_table", "format_lint_table", "format_table"]
 
 
 def format_table(headers, rows, title=None):
@@ -109,6 +109,18 @@ def format_diagnostics_table(diagnostics, title="Diagnostics"):
     rows = [[e.severity, e.category,
              "-" if e.signal is None else e.signal, e.message]
             for e in diagnostics]
+    return format_table(headers, rows, title=title)
+
+
+def format_lint_table(findings, title="Lint findings"):
+    """Static-analysis findings of :mod:`repro.lint`, one row each."""
+    headers = ["rule", "severity", "signal", "message", "fix"]
+    rows = [[f.rule_id, f.severity,
+             "-" if f.signal is None else f.signal, f.message,
+             f.hint or "-"]
+            for f in findings]
+    if not rows:
+        return "%s\n(no findings)" % title if title else "(no findings)"
     return format_table(headers, rows, title=title)
 
 

@@ -10,14 +10,10 @@ explosion — the cue for a ``range()`` annotation or a saturating type.
 
 from __future__ import annotations
 
-import re
-
-from repro.core.errors import DesignError
+from repro.core.errors import DesignError, RangeDivergenceError
 from repro.core.interval import Interval
 
 __all__ = ["propagate_ranges", "RangeAnalysis"]
-
-_CAST_RE = re.compile(r"^cast<(\d+),(\d+),(tc|us),(\w\w),(\w\w)>$")
 
 
 def _eval_op(label, ins):
@@ -48,12 +44,9 @@ def _eval_op(label, ins):
         return ins[0].scale_pow2(int(label[3:]))
     if label.startswith("shr"):
         return ins[0].scale_pow2(-int(label[3:]))
-    m = _CAST_RE.match(label)
-    if m:
-        n, f, vtype, msbspec = int(m.group(1)), int(m.group(2)), m.group(3), m.group(4)
-        from repro.core.dtype import DType
-        dt = DType("cast", n, f, vtype,
-                   {"sa": "saturate", "wr": "wrap", "er": "error"}[msbspec])
+    from repro.core.dtype import DType
+    dt = DType.from_cast_label(label)
+    if dt is not None:
         if dt.msbspec == "saturate":
             return ins[0].clip(dt.range_interval())
         return ins[0]
@@ -64,7 +57,7 @@ class RangeAnalysis:
     """Result of :func:`propagate_ranges`."""
 
     def __init__(self, ranges, exploded, rounds, converged,
-                 node_ranges=None):
+                 node_ranges=None, diverged=None, first_diverged=None):
         #: dict signal name -> Interval
         self.ranges = ranges
         #: dict Node -> Interval (every graph node, incl. op nodes)
@@ -75,6 +68,12 @@ class RangeAnalysis:
         self.rounds = rounds
         #: True when a fixpoint was reached
         self.converged = converged
+        #: dict signal name -> fixpoint round at which its interval first
+        #: became unbounded (divergence attribution)
+        self.diverged = diverged or {}
+        #: name of the signal that diverged first (None when bounded) —
+        #: the actionable location for a range() annotation
+        self.first_diverged = first_diverged
 
     def msb(self, name, signed=True):
         """Required MSB position of a signal (None/inf per interval)."""
@@ -107,7 +106,8 @@ def _signal_constraint(sfg, node, input_ranges, forced_ranges, clip_ranges):
 
 
 def propagate_ranges(sfg, input_ranges=None, forced_ranges=None,
-                     clip_ranges=None, max_rounds=100, widen_after=16):
+                     clip_ranges=None, max_rounds=100, widen_after=16,
+                     raise_on_explosion=False):
     """Fixpoint interval propagation over ``sfg``.
 
     Parameters
@@ -123,6 +123,9 @@ def propagate_ranges(sfg, input_ranges=None, forced_ranges=None,
         frozen).  Saturating dtypes on traced signals are honoured too.
     widen_after:
         Rounds of plain iteration before the widening operator kicks in.
+    raise_on_explosion:
+        Raise :class:`~repro.core.errors.RangeDivergenceError` naming the
+        first diverged signal instead of returning an exploded result.
     """
     input_ranges = dict(input_ranges or {})
     forced_ranges = {k: Interval.coerce(v)
@@ -179,6 +182,7 @@ def propagate_ranges(sfg, input_ranges=None, forced_ranges=None,
 
     converged = False
     rounds = 0
+    diverged = {}
     for rounds in range(1, max_rounds + 1):
         changed = False
         for node in order:
@@ -190,6 +194,15 @@ def propagate_ranges(sfg, input_ranges=None, forced_ranges=None,
             if new != values[node]:
                 values[node] = new
                 changed = True
+                # Divergence attribution: remember the round each signal
+                # first left the finite lattice (widening or an
+                # inherently unbounded op such as a zero-crossing
+                # division).  The topological sweep order makes the
+                # within-round order deterministic.
+                if (node.kind in ("sig", "reg")
+                        and not new.is_empty and not new.is_finite
+                        and node.label not in diverged):
+                    diverged[node.label] = rounds
         if not changed:
             converged = True
             break
@@ -197,5 +210,22 @@ def propagate_ranges(sfg, input_ranges=None, forced_ranges=None,
     ranges = {n.label: values[n] for n in sig_nodes}
     exploded = sorted(name for name, iv in ranges.items()
                       if not iv.is_empty and not iv.is_finite)
+    topo_pos = {n.label: i for i, n in enumerate(order)
+                if n.kind in ("sig", "reg")}
+    first = None
+    if exploded:
+        # First by round, then by topological position within the round.
+        first = min(exploded,
+                    key=lambda n: (diverged.get(n, rounds + 1),
+                                   topo_pos.get(n, len(order))))
+        if raise_on_explosion:
+            raise RangeDivergenceError(
+                "range propagation diverged at signal %r (fixpoint round "
+                "%d; %d signal(s) unbounded: %s) — add a range() "
+                "annotation or a saturating type on the feedback path"
+                % (first, diverged.get(first, rounds), len(exploded),
+                   ", ".join(exploded)),
+                signal=first, round=diverged.get(first), signals=exploded)
     return RangeAnalysis(ranges, exploded, rounds, converged,
-                         node_ranges=dict(values))
+                         node_ranges=dict(values), diverged=diverged,
+                         first_diverged=first)

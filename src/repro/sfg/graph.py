@@ -133,6 +133,44 @@ class SFG:
         return [n for n in self.signal_nodes()
                 if self.g.in_degree(n) == 0]
 
+    def cycles(self):
+        """Elementary cycles of the graph, deterministic and deduplicated.
+
+        Each cycle is a list of :class:`Node` in flow order, rotated so
+        it starts at the structurally smallest node (ordered by
+        ``(kind, label)``); the cycle list itself is sorted by those
+        structural keys.  Node ids — which depend on trace order — never
+        participate, so two traces of the same design yield the same
+        cycle sets even when the source executed statements in a
+        different order.  Cycles that are structurally identical
+        (same node kind/label sequence) are reported once.
+        """
+        found = {}
+        for cyc in nx.simple_cycles(self.g):
+            canon = self._canonical_cycle(cyc)
+            key = tuple((n.kind, n.label) for n in canon)
+            if key not in found:
+                found[key] = canon
+        return [found[k] for k in sorted(found)]
+
+    @staticmethod
+    def _canonical_cycle(nodes):
+        """Rotate a cycle to its lexicographically smallest key sequence."""
+        keys = [(n.kind, n.label) for n in nodes]
+        best = None
+        best_rot = 0
+        for i in range(len(nodes)):
+            rot = keys[i:] + keys[:i]
+            if best is None or rot < best:
+                best = rot
+                best_rot = i
+        return list(nodes[best_rot:]) + list(nodes[:best_rot])
+
+    @staticmethod
+    def cycle_signal_names(cycle):
+        """Names of the ``sig``/``reg`` nodes on one cycle (flow order)."""
+        return [n.label for n in cycle if n.kind in ("sig", "reg")]
+
     def feedback_signals(self):
         """Names of signals that sit on a cycle of the flow graph.
 

@@ -43,6 +43,7 @@ this module is written for the interpreter, not for elegance:
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from math import inf, log10, nan
 
@@ -56,6 +57,28 @@ from repro.signal.expr import Expr, Operand, as_expr
 __all__ = ["Sig", "Reg"]
 
 
+def _decl_site():
+    """(filename, lineno) of the design code declaring a signal.
+
+    Walks out of the library frames (``repro.signal`` and
+    ``repro.refine`` internals) to the first user frame.  Executed once
+    per signal *construction* — never on the assignment hot path — and
+    consumed by the static lint layer to anchor findings at real source
+    locations (SARIF ``physicalLocation``).
+    """
+    try:
+        f = sys._getframe(2)
+    except ValueError:                       # pragma: no cover - shallow stack
+        return None
+    while f is not None:
+        mod = f.f_globals.get("__name__", "")
+        if not (mod.startswith("repro.signal")
+                or mod.startswith("repro.refine")):
+            return (f.f_code.co_filename, f.f_lineno)
+        f = f.f_back
+    return None
+
+
 class Sig(Operand):
     """A (possibly fixed-point) signal with built-in monitors."""
 
@@ -65,6 +88,7 @@ class Sig(Operand):
         "overflow_count", "_forced_range", "_forced_error", "_fault_pre",
         "_fault_post", "_prop_ival", "_read_ival", "_history", "_node",
         "_kernel", "_err_mode", "_sat_lo", "_sat_hi", "_expr_cache",
+        "decl_site",
     )
 
     is_register = False
@@ -76,6 +100,8 @@ class Sig(Operand):
         self.name = str(name)
         self.ctx = ctx if ctx is not None else current_context()
         self.role = ""
+        #: (filename, lineno) where design code declared this signal.
+        self.decl_site = _decl_site()
 
         self._fx = float(init)
         self._fl = float(init)

@@ -1,0 +1,413 @@
+"""Per-rule trigger/clean-twin fixtures for the repro.lint analyzer."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.lint import (LintConfig, apply_baseline, load_baseline, run_lint,
+                        to_json_dict, to_sarif_dict, write_baseline)
+from repro.signal import DesignContext, Reg, Sig, cast, select
+from repro.signal.ops import gt
+from repro.sfg import trace
+
+
+@pytest.fixture
+def ctx():
+    with DesignContext("lint-test", seed=0) as c:
+        yield c
+
+
+def _trace(ctx, body):
+    with trace(ctx) as t:
+        body()
+        ctx.tick()
+    return t.sfg
+
+
+def _accumulator(ctx, annotate=False, saturate=False, sat_cast=False):
+    acc = Reg("acc")
+    x = Sig("x")
+    if annotate:
+        acc.range(-4.0, 4.0)
+    if saturate:
+        acc.set_dtype(DType("acc_t", 8, 4, "tc", "saturate", "round"))
+
+    def body():
+        x.assign(1.0)
+        if sat_cast:
+            acc.assign(cast(acc + x,
+                            DType("c_t", 8, 4, "tc", "saturate", "round")))
+        else:
+            acc.assign(acc + x)
+
+    return _trace(ctx, body), acc, x
+
+
+class TestFX001MsbExplosion:
+    def test_trigger(self, ctx):
+        sfg, _, _ = _accumulator(ctx)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"})
+        (f,) = rep.by_rule("FX001")
+        assert f.severity == "error"
+        assert f.signal == "acc"
+        assert "acc" in f.cycle
+        assert "range(" in f.hint
+
+    def test_clean_with_range_annotation(self, ctx):
+        sfg, _, _ = _accumulator(ctx, annotate=True)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"})
+        assert rep.by_rule("FX001") == []
+
+    def test_clean_with_saturating_dtype(self, ctx):
+        sfg, _, _ = _accumulator(ctx, saturate=True)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"})
+        assert rep.by_rule("FX001") == []
+
+    def test_clean_with_saturating_cast_on_path(self, ctx):
+        sfg, _, _ = _accumulator(ctx, sat_cast=True)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"})
+        assert rep.by_rule("FX001") == []
+
+    def test_site_from_declaration(self, ctx):
+        sfg, _, _ = _accumulator(ctx)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"})
+        (f,) = rep.by_rule("FX001")
+        assert f.site is not None and f.site[0].endswith("test_lint.py")
+
+
+class TestFX002DeclaredRangeOverflow:
+    def _graph(self, ctx, spec):
+        x = Sig("x")
+        y = Sig("y")
+        y.set_dtype(DType.from_spec(spec, name="y_t"))
+        return _trace(ctx, lambda: (x.assign(0.5), y.assign(x * 3.0)))
+
+    def test_trigger_wrap_is_error(self, ctx):
+        sfg = self._graph(ctx, "<4,2,tc,wr,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        (f,) = rep.by_rule("FX002")
+        assert f.severity == "error"
+        assert "wrap" in f.message
+
+    def test_trigger_error_mode_is_warning(self, ctx):
+        sfg = self._graph(ctx, "<4,2,tc,er,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        (f,) = rep.by_rule("FX002")
+        assert f.severity == "warning"
+
+    def test_clean_when_type_covers(self, ctx):
+        sfg = self._graph(ctx, "<8,4,tc,wr,ro>")   # [-8, 7.9375] covers
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX002") == []
+
+    def test_clean_when_saturating(self, ctx):
+        sfg = self._graph(ctx, "<4,2,tc,sa,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX002") == []
+
+    def test_exploded_cycle_owned_by_fx001(self, ctx):
+        acc = Reg("acc")
+        x = Sig("x")
+        acc.set_dtype(DType.from_spec("<8,4,tc,wr,ro>", name="acc_t"))
+        sfg = _trace(ctx, lambda: (x.assign(1.0), acc.assign(acc + x)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"})
+        assert rep.by_rule("FX001") != []
+        assert rep.by_rule("FX002") == []
+
+
+class TestFX003WordlengthWaste:
+    def _graph(self, ctx, spec):
+        x = Sig("x")
+        z = Sig("z")
+        z.set_dtype(DType.from_spec(spec, name="z_t"))
+        return _trace(ctx, lambda: (x.assign(0.5), z.assign(x + 0.25)))
+
+    def test_trigger(self, ctx):
+        sfg = self._graph(ctx, "<24,4,tc,sa,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"})
+        (f,) = rep.by_rule("FX003")
+        assert f.data["dead_bits"] == 18
+        assert "from_range" in f.hint
+
+    def test_clean_when_tight(self, ctx):
+        sfg = self._graph(ctx, "<6,4,tc,sa,ro>")   # msb=1, exactly needed
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"})
+        assert rep.by_rule("FX003") == []
+
+    def test_min_dead_bits_option(self, ctx):
+        sfg = self._graph(ctx, "<8,4,tc,sa,ro>")   # msb=3, 2 dead bits
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"})
+        assert len(rep.by_rule("FX003")) == 1
+        cfg = LintConfig(options={"FX003": {"min_dead_bits": 4}})
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"},
+                       config=cfg)
+        assert rep.by_rule("FX003") == []
+
+
+class TestFX004PrecisionHazard:
+    def test_double_rounding_cast_chain(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        x.set_dtype(DType.from_spec("<8,4,tc,sa,ro>", name="x_t"))
+        fine = DType.from_spec("<6,2,tc,sa,ro>", name="a_t")
+        coarse = DType.from_spec("<5,1,tc,sa,ro>", name="b_t")
+        sfg = _trace(ctx, lambda: (
+            x.assign(0.5), y.assign(cast(cast(x, fine), coarse))))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert any("rounds twice" in f.message for f in rep.by_rule("FX004"))
+
+    def test_clean_single_cast(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        x.set_dtype(DType.from_spec("<8,4,tc,sa,ro>", name="x_t"))
+        coarse = DType.from_spec("<5,1,tc,sa,ro>", name="b_t")
+        sfg = _trace(ctx, lambda: (x.assign(0.5),
+                                   y.assign(cast(x, coarse))))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX004") == []
+
+    def test_clean_truncating_first_cast(self, ctx):
+        # Only round-then-round is double rounding; floor-then-round is
+        # a deliberate cheap truncation and stays silent.
+        x = Sig("x")
+        y = Sig("y")
+        x.set_dtype(DType.from_spec("<8,4,tc,sa,ro>", name="x_t"))
+        fine = DType.from_spec("<6,2,tc,sa,fl>", name="a_t")
+        coarse = DType.from_spec("<5,1,tc,sa,ro>", name="b_t")
+        sfg = _trace(ctx, lambda: (
+            x.assign(0.5), y.assign(cast(cast(x, fine), coarse))))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX004") == []
+
+    def test_excess_discard(self, ctx):
+        a = Sig("a")
+        b = Sig("b")
+        y = Sig("y")
+        a.set_dtype(DType.from_spec("<16,14,tc,sa,ro>", name="a_t"))
+        b.set_dtype(DType.from_spec("<16,14,tc,sa,ro>", name="b_t"))
+        y.set_dtype(DType.from_spec("<6,2,tc,sa,ro>", name="y_t"))
+        # a*b is exactly on the 2^-28 grid; y keeps 2 fractional bits.
+        sfg = _trace(ctx, lambda: (a.assign(0.5), b.assign(0.25),
+                                   y.assign(a * b)))
+        rep = run_lint(sfg, input_ranges={"a": (-1, 1), "b": (-1, 1)},
+                       outputs={"y"})
+        assert any(f.data.get("lost_bits") == 26
+                   for f in rep.by_rule("FX004"))
+
+
+class TestFX005UndrivenReg:
+    def test_trigger(self, ctx):
+        r = Reg("r")
+        x = Sig("x")
+        y = Sig("y")
+        sfg = _trace(ctx, lambda: (x.assign(1.0), y.assign(x + r)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        (f,) = rep.by_rule("FX005")
+        assert f.signal == "r"
+
+    def test_clean_when_driven(self, ctx):
+        r = Reg("r")
+        x = Sig("x")
+        y = Sig("y")
+        sfg = _trace(ctx, lambda: (x.assign(1.0), r.assign(x * 0.5),
+                                   y.assign(x + r)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX005") == []
+
+    def test_clean_when_declared_input(self, ctx):
+        r = Reg("r")
+        x = Sig("x")
+        y = Sig("y")
+        sfg = _trace(ctx, lambda: (x.assign(1.0), y.assign(x + r)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1), "r": (-1, 1)},
+                       outputs={"y"})
+        assert rep.by_rule("FX005") == []
+
+
+class TestFX006DeadSignal:
+    def test_trigger(self, ctx):
+        x = Sig("x")
+        dead = Sig("dead")
+        sfg = _trace(ctx, lambda: (x.assign(1.0), dead.assign(x * 2.0)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)})
+        (f,) = rep.by_rule("FX006")
+        assert f.signal == "dead"
+
+    def test_clean_when_output(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        sfg = _trace(ctx, lambda: (x.assign(1.0), y.assign(x * 2.0)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX006") == []
+
+    def test_clean_when_output_role(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        y.role = "output"
+        sfg = _trace(ctx, lambda: (x.assign(1.0), y.assign(x * 2.0)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)})
+        assert rep.by_rule("FX006") == []
+
+
+class TestFX007WrapCompare:
+    def _graph(self, ctx, spec, gain):
+        p = Sig("p")
+        x = Sig("x")
+        flag = Sig("flag")
+        p.set_dtype(DType.from_spec(spec, name="p_t"))
+        return _trace(ctx, lambda: (
+            x.assign(0.5), p.assign(x * gain),
+            flag.assign(select(gt(p, 0.0), 1.0, -1.0))))
+
+    def test_trigger(self, ctx):
+        sfg = self._graph(ctx, "<6,4,tc,wr,ro>", 16.0)  # range exceeds
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"flag", "p"})
+        (f,) = rep.by_rule("FX007")
+        assert f.signal == "p"
+
+    def test_clean_when_provably_fits(self, ctx):
+        sfg = self._graph(ctx, "<6,4,tc,wr,ro>", 1.5)   # [-1.5, 1.5] fits
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"flag", "p"})
+        assert rep.by_rule("FX007") == []
+
+    def test_clean_when_saturating(self, ctx):
+        sfg = self._graph(ctx, "<6,4,tc,sa,ro>", 16.0)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"flag", "p"})
+        assert rep.by_rule("FX007") == []
+
+
+class TestFX008RedundantCast:
+    def test_trigger(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        x.set_dtype(DType.from_spec("<8,4,tc,sa,ro>", name="x_t"))
+        wide = DType.from_spec("<12,8,tc,sa,ro>", name="w_t")
+        sfg = _trace(ctx, lambda: (x.assign(0.5), y.assign(cast(x, wide))))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        (f,) = rep.by_rule("FX008")
+        assert f.severity == "info"
+        assert f.signal == "y"
+
+    def test_clean_when_cast_narrows(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        x.set_dtype(DType.from_spec("<8,4,tc,sa,ro>", name="x_t"))
+        narrow = DType.from_spec("<6,2,tc,sa,ro>", name="n_t")
+        sfg = _trace(ctx, lambda: (x.assign(0.5),
+                                   y.assign(cast(x, narrow))))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX008") == []
+
+    def test_clean_when_operand_grid_unknown(self, ctx):
+        x = Sig("x")            # no dtype: grid unknown
+        y = Sig("y")
+        wide = DType.from_spec("<12,8,tc,sa,ro>", name="w_t")
+        sfg = _trace(ctx, lambda: (x.assign(0.5), y.assign(cast(x, wide))))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX008") == []
+
+
+class TestConfig:
+    def _noisy_graph(self, ctx):
+        x = Sig("x")
+        dead = Sig("dead")
+        z = Sig("z")
+        z.set_dtype(DType.from_spec("<24,4,tc,sa,ro>", name="z_t"))
+        return _trace(ctx, lambda: (x.assign(1.0), dead.assign(x + 1.0),
+                                    z.assign(x * 0.5)))
+
+    def test_disable_rule(self, ctx):
+        sfg = self._noisy_graph(ctx)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"},
+                       config=LintConfig(disabled={"FX006"}))
+        assert rep.by_rule("FX006") == []
+        assert rep.by_rule("FX003") != []
+
+    def test_enabled_only(self, ctx):
+        sfg = self._noisy_graph(ctx)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"},
+                       config=LintConfig(enabled_only={"FX006"}))
+        assert {f.rule_id for f in rep} == {"FX006"}
+
+    def test_severity_override(self, ctx):
+        sfg = self._noisy_graph(ctx)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"z"},
+                       config=LintConfig(severities={"FX003": "error"}))
+        (f,) = rep.by_rule("FX003")
+        assert f.severity == "error"
+        assert rep.errors != []
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig(severities={"FX003": "fatal"})
+
+
+class TestReportAndBaseline:
+    def _report(self, ctx):
+        sfg, _, _ = _accumulator(ctx)
+        return run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"acc"},
+                        design_name="acc-demo")
+
+    def test_report_surface(self, ctx):
+        rep = self._report(ctx)
+        assert len(rep) == 1
+        assert rep.worst_severity() == "error"
+        assert "FX001" in rep.table()
+        assert "acc-demo" in rep.summary()
+        d = rep.to_dict()
+        assert d["findings"][0]["rule"] == "FX001"
+        assert d["findings"][0]["fingerprint"]
+
+    def test_fingerprint_stable_across_runs(self, ctx):
+        rep = self._report(ctx)
+        with DesignContext("lint-test-2", seed=9) as c2:
+            sfg2, _, _ = _accumulator(c2)
+            rep2 = run_lint(sfg2, input_ranges={"x": (-1, 1)},
+                            outputs={"acc"}, design_name="acc-demo")
+        assert ([f.fingerprint() for f in rep]
+                == [f.fingerprint() for f in rep2])
+
+    def test_baseline_roundtrip(self, ctx, tmp_path):
+        rep = self._report(ctx)
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), rep)
+        fingerprints = load_baseline(str(path))
+        assert fingerprints == {f.fingerprint() for f in rep}
+        clean = apply_baseline(rep, fingerprints)
+        assert len(clean) == 0
+        assert clean.suppressed == 1
+        assert "suppressed" in clean.summary()
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_json_payload(self, ctx):
+        rep = self._report(ctx)
+        payload = to_json_dict(rep)
+        assert payload["totals"]["errors"] == 1
+        assert payload["designs"][0]["design"] == "acc-demo"
+
+    def test_sarif_payload(self, ctx):
+        rep = self._report(ctx)
+        sarif = to_sarif_dict(rep)
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["automationDetails"]["id"] == "repro-lint/acc-demo"
+        driver = run["tool"]["driver"]
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids) and "FX001" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "FX001"
+        assert result["level"] == "error"
+        assert result["ruleIndex"] == rule_ids.index("FX001")
+        loc = result["locations"][0]
+        region = loc["physicalLocation"]["region"]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"]
+        assert region["startLine"] >= 1
+        assert loc["logicalLocations"][0]["name"] == "acc"
+        assert result["partialFingerprints"]["reproLint/v1"]

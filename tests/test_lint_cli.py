@@ -1,0 +1,163 @@
+"""CLI, bundled-design registry and flow-integration tests."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import design_registry, lint_design, main
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return design_registry()
+
+
+class TestBundledDesigns:
+    def test_registry_names(self, registry):
+        assert {"lms", "adaptive-lms", "biquad", "cordic",
+                "timing-recovery"} <= set(registry)
+
+    @pytest.mark.parametrize("name", ["lms", "adaptive-lms", "biquad",
+                                      "cordic", "timing-recovery"])
+    def test_bundled_design_has_no_errors(self, registry, name):
+        report = lint_design(registry[name])
+        assert report.errors == [], report.table()
+
+    def test_unannotated_lms_reports_explosion(self, registry):
+        import dataclasses
+        entry = dataclasses.replace(registry["lms"], ranges={})
+        report = lint_design(entry)
+        assert any(f.rule_id == "FX001" and f.signal == "b"
+                   for f in report.errors)
+
+    def test_artifact_points_at_design_source(self, registry):
+        report = lint_design(registry["lms"])
+        assert report.artifact and "lms" in report.artifact
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "lms" in out and "biquad" in out
+
+    def test_unknown_design(self, capsys):
+        assert main(["no-such-design"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["lms"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error" in out
+
+    def test_disabled_annotations_via_select(self, capsys):
+        # Selecting only FX006 must not fail the run on errors.
+        assert main(["lms", "--select", "FX006"]) == 0
+
+    def test_json_format(self, capsys):
+        assert main(["lms", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["designs"][0]["design"] == "lms"
+
+    def test_sarif_format_shape(self, capsys):
+        assert main(["lms", "biquad", "--format", "sarif"]) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["$schema"].endswith("sarif-2.1.0.json")
+        assert [r["automationDetails"]["id"] for r in sarif["runs"]] == [
+            "repro-lint/lms", "repro-lint/biquad"]
+        for run in sarif["runs"]:
+            driver = run["tool"]["driver"]
+            assert driver["name"] == "repro-lint"
+            assert len(driver["rules"]) >= 8
+            for rule in driver["rules"]:
+                assert rule["id"].startswith("FX")
+                assert rule["defaultConfiguration"]["level"] in (
+                    "note", "warning", "error")
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["lms", "--format", "json",
+                     "--output", str(path)]) == 0
+        assert json.loads(path.read_text())["tool"] == "repro-lint"
+
+    def test_severity_override_fails_run(self, capsys):
+        # cordic is clean by default; forcing FX00x severities up cannot
+        # invent findings, but demoting fail-on to info catches nothing
+        # either on a clean design.
+        assert main(["cordic", "--fail-on", "info"]) == 0
+
+    def test_samples_override(self, capsys):
+        assert main(["lms", "--samples", "4"]) == 0
+
+
+class TestCliBaseline:
+    def test_write_and_apply_baseline(self, tmp_path, capsys, monkeypatch):
+        import dataclasses
+
+        import repro.lint.cli as cli
+        registry = design_registry()
+        broken = {"lms": dataclasses.replace(registry["lms"], ranges={})}
+        monkeypatch.setattr(cli, "design_registry", lambda: broken)
+
+        assert cli.main(["lms"]) == 1          # errors without baseline
+        capsys.readouterr()
+
+        path = tmp_path / "baseline.json"
+        assert cli.main(["lms", "--write-baseline", str(path)]) == 1
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1 and payload["fingerprints"]
+
+        # With the baseline applied the same findings are suppressed.
+        assert cli.main(["lms", "--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+
+    def test_fail_on_never(self, capsys, monkeypatch):
+        import dataclasses
+
+        import repro.lint.cli as cli
+        registry = design_registry()
+        broken = {"lms": dataclasses.replace(registry["lms"], ranges={})}
+        monkeypatch.setattr(cli, "design_registry", lambda: broken)
+        assert cli.main(["lms", "--fail-on", "never"]) == 0
+
+
+class TestFlowIntegration:
+    def _flow(self, **kw):
+        from repro.core.dtype import DType
+        from repro.dsp import LmsEqualizerDesign
+        from repro.refine.flow import FlowConfig, RefinementFlow
+        return RefinementFlow(
+            LmsEqualizerDesign,
+            input_types={"x": DType.from_spec("<10,8,tc,sa,ro>",
+                                              name="x_t")},
+            input_ranges={"x": (-1.5, 1.5)},
+            config=FlowConfig(n_samples=400),
+            **kw)
+
+    def test_lint_predicts_msb_explosion(self):
+        report = self._flow().lint()
+        assert any(f.rule_id == "FX001" for f in report.errors)
+
+    def test_lint_clean_with_user_ranges(self):
+        report = self._flow(user_ranges={"b": (-0.2, 0.2)}).lint()
+        assert report.errors == []
+
+    def test_run_surfaces_lint_diagnostics(self):
+        result = self._flow(user_ranges={"b": (-0.2, 0.2)}).run(strict=False)
+        events = result.diagnostics.by_category("lint")
+        assert events == []        # annotated design lints clean
+
+    def test_run_reports_findings_for_bare_design(self):
+        result = self._flow().run(strict=False)
+        events = result.diagnostics.by_category("lint")
+        assert any("FX001" in e.message for e in events)
+
+    def test_lint_can_be_disabled(self):
+        flow = self._flow()
+        flow.cfg.lint_design = False
+        result = flow.run(strict=False)
+        assert result.diagnostics.by_category("lint") == []

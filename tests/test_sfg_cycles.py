@@ -1,0 +1,186 @@
+"""Tests for deterministic cycle enumeration and divergence attribution."""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError, RangeDivergenceError
+from repro.signal import DesignContext, Reg, Sig, cast
+from repro.sfg import SFG, propagate_ranges, trace
+
+
+@pytest.fixture
+def ctx():
+    with DesignContext("cycles-test", seed=0) as c:
+        yield c
+
+
+def _trace_accumulator(ctx):
+    acc = Reg("acc")
+    x = Sig("x")
+    with trace(ctx) as t:
+        x.assign(1.0)
+        acc.assign(acc + x)
+        ctx.tick()
+    return t.sfg
+
+
+class TestCycles:
+    def test_self_loop_register(self, ctx):
+        g = _trace_accumulator(ctx)
+        cycles = g.cycles()
+        assert len(cycles) == 1
+        assert SFG.cycle_signal_names(cycles[0]) == ["acc"]
+
+    def test_acyclic_graph(self, ctx):
+        a = Sig("a")
+        y = Sig("y")
+        with trace(ctx) as t:
+            a.assign(1.0)
+            y.assign(a * 2.0)
+        assert t.sfg.cycles() == []
+
+    def test_two_overlapping_cycles(self, ctx):
+        # r1 and r2 each feed back on themselves through a shared sum.
+        r1 = Reg("r1")
+        r2 = Reg("r2")
+        s = Sig("s")
+        with trace(ctx) as t:
+            s.assign(r1 + r2)
+            r1.assign(s * 0.5)
+            r2.assign(s * 0.25)
+            ctx.tick()
+        cycles = t.sfg.cycles()
+        names = sorted(tuple(SFG.cycle_signal_names(c)) for c in cycles)
+        assert len(cycles) == 2
+        assert any("r1" in ns for ns in names)
+        assert any("r2" in ns for ns in names)
+        assert all("s" in ns for ns in names)
+
+    def test_deterministic_across_trace_order(self):
+        """The same structure traced in different statement orders must
+        produce identical cycle sets (node ids differ; labels do not)."""
+
+        def build(order):
+            with DesignContext("order-%s" % order, seed=0) as c:
+                r1 = Reg("r1")
+                r2 = Reg("r2")
+                s = Sig("s")
+                with trace(c) as t:
+                    if order == "a":
+                        s.assign(r1 + r2)
+                        r1.assign(s * 0.5)
+                        r2.assign(s * 0.25)
+                    else:
+                        # Prime the graph differently: assignments in
+                        # reverse, an extra warm-up iteration.
+                        r2.assign(s * 0.25)
+                        r1.assign(s * 0.5)
+                        s.assign(r1 + r2)
+                        s.assign(r1 + r2)
+                    c.tick()
+                return [tuple((n.kind, n.label) for n in cyc)
+                        for cyc in t.sfg.cycles()]
+
+        assert build("a") == build("b")
+
+    def test_cycles_deduplicated(self, ctx):
+        # Re-executing the loop body many times must not duplicate cycles.
+        acc = Reg("acc")
+        x = Sig("x")
+        with trace(ctx) as t:
+            for i in range(20):
+                x.assign(float(i))
+                acc.assign(acc + x)
+                ctx.tick()
+        assert len(t.sfg.cycles()) == 1
+
+    def test_canonical_rotation_starts_at_smallest(self, ctx):
+        r = Reg("zz")
+        s = Sig("aa")
+        with trace(ctx) as t:
+            s.assign(r * 0.5)
+            r.assign(s + 1.0)
+            ctx.tick()
+        (cycle,) = t.sfg.cycles()
+        keys = [(n.kind, n.label) for n in cycle]
+        assert keys[0] == min(keys)
+
+
+class TestDivergenceAttribution:
+    def test_first_diverged_named(self, ctx):
+        g = _trace_accumulator(ctx)
+        res = propagate_ranges(g, input_ranges={"x": (-1, 1)})
+        assert res.first_diverged == "acc"
+        assert res.diverged["acc"] >= 1
+        assert "acc" in res.exploded
+
+    def test_no_divergence_when_annotated(self, ctx):
+        g = _trace_accumulator(ctx)
+        res = propagate_ranges(g, input_ranges={"x": (-1, 1)},
+                               forced_ranges={"acc": (-4, 4)})
+        assert res.first_diverged is None
+        assert res.diverged == {}
+
+    def test_raise_on_explosion(self, ctx):
+        g = _trace_accumulator(ctx)
+        with pytest.raises(RangeDivergenceError) as exc:
+            propagate_ranges(g, input_ranges={"x": (-1, 1)},
+                             raise_on_explosion=True)
+        err = exc.value
+        assert err.signal == "acc"
+        assert err.round >= 1
+        assert "acc" in err.signals
+        assert "acc" in str(err)
+
+    def test_divergence_error_is_design_error(self, ctx):
+        g = _trace_accumulator(ctx)
+        with pytest.raises(DesignError):
+            propagate_ranges(g, input_ranges={"x": (-1, 1)},
+                             raise_on_explosion=True)
+
+    def test_attribution_picks_source_of_growth(self, ctx):
+        # acc explodes and drags y with it; the accumulator is the root.
+        acc = Reg("acc")
+        x = Sig("x")
+        y = Sig("y")
+        with trace(ctx) as t:
+            x.assign(1.0)
+            acc.assign(acc + x)
+            y.assign(acc * 2.0)
+            ctx.tick()
+        res = propagate_ranges(t.sfg, input_ranges={"x": (-1, 1)})
+        assert set(res.exploded) == {"acc", "y"}
+        assert res.first_diverged == "acc"
+
+    def test_annotated_converging_cycle(self, ctx):
+        # A decaying loop (gain < 1) converges without any annotation.
+        r = Reg("r")
+        x = Sig("x")
+        with trace(ctx) as t:
+            x.assign(1.0)
+            r.assign(r * 0.5 + x)
+            ctx.tick()
+        res = propagate_ranges(t.sfg, input_ranges={"x": (-1, 1)})
+        # Widening may still push it to infinity or it may settle; either
+        # way the call must not raise without raise_on_explosion.  With a
+        # range() annotation the loop is pinned exactly.
+        res = propagate_ranges(t.sfg, input_ranges={"x": (-1, 1)},
+                               forced_ranges={"r": (-2, 2)})
+        assert res.exploded == []
+        assert res.ranges["r"].hi == 2
+
+    def test_cycle_broken_by_saturating_cast(self, ctx):
+        T = DType("T", 8, 5, msbspec="saturate")
+        acc = Reg("acc")
+        x = Sig("x")
+        with trace(ctx) as t:
+            x.assign(1.0)
+            acc.assign(cast(acc + x, T))
+            ctx.tick()
+        res = propagate_ranges(t.sfg, input_ranges={"x": (-1, 1)})
+        assert res.exploded == []
+        assert res.first_diverged is None
+        assert res.ranges["acc"].hi <= T.max_value
+        # The cycle is still *structurally* there — only its growth is
+        # broken by the saturating cast.
+        assert len(t.sfg.cycles()) == 1
