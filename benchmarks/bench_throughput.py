@@ -61,6 +61,13 @@ PRE_PR_BASELINE = {
 #: Allowed slow-down vs the committed baseline before --check fails.
 REGRESSION_TOLERANCE = 0.30
 
+#: Maximum throughput loss (percent) the *disabled* observability layer
+#: may cost the monitored LMS path.  The design goal is zero: disabling
+#: repro.obs restores the exact original ``Sig._record`` code object, so
+#: anything beyond measurement noise is a regression in the enable/
+#: disable switch itself.
+OBS_DISABLED_OVERHEAD_PCT = 2.0
+
 
 # -- pytest-benchmark tests --------------------------------------------------
 
@@ -180,6 +187,82 @@ def measure_lms_samples_per_s(quick):
     return n / _best_of(run, 2 if quick else 4)
 
 
+def measure_lms_obs(quick):
+    """Observability cost on the monitored LMS path: A/B/A roundtrips.
+
+    Measures the LMS throughput observability-off, on (tracing +
+    per-signal metrics), and off again, and returns ``(enabled_rate,
+    disabled_overhead_pct)``.  Two layers keep the overhead number
+    honest on noisy hardware:
+
+    * **structural check** — ``repro.obs`` swaps ``Sig._record`` at the
+      class level instead of branching in the hot path, so after the
+      roundtrip the *exact original function object* must be installed
+      and ``trace.span()`` must hand out the shared no-op span.  Any
+      violation (a wrapper left behind) reports as 100% overhead — a
+      hard failure regardless of timings.
+    * **wall clock** — per trial, disabled-before and disabled-after
+      runs are interleaved (drift hits both sides equally) and compared
+      on best-of times; the reported overhead is the minimum across
+      trials.  A real always-on cost shows up in every trial and
+      survives the minimum; one-sided scheduler noise does not.
+
+    Being an in-process A/B, the bound is machine-independent — no
+    baseline scaling needed.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.trace import _NULL
+    from repro.signal.signal import Sig
+
+    n = 800 if quick else 3000
+    trials = 2 if quick else 3
+    rounds = 3 if quick else 4
+    orig_record = Sig._record
+
+    def run():
+        ctx = DesignContext("perf", seed=0)
+        with ctx:
+            d = LmsEqualizerDesign()
+            d.build(ctx)
+            ctx.get("x").set_dtype(DType("T_input", 7, 5))
+            d.run(ctx, n)
+
+    def timed():
+        t0 = time.perf_counter()
+        run()
+        return time.perf_counter() - t0
+
+    run()  # warm-up
+    best_enabled = None
+    overhead_pct = None
+    for _ in range(trials):
+        t_off_before, t_on, t_off_after = [], [], []
+        for _ in range(rounds):
+            t_off_before.append(timed())
+            obs_trace.enable()
+            obs_metrics.enable()
+            try:
+                t_on.append(timed())
+            finally:
+                obs_metrics.disable()
+                obs_trace.disable()
+            t_off_after.append(timed())
+        if best_enabled is None or min(t_on) < best_enabled:
+            best_enabled = min(t_on)
+        trial_pct = (min(t_off_after) - min(t_off_before)) \
+            / min(t_off_before) * 100.0
+        if overhead_pct is None or trial_pct < overhead_pct:
+            overhead_pct = trial_pct
+    overhead_pct = max(0.0, overhead_pct)
+
+    if Sig._record is not orig_record or obs_trace.span("x") is not _NULL:
+        # The switch failed to restore the hot path — that IS the
+        # regression this metric exists to catch.
+        overhead_pct = 100.0
+    return n / best_enabled, overhead_pct
+
+
 def measure_sensitivity_wallclock(quick):
     """Sensitivity sweep wall clock: serial loop vs parallel fan-out.
 
@@ -223,6 +306,9 @@ def run_harness(quick=False):
         "vector_quantize_msps": measure_vector_msps(quick),
         "lms_samples_per_s": measure_lms_samples_per_s(quick),
     }
+    obs_enabled, obs_overhead = measure_lms_obs(quick)
+    metrics["lms_obs_enabled_samples_per_s"] = obs_enabled
+    metrics["lms_obs_disabled_overhead_pct"] = obs_overhead
     serial, par = measure_sensitivity_wallclock(quick)
     metrics["sensitivity_serial_s"] = serial
     metrics["sensitivity_parallel_s"] = par
@@ -287,6 +373,14 @@ def check_regression(current, committed, tolerance=REGRESSION_TOLERANCE):
                 "%.2f, -%d%%)"
                 % (rate_key, cur[rate_key], floor, old[rate_key], machine,
                    int(tolerance * 100)))
+    # Observability guard: the in-process A/B/A roundtrip needs no
+    # machine normalization — disabled obs must cost (near) nothing.
+    obs_pct = cur.get("lms_obs_disabled_overhead_pct")
+    if obs_pct is not None and obs_pct > OBS_DISABLED_OVERHEAD_PCT:
+        failures.append(
+            "lms_obs_disabled_overhead_pct %.2f exceeds the %.1f%% "
+            "bound — disabling repro.obs no longer restores the "
+            "original hot path" % (obs_pct, OBS_DISABLED_OVERHEAD_PCT))
     return failures
 
 

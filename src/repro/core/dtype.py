@@ -54,10 +54,25 @@ _LSB_ALIASES = {
 class DType:
     """Immutable fixed-point type descriptor.
 
-    Example (the paper's ``dtype T1("T1", 8, 5, ns, st, rd)``)::
+    Example (the paper's ``dtype T1("T1", 8, 5, ns, st, rd)``):
 
-        T1 = DType("T1", 8, 5, "tc", "saturate", "round")
-        T1.quantize(0.123)   # -> 0.125
+    >>> T1 = DType("T1", 8, 5, "tc", "saturate", "round")
+    >>> T1.quantize(0.123)
+    0.125
+    >>> T1.spec()
+    '<8,5,tc,sa,ro>'
+    >>> (T1.msb, T1.lsb, T1.eps)
+    (2, 5, 0.03125)
+    >>> (T1.min_value, T1.max_value)
+    (-4.0, 3.96875)
+
+    Values beyond the representable range follow ``msbspec`` — here the
+    type saturates:
+
+    >>> T1.quantize(17.0)
+    3.96875
+    >>> T1.with_(msbspec="wrap").quantize(17.0)
+    1.0
     """
 
     __slots__ = ("name", "n", "f", "vtype", "msbspec", "lsbspec",

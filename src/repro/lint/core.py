@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.core import word
 from repro.core.dtype import DType
+from repro.obs import trace as obs_trace
 from repro.sfg.analyze import propagate_ranges
 
 __all__ = ["Finding", "Rule", "LintConfig", "LintContext", "LintReport",
@@ -30,7 +31,15 @@ SEVERITY_ORDER = ("info", "warning", "error")
 
 @dataclass(frozen=True)
 class Finding:
-    """One structured diagnostic emitted by a rule."""
+    """One structured diagnostic emitted by a rule.
+
+    >>> f = Finding("FX001", "warning", "register lacks a dtype",
+    ...             hint="annotate acc", signal="acc")
+    >>> f.describe()
+    'FX001 warning [acc]: register lacks a dtype (fix: annotate acc)'
+    >>> f.fingerprint() == f.fingerprint()   # stable across calls
+    True
+    """
 
     rule_id: str                     # stable id, e.g. "FX001"
     severity: str                    # "info" | "warning" | "error"
@@ -111,7 +120,23 @@ def all_rules():
 
 
 class LintConfig:
-    """Per-rule enablement, severity overrides and options."""
+    """Per-rule enablement, severity overrides and options.
+
+    >>> cfg = LintConfig(disabled={"FX003"},
+    ...                  severities={"FX001": "error"},
+    ...                  options={"FX005": {"max_bits": 24}})
+    >>> cfg.enabled("FX003"), cfg.enabled("FX001")
+    (False, True)
+    >>> cfg.severity_of("FX001", "warning")
+    'error'
+    >>> cfg.option("FX005", "max_bits", 32)
+    24
+
+    ``enabled_only`` flips the default from opt-out to opt-in:
+
+    >>> LintConfig(enabled_only={"FX002"}).enabled("FX001")
+    False
+    """
 
     def __init__(self, disabled=(), enabled_only=None, severities=None,
                  options=None):
@@ -331,13 +356,19 @@ def run_lint(sfg, dtypes=None, input_ranges=None, forced_ranges=None,
     sink signals that must not be flagged as write-only.
     """
     config = config if config is not None else LintConfig()
-    lctx = LintContext(sfg, dtypes=dtypes, input_ranges=input_ranges,
-                       forced_ranges=forced_ranges, outputs=outputs,
-                       design_name=design_name, artifact=artifact)
-    findings = []
-    for cls in (rules if rules is not None else all_rules()):
-        if not config.enabled(cls.id):
-            continue
-        findings.extend(cls(config).check(lctx))
-    findings.sort(key=lambda f: (f.rule_id, f.signal or "", f.message))
+    with obs_trace.span("lint.run", design=design_name) as run_span:
+        lctx = LintContext(sfg, dtypes=dtypes, input_ranges=input_ranges,
+                           forced_ranges=forced_ranges, outputs=outputs,
+                           design_name=design_name, artifact=artifact)
+        findings = []
+        for cls in (rules if rules is not None else all_rules()):
+            if not config.enabled(cls.id):
+                continue
+            with obs_trace.span("lint.rule", rule=cls.id) as rule_span:
+                hits = list(cls(config).check(lctx))
+                rule_span.set(findings=len(hits))
+            findings.extend(hits)
+        findings.sort(key=lambda f: (f.rule_id, f.signal or "",
+                                     f.message))
+        run_span.set(signals=len(lctx.dtypes), findings=len(findings))
     return LintReport(findings, design_name=design_name, artifact=artifact)

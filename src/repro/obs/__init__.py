@@ -1,0 +1,48 @@
+"""repro.obs — zero-dependency observability for the refinement flow.
+
+The paper's methodology is monitoring-first: MSB range statistics and
+LSB error statistics ride on every simulation.  This package extends
+that idea from *numbers at the end of a run* to *structure while it
+runs*:
+
+* :mod:`repro.obs.trace` — span-based tracing (``trace.span(...)``)
+  instrumented through the refinement flow, the simulation engine, the
+  parallel runner, the fault campaign and the linter; parent/child span
+  ids survive the fork-pool.
+* :mod:`repro.obs.metrics` — per-signal quantization counters
+  (overflow/saturate/wrap events, rounding-error accumulation, min/max
+  churn) collected in the assignment hot path behind a
+  compile-time-style enable switch (``Sig._record`` is swapped, never
+  branch-tested), so disabled runs pay nothing.
+* :mod:`repro.obs.profile` — ``obs.profile()`` attributes wall time to
+  quantize kernels vs interval propagation vs Python overhead.
+* :mod:`repro.obs.export` — human text, JSONL event stream and a
+  static HTML timeline report; ``python -m repro.obs report`` renders
+  captured traces from the command line.
+
+Quick capture::
+
+    from repro import obs
+
+    rec = obs.trace.enable()         # tracing on
+    obs.metrics.enable()             # per-signal counters on
+    result = flow.run()              # spans + progress events + metrics
+    obs.metrics.disable()
+    obs.trace.disable()
+    rec.to_jsonl("refine.jsonl")     # python -m repro.obs report refine.jsonl
+
+Everything here is standard-library only and import-cheap; nothing in
+``repro.obs`` is imported by the hot paths unless observability is
+switched on.
+"""
+
+from repro.obs import export, metrics, trace
+from repro.obs.events import Recorder, read_jsonl, write_jsonl
+from repro.obs.export import (build_spans, render_html, render_text,
+                              summarize)
+from repro.obs.profile import ProfileReport, profile
+from repro.obs.trace import event, span
+
+__all__ = ["trace", "metrics", "export", "span", "event", "profile",
+           "ProfileReport", "Recorder", "read_jsonl", "write_jsonl",
+           "build_spans", "render_text", "render_html", "summarize"]

@@ -1,0 +1,92 @@
+"""``python -m repro.obs`` — render captured JSONL traces.
+
+Subcommands:
+
+``report TRACE.jsonl``
+    Print the human-readable span tree + metrics table.  ``--html
+    PATH`` additionally writes the self-contained HTML report;
+    ``--format html`` prints the HTML to stdout instead of the text
+    view; ``--out PATH`` redirects whichever format was chosen to a
+    file.
+
+``summary TRACE.jsonl``
+    One JSON object with headline counts (spans, events, wall time,
+    error spans) — handy for CI assertions over a trace artifact.
+
+Capture a trace with::
+
+    from repro.obs import trace
+    rec = trace.enable()
+    ...  # run a refinement / campaign / simulation
+    trace.disable()
+    rec.to_jsonl("trace.jsonl")
+
+or run ``python examples/observability_demo.py`` for an end-to-end
+example (traced LMS refinement -> JSONL -> HTML).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.events import read_jsonl
+from repro.obs.export import render_html, render_text, summarize
+
+__all__ = ["main"]
+
+
+def _write(text, path):
+    if path is None or path == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print("[written to %s]" % path, file=sys.stderr)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render captured observability traces.")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    rep = sub.add_parser("report", help="render a JSONL trace")
+    rep.add_argument("trace", help="JSONL trace file (repro.obs format)")
+    rep.add_argument("--format", choices=("text", "html"), default="text",
+                     help="primary output format (default: text)")
+    rep.add_argument("--out", default=None, metavar="PATH",
+                     help="write the primary output here instead of stdout")
+    rep.add_argument("--html", default=None, metavar="PATH",
+                     help="additionally write the HTML report to PATH")
+    rep.add_argument("--title", default=None,
+                     help="HTML report title (default: trace filename)")
+
+    summ = sub.add_parser("summary", help="print headline trace counts")
+    summ.add_argument("trace", help="JSONL trace file")
+
+    args = ap.parse_args(argv)
+
+    try:
+        meta, events = read_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        print("error: cannot read trace %r: %s" % (args.trace, exc),
+              file=sys.stderr)
+        return 2
+    if not events:
+        print("error: %r contains no events" % args.trace, file=sys.stderr)
+        return 2
+
+    if args.command == "summary":
+        print(json.dumps(summarize(events), indent=2, sort_keys=True))
+        return 0
+
+    title = args.title or "repro trace — %s" % args.trace
+    if args.format == "html":
+        _write(render_html(events, title=title), args.out)
+    else:
+        _write(render_text(events), args.out)
+    if args.html:
+        _write(render_html(events, title=title), args.html)
+    return 0

@@ -41,6 +41,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
 from repro.core.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.signal.context import DesignContext
 
 __all__ = ["SimConfig", "SimOutcome", "SimCache", "run_simulations",
@@ -91,6 +93,10 @@ class SimOutcome:
     guard_trips: int = 0
     fault_fired: tuple = ()
     error: object = None
+    #: Observability events recorded inside a pool worker, shipped back
+    #: to the parent recorder (empty for serial runs — those record
+    #: directly into the live recorder).
+    obs_events: tuple = ()
 
     @property
     def completed(self):
@@ -121,32 +127,59 @@ def _execute(config):
     factory = _WORKER_STATE["factory"]
     seeded = _WORKER_STATE["seeded_factory"]
     faults = config.faults
-    try:
-        ctx = DesignContext(config.label, seed=config.seed,
-                            overflow_action=config.overflow_action,
-                            guard_action=config.guard_action)
-        with ctx:
-            if config.factory_seed is not None and seeded is not None:
-                design = seeded(config.factory_seed)
-            else:
-                design = factory()
-            design.build(ctx)
-            Annotations(dtypes=config.dtypes, ranges=config.ranges,
-                        errors=config.errors).apply(ctx)
-            for fault in faults:
-                fault.install(ctx, design)
-            design.run(ctx, config.n_samples)
-        records = collect(ctx)
-        output = getattr(design, "output", None)
-        return SimOutcome(config.label, records, output,
-                          ctx.guard_trip_count,
-                          tuple(f.n_fired for f in faults), None)
-    except ReproError as exc:
-        if not config.catch_errors:
-            raise
-        return SimOutcome(config.label, {}, None, 0,
-                          tuple(getattr(f, "n_fired", None) for f in faults),
-                          str(exc))
+    with obs_trace.span("parallel.job", label=config.label,
+                        samples=config.n_samples, seed=config.seed) as sp:
+        try:
+            ctx = DesignContext(config.label, seed=config.seed,
+                                overflow_action=config.overflow_action,
+                                guard_action=config.guard_action)
+            with ctx:
+                if config.factory_seed is not None and seeded is not None:
+                    design = seeded(config.factory_seed)
+                else:
+                    design = factory()
+                design.build(ctx)
+                Annotations(dtypes=config.dtypes, ranges=config.ranges,
+                            errors=config.errors).apply(ctx)
+                for fault in faults:
+                    fault.install(ctx, design)
+                design.run(ctx, config.n_samples)
+            records = collect(ctx)
+            output = getattr(design, "output", None)
+            sp.set(signals=len(records), guard_trips=ctx.guard_trip_count)
+            obs_metrics.emit(ctx, label=config.label)
+            return SimOutcome(config.label, records, output,
+                              ctx.guard_trip_count,
+                              tuple(f.n_fired for f in faults), None)
+        except ReproError as exc:
+            if not config.catch_errors:
+                raise
+            sp.set(error=str(exc))
+            return SimOutcome(config.label, {}, None, 0,
+                              tuple(getattr(f, "n_fired", None)
+                                    for f in faults),
+                              str(exc))
+
+
+def _execute_remote(config):
+    """Pool-worker wrapper: run a job and ship its trace events home.
+
+    The worker inherits the parent's recorder (and any open span stack)
+    through the fork, so spans minted here nest correctly under the
+    parent's ``parallel.batch`` span — but the events land in the
+    *worker's* copy of the recorder.  This wrapper marks the recorder
+    before the job and attaches everything recorded since to the
+    outcome, which is the only thing that crosses the pipe.
+    """
+    rec = obs_trace.current_recorder()
+    if rec is None:
+        return _execute(config)
+    mark = rec.mark()
+    outcome = _execute(config)
+    events = tuple(rec.events_since(mark))
+    if events:
+        outcome = replace(outcome, obs_events=events)
+    return outcome
 
 
 # -- worker count ------------------------------------------------------------
@@ -207,7 +240,21 @@ def _dtype_key(dt):
 
 
 def fingerprint(design_factory, config, seeded_factory=None):
-    """Cache key of one job: design identity + everything that shapes it."""
+    """Cache key of one job: design identity + everything that shapes it.
+
+    Identical jobs collide (that is the point of the cache); any knob
+    that could change the numbers separates them:
+
+    >>> def factory():
+    ...     pass
+    >>> a = SimConfig(label="a", n_samples=100, seed=1)
+    >>> b = SimConfig(label="b", n_samples=100, seed=1)
+    >>> fingerprint(factory, a) == fingerprint(factory, b)
+    True
+    >>> c = SimConfig(label="a", n_samples=100, seed=2)
+    >>> fingerprint(factory, a) == fingerprint(factory, c)
+    False
+    """
     h = hashlib.sha256()
 
     def feed(tag, value):
@@ -283,9 +330,18 @@ def _run_pool(pending, n_workers):
     mp_ctx = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=n_workers,
                              mp_context=mp_ctx) as pool:
-        futures = [(idx, key, pool.submit(_execute, cfg))
+        futures = [(idx, key, pool.submit(_execute_remote, cfg))
                    for idx, key, cfg in pending]
-        return [(idx, key, fut.result()) for idx, key, fut in futures]
+        done = [(idx, key, fut.result()) for idx, key, fut in futures]
+    rec = obs_trace.current_recorder()
+    if rec is not None:
+        # Merge worker-recorded events into the parent trace, in job
+        # order (worker span ids embed the worker pid, so they cannot
+        # collide with ids minted here).
+        for _idx, _key, outcome in done:
+            if outcome.obs_events:
+                rec.extend(outcome.obs_events)
+    return done
 
 
 def run_simulations(design_factory, configs, workers=None, cache=None,
@@ -318,29 +374,38 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                 continue
         pending.append((idx, key, cfg))
 
-    if not pending:
-        return results
+    with obs_trace.span("parallel.batch", jobs=len(configs),
+                        cached=len(configs) - len(pending)) as batch_span:
+        if not pending:
+            return results
 
-    _WORKER_STATE["factory"] = design_factory
-    _WORKER_STATE["seeded_factory"] = seeded_factory
-    try:
-        n_workers = default_workers() if workers is None else int(workers)
-        n_workers = min(n_workers, len(pending))
-        if n_workers >= 2 and _fork_available():
-            try:
-                done = _run_pool(pending, n_workers)
-            except (BrokenProcessPool, pickle.PicklingError, OSError):
-                # Pool infrastructure failure (not a simulation error):
-                # jobs are pure, so re-running them serially is safe.
+        _WORKER_STATE["factory"] = design_factory
+        _WORKER_STATE["seeded_factory"] = seeded_factory
+        mode = "serial"
+        try:
+            n_workers = default_workers() if workers is None \
+                else int(workers)
+            n_workers = min(n_workers, len(pending))
+            if n_workers >= 2 and _fork_available():
+                try:
+                    mode = "pool"
+                    done = _run_pool(pending, n_workers)
+                except (BrokenProcessPool, pickle.PicklingError, OSError):
+                    # Pool infrastructure failure (not a simulation
+                    # error): jobs are pure, so re-running them serially
+                    # is safe.
+                    mode = "serial-fallback"
+                    done = _run_serial(pending)
+            else:
                 done = _run_serial(pending)
-        else:
-            done = _run_serial(pending)
-    finally:
-        _WORKER_STATE["factory"] = None
-        _WORKER_STATE["seeded_factory"] = None
+        finally:
+            _WORKER_STATE["factory"] = None
+            _WORKER_STATE["seeded_factory"] = None
+        batch_span.set(mode=mode, workers=n_workers,
+                       executed=len(pending))
 
-    for idx, key, outcome in done:
-        results[idx] = outcome
-        if cache is not None and key is not None:
-            cache.put(key, outcome)
+        for idx, key, outcome in done:
+            results[idx] = outcome
+            if cache is not None and key is not None:
+                cache.put(key, outcome)
     return results

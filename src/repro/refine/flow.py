@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 
 from repro.core.dtype import DType
 from repro.core.errors import DesignError, RefinementError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.refine.lsbrules import LsbPolicy, decide_lsb, detect_divergence
 from repro.refine.monitors import collect
 from repro.refine.msbrules import MsbPolicy, decide_msb
@@ -65,7 +67,13 @@ class Design:
 
 
 def expand_names(names, all_names):
-    """Expand base names to array elements (``d`` -> ``d[0]``, ...)."""
+    """Expand base names to array elements (``d`` -> ``d[0]``, ...).
+
+    >>> sorted(expand_names({"d", "x"}, ["x", "d[0]", "d[1]", "y"]))
+    ['d[0]', 'd[1]', 'x']
+    >>> expand_names({"missing"}, ["x"])
+    set()
+    """
     out = set()
     for name in names:
         if name in all_names:
@@ -82,6 +90,15 @@ class Annotations:
     """Per-signal annotations applied after :meth:`Design.build`.
 
     Names may address whole arrays (``"d"`` covers ``d[0]``..``d[N-1]``).
+
+    >>> from repro.core.dtype import DType
+    >>> from repro.signal import DesignContext, Sig
+    >>> with DesignContext("doc") as ctx:
+    ...     y = Sig("y")
+    ...     Annotations(dtypes={"y": DType("T", 8, 5)},
+    ...                 ranges={"y": (-1, 1)}).apply(ctx)
+    >>> y.dtype.spec()
+    '<8,5,tc,sa,ro>'
     """
 
     dtypes: dict = field(default_factory=dict)
@@ -269,14 +286,19 @@ class RefinementFlow:
             from repro.robust.guards import Watchdog
             ctx.watchdog = Watchdog(max_cycles=cfg.max_watchdog_cycles,
                                     max_seconds=cfg.max_wall_seconds)
-        with ctx:
-            design = self.factory()
-            design.build(ctx)
-            annotations.apply(ctx)
-            half = max(1, cfg.n_samples // 2)
-            design.run(ctx, half)
-            snapshot = ctx.snapshot_error_stats()
-            design.run(ctx, cfg.n_samples - half)
+        with obs_trace.span("refine.simulate", label=label,
+                            samples=cfg.n_samples) as sp:
+            with ctx:
+                design = self.factory()
+                design.build(ctx)
+                annotations.apply(ctx)
+                half = max(1, cfg.n_samples // 2)
+                design.run(ctx, half)
+                snapshot = ctx.snapshot_error_stats()
+                design.run(ctx, cfg.n_samples - half)
+            sp.set(signals=len(ctx), guard_trips=ctx.guard_trip_count,
+                   overflows=len(ctx.overflow_log))
+            obs_metrics.emit(ctx, label=label)
         return ctx, design, collect(ctx), snapshot
 
     @staticmethod
@@ -296,7 +318,22 @@ class RefinementFlow:
         ranges = dict(self.input_ranges)
         iterations = []
         resolved = False
-        for it in range(1, cfg.max_msb_iterations + 1):
+        phase_span = obs_trace.span("refine.msb_phase",
+                                    max_iterations=cfg.max_msb_iterations)
+        with phase_span:
+            for it in range(1, cfg.max_msb_iterations + 1):
+                resolved, stop = self._msb_iteration(
+                    it, cfg, ranges, iterations, diagnostics)
+                if resolved or stop:
+                    break
+            phase_span.set(iterations=len(iterations), resolved=resolved)
+        accumulated = {k: v for k, v in ranges.items()
+                       if k not in self.input_ranges}
+        return PhaseResult(iterations, accumulated, resolved)
+
+    def _msb_iteration(self, it, cfg, ranges, iterations, diagnostics):
+        """One MSB iteration; returns ``(resolved, stop)``."""
+        with obs_trace.span("refine.msb.iteration", index=it) as sp:
             ann = Annotations(
                 dtypes={**self.input_types, **self.preset_types},
                 ranges=ranges)
@@ -346,15 +383,19 @@ class RefinementFlow:
                         added[name] = auto
             iterations.append(MsbIteration(it, records, decisions,
                                            exploded, dict(added)))
+            n_resolved = sum(1 for d in decisions.values()
+                             if not d.needs_range_annotation)
+            sp.set(exploded=len(exploded), annotated=len(added))
+            sp.event("refine.progress", phase="msb", iteration=it,
+                     signals=len(decisions), resolved=n_resolved,
+                     exploding=",".join(sorted(exploded)),
+                     added=",".join(sorted(added)))
             if not exploded:
-                resolved = True
-                break
+                return True, False
             if not added:
-                break  # no way to make progress
+                return False, True  # no way to make progress
             ranges.update(added)
-        accumulated = {k: v for k, v in ranges.items()
-                       if k not in self.input_ranges}
-        return PhaseResult(iterations, accumulated, resolved)
+        return False, False
 
     # -- LSB phase --------------------------------------------------------------
 
@@ -365,12 +406,26 @@ class RefinementFlow:
         errors = {}
         iterations = []
         resolved = False
-        for it in range(1, cfg.max_lsb_iterations + 1):
+        phase_span = obs_trace.span("refine.lsb_phase",
+                                    max_iterations=cfg.max_lsb_iterations)
+        with phase_span:
+            for it in range(1, cfg.max_lsb_iterations + 1):
+                resolved, stop = self._lsb_iteration(
+                    it, cfg, ranges, errors, iterations, diagnostics)
+                if resolved or stop:
+                    break
+            phase_span.set(iterations=len(iterations), resolved=resolved)
+        return PhaseResult(iterations, errors, resolved)
+
+    def _lsb_iteration(self, it, cfg, ranges, errors, iterations,
+                       diagnostics):
+        """One LSB iteration; returns ``(resolved, stop)``."""
+        with obs_trace.span("refine.lsb.iteration", index=it) as sp:
             ann = Annotations(
                 dtypes={**self.input_types, **self.preset_types},
                 ranges=ranges, errors=errors)
-            ctx, _, records, snap = self._simulate(ann, "lsb-iter-%d" % it,
-                                                   config=cfg)
+            ctx, design, records, snap = self._simulate(
+                ann, "lsb-iter-%d" % it, config=cfg)
             self._absorb_guards(diagnostics, ctx, "lsb-iter-%d" % it)
             # Inputs cannot diverge (their error IS the input
             # quantization), but preset-typed signals can — e.g. a
@@ -401,13 +456,20 @@ class RefinementFlow:
                         added[name] = self._auto_error_q(cfg)
             iterations.append(LsbIteration(it, records, decisions,
                                            dict(divergent), dict(added)))
+            out = getattr(design, "output", None)
+            sqnr = (records[out].sqnr_db()
+                    if out and out in records else float("nan"))
+            sp.set(divergent=len(divergent), annotated=len(added))
+            sp.event("refine.progress", phase="lsb", iteration=it,
+                     signals=len(decisions), divergent=len(divergent),
+                     diverging=",".join(sorted(divergent)),
+                     sqnr_db=sqnr)
             if not divergent:
-                resolved = True
-                break
+                return True, False
             if not added:
-                break
+                return False, True
             errors.update(added)
-        return PhaseResult(iterations, errors, resolved)
+        return False, False
 
     def _auto_error_q(self, config=None):
         cfg = config if config is not None else self.cfg
@@ -474,21 +536,24 @@ class RefinementFlow:
         ann = Annotations(
             dtypes={**types, **self.input_types, **self.preset_types},
             errors=errors)
-        ctx, design, records, _ = self._simulate(ann, "verify")
-        self._absorb_guards(diagnostics, ctx, "verify")
-        output = getattr(design, "output", None)
-        sqnr = records[output].sqnr_db() if output else float("nan")
-        overflow_signals = {}
-        wrap_events = {}
-        for name, rec in records.items():
-            if not rec.overflow_count:
-                continue
-            if rec.dtype is not None and rec.dtype.msbspec == "wrap":
-                # Modulo arithmetic wrapping through the type is the
-                # intended behaviour, not an overflow fault.
-                wrap_events[name] = rec.overflow_count
-            else:
-                overflow_signals[name] = rec.overflow_count
+        with obs_trace.span("refine.verify", types=len(types)) as sp:
+            ctx, design, records, _ = self._simulate(ann, "verify")
+            self._absorb_guards(diagnostics, ctx, "verify")
+            output = getattr(design, "output", None)
+            sqnr = records[output].sqnr_db() if output else float("nan")
+            overflow_signals = {}
+            wrap_events = {}
+            for name, rec in records.items():
+                if not rec.overflow_count:
+                    continue
+                if rec.dtype is not None and rec.dtype.msbspec == "wrap":
+                    # Modulo arithmetic wrapping through the type is the
+                    # intended behaviour, not an overflow fault.
+                    wrap_events[name] = rec.overflow_count
+                else:
+                    overflow_signals[name] = rec.overflow_count
+            sp.set(sqnr_db=sqnr,
+                   overflows=sum(overflow_signals.values()))
         return VerificationResult(records, output, sqnr,
                                   sum(overflow_signals.values()),
                                   overflow_signals, wrap_events)
@@ -508,16 +573,19 @@ class RefinementFlow:
         errors = {k: v for k, v in self.user_errors.items() if k in given}
         ann = Annotations(
             dtypes={**self.input_types, **self.preset_types}, errors=errors)
-        ctx, design, records, _ = self._simulate(ann, "baseline")
-        self._absorb_guards(diagnostics, ctx, "baseline")
-        output = getattr(design, "output", None)
-        if not output or output not in records:
-            if diagnostics is not None:
-                diagnostics.add("baseline", "info", None,
-                                "design declares no output signal; "
-                                "baseline SQNR unavailable")
-            return float("nan")
-        return records[output].sqnr_db()
+        with obs_trace.span("refine.baseline") as sp:
+            ctx, design, records, _ = self._simulate(ann, "baseline")
+            self._absorb_guards(diagnostics, ctx, "baseline")
+            output = getattr(design, "output", None)
+            if not output or output not in records:
+                if diagnostics is not None:
+                    diagnostics.add("baseline", "info", None,
+                                    "design declares no output signal; "
+                                    "baseline SQNR unavailable")
+                return float("nan")
+            sqnr = records[output].sqnr_db()
+            sp.set(sqnr_db=sqnr)
+        return sqnr
 
     # -- static analysis ----------------------------------------------------------
 
@@ -581,24 +649,31 @@ class RefinementFlow:
         """
         from repro.robust.diagnostics import Diagnostics
         diag = Diagnostics()
-        if self.cfg.lint_design:
-            self._lint_into(diag)
-        baseline = self.baseline_sqnr(diagnostics=diag)
-        if strict:
-            msb = self.run_msb_phase(diagnostics=diag)
-            lsb = self.run_lsb_phase(msb.annotations, diagnostics=diag)
-            types = self.synthesize_types(msb, lsb)
-            fallbacks = {}
-        else:
-            from repro.robust.retry import run_graceful
-            msb, lsb, types, fallbacks = run_graceful(self, diag,
-                                                      self.cfg.escalation)
-        verification = self.verify(types, lsb, diagnostics=diag)
-        if verification.total_overflows:
-            diag.add("verification", "warning", None,
-                     "%d overflow(s) on non-wrap types during "
-                     "verification" % verification.total_overflows,
-                     overflows=verification.total_overflows)
+        run_span = obs_trace.span(
+            "refine.run", strict=strict,
+            design=getattr(self.factory, "__name__", str(self.factory)))
+        with run_span:
+            if self.cfg.lint_design:
+                self._lint_into(diag)
+            baseline = self.baseline_sqnr(diagnostics=diag)
+            if strict:
+                msb = self.run_msb_phase(diagnostics=diag)
+                lsb = self.run_lsb_phase(msb.annotations, diagnostics=diag)
+                types = self.synthesize_types(msb, lsb)
+                fallbacks = {}
+            else:
+                from repro.robust.retry import run_graceful
+                msb, lsb, types, fallbacks = run_graceful(
+                    self, diag, self.cfg.escalation)
+            verification = self.verify(types, lsb, diagnostics=diag)
+            if verification.total_overflows:
+                diag.add("verification", "warning", None,
+                         "%d overflow(s) on non-wrap types during "
+                         "verification" % verification.total_overflows,
+                         overflows=verification.total_overflows)
+            run_span.set(types=len(types), fallbacks=len(fallbacks),
+                         sqnr_db=verification.output_sqnr_db,
+                         diagnostics=len(diag))
         return RefinementResult(msb, lsb, types, verification, baseline,
                                 diagnostics=diag, fallbacks=fallbacks)
 

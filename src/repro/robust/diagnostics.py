@@ -15,9 +15,24 @@ from dataclasses import dataclass, field
 
 from repro.refine.report import format_diagnostics_table
 
-__all__ = ["DiagEvent", "Diagnostics", "SEVERITIES"]
+__all__ = ["DiagEvent", "Diagnostics", "SEVERITIES", "CATEGORY_CODES"]
 
 SEVERITIES = ("info", "warning", "error")
+
+#: Stable machine-readable code per diagnostic category.  Lint events
+#: carry their own rule id (``FX001``..) in ``data["rule"]``, which wins
+#: over the category code; everything else maps here.  Codes are part of
+#: the public diagnostics contract (tests and downstream tooling filter
+#: on them) — never renumber, only append.
+CATEGORY_CODES = {
+    "guard": "DG001",
+    "watchdog": "DG002",
+    "auto-range": "DG101",
+    "escalation": "DG102",
+    "fallback": "DG103",
+    "baseline": "DG104",
+    "verification": "DG105",
+}
 
 
 @dataclass(frozen=True)
@@ -30,10 +45,25 @@ class DiagEvent:
     message: str
     data: dict = field(default_factory=dict)
 
+    @property
+    def code(self):
+        """Stable diagnostic code (``DG...``, or the lint rule id).
+
+        >>> DiagEvent("guard", "warning", "acc", "sanitized").code
+        'DG001'
+        >>> DiagEvent("lint", "warning", None, "m",
+        ...           {"rule": "FX004"}).code
+        'FX004'
+        """
+        rule = self.data.get("rule")
+        if rule:
+            return str(rule)
+        return CATEGORY_CODES.get(self.category, "DG000")
+
     def describe(self):
         where = "" if self.signal is None else " [%s]" % self.signal
-        return "%-7s %s%s: %s" % (self.severity, self.category, where,
-                                  self.message)
+        return "%-7s %s %s%s: %s" % (self.severity, self.code,
+                                     self.category, where, self.message)
 
 
 class Diagnostics:
@@ -130,6 +160,7 @@ class Diagnostics:
     def to_dict(self):
         out = {
             "events": [{
+                "code": e.code,
                 "category": e.category,
                 "severity": e.severity,
                 "signal": e.signal,

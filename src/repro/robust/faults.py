@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.core import word
 from repro.core.errors import DesignError
+from repro.obs import trace as obs_trace
 from repro.parallel.runner import SimConfig, run_simulations
 from repro.refine.flow import Annotations
 from repro.refine.monitors import collect
@@ -462,35 +463,50 @@ class FaultCampaign:
         seed, and fault fire counts travel back inside the outcomes.
         """
         faults = list(faults)
-        configs = [self._config(label="fault-baseline")]
-        for fault in faults:
-            seed = fault.seed if isinstance(fault, SeedPerturb) else None
-            configs.append(self._config([fault], seed=seed,
-                                        label="fault-%s" % fault.kind))
-        sim_outcomes = run_simulations(self.factory, configs,
-                                       workers=workers, cache=cache,
-                                       seeded_factory=self.seeded_factory)
+        with obs_trace.span("campaign.run", faults=len(faults),
+                            samples=self.n_samples) as sp:
+            configs = [self._config(label="fault-baseline")]
+            for fault in faults:
+                seed = fault.seed if isinstance(fault, SeedPerturb) \
+                    else None
+                configs.append(self._config([fault], seed=seed,
+                                            label="fault-%s" % fault.kind))
+            sim_outcomes = run_simulations(
+                self.factory, configs, workers=workers, cache=cache,
+                seeded_factory=self.seeded_factory)
 
-        base = sim_outcomes[0]
-        output = self.output or base.output
-        if output is None or output not in base.records:
-            raise DesignError("campaign needs a resolvable output signal "
-                              "(got %r)" % output)
-        baseline = base.records[output].sqnr_db()
-        result = CampaignResult(output, baseline, self.n_samples)
-        for fault, oc in zip(faults, sim_outcomes[1:]):
-            if oc.error is not None:
-                outcome = FaultOutcome(fault.describe(), fault.kind,
-                                       math.nan, math.nan, 0, 0,
-                                       error=str(oc.error))
-            else:
-                sqnr = oc.records[output].sqnr_db()
-                n_fired = oc.fault_fired[0] if oc.fault_fired else None
-                outcome = FaultOutcome(
-                    fault.describe(), fault.kind, sqnr, baseline - sqnr,
-                    self._overflows(oc.records), oc.guard_trips,
-                    triggered=(n_fired is None or n_fired > 0))
-            result.outcomes.append(outcome)
+            base = sim_outcomes[0]
+            output = self.output or base.output
+            if output is None or output not in base.records:
+                raise DesignError("campaign needs a resolvable output "
+                                  "signal (got %r)" % output)
+            baseline = base.records[output].sqnr_db()
+            result = CampaignResult(output, baseline, self.n_samples)
+            for fault, oc in zip(faults, sim_outcomes[1:]):
+                if oc.error is not None:
+                    outcome = FaultOutcome(fault.describe(), fault.kind,
+                                           math.nan, math.nan, 0, 0,
+                                           error=str(oc.error))
+                else:
+                    sqnr = oc.records[output].sqnr_db()
+                    n_fired = oc.fault_fired[0] if oc.fault_fired \
+                        else None
+                    outcome = FaultOutcome(
+                        fault.describe(), fault.kind, sqnr,
+                        baseline - sqnr, self._overflows(oc.records),
+                        oc.guard_trips,
+                        triggered=(n_fired is None or n_fired > 0))
+                result.outcomes.append(outcome)
+                sp.event("campaign.fault", fault=fault.describe(),
+                         kind=fault.kind,
+                         completed=outcome.completed,
+                         triggered=outcome.triggered,
+                         degradation_db=outcome.degradation_db,
+                         overflows=outcome.overflows,
+                         guard_trips=outcome.guard_trips)
+            sp.set(baseline_sqnr_db=baseline,
+                   completed=sum(1 for o in result.outcomes
+                                 if o.completed))
         return result
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, replace
 
 from repro.core import word
 from repro.core.dtype import DType
+from repro.core.errors import WatchdogTimeout
 
 __all__ = ["EscalationPolicy", "escalate_msb", "escalate_lsb",
            "conservative_fallback", "run_graceful"]
@@ -66,10 +67,43 @@ def _retry_config(cfg, policy, attempt):
     )
 
 
+def _run_phase_guarded(run, cfg, diagnostics, policy, phase_name):
+    """Run one phase, degrading the sample budget on watchdog timeouts.
+
+    In the graceful flow a :class:`WatchdogTimeout` is a recoverable
+    condition, not a dead end: record a ``watchdog`` diagnostic and
+    retry the phase with the sample count halved, up to
+    ``policy.max_rounds`` times.  Re-raises when even the smallest
+    budget still blows the watchdog — at that point the budget itself is
+    wrong and the caller must know.
+    """
+    for shrink in range(policy.max_rounds + 1):
+        try:
+            return run(cfg)
+        except WatchdogTimeout as exc:
+            if shrink >= policy.max_rounds:
+                diagnostics.add(
+                    "watchdog", "error", None,
+                    "%s phase still exceeds the watchdog budget after "
+                    "%d sample halving(s) (%s) — giving up"
+                    % (phase_name, shrink, exc),
+                    phase=phase_name, halvings=shrink)
+                raise
+            cfg = replace(cfg, n_samples=max(1, cfg.n_samples // 2))
+            diagnostics.add(
+                "watchdog", "warning", None,
+                "%s phase hit the watchdog budget (%s); retrying with "
+                "%d samples" % (phase_name, exc, cfg.n_samples),
+                phase=phase_name, n_samples=cfg.n_samples)
+    raise AssertionError("unreachable")
+
+
 def escalate_msb(flow, diagnostics, policy=None):
     """MSB phase with the retry/escalation ladder applied."""
     policy = policy or EscalationPolicy()
-    phase = flow.run_msb_phase(diagnostics=diagnostics)
+    phase = _run_phase_guarded(
+        lambda c: flow.run_msb_phase(config=c, diagnostics=diagnostics),
+        flow.cfg, diagnostics, policy, "msb")
     attempt = 0
     while not phase.resolved and attempt < policy.max_rounds:
         attempt += 1
@@ -81,7 +115,10 @@ def escalate_msb(flow, diagnostics, policy=None):
             % (phase.n_iterations, attempt, cfg.seed, cfg.auto_range,
                cfg.auto_range_margin),
             phase="msb", attempt=attempt, seed=cfg.seed)
-        phase = flow.run_msb_phase(config=cfg, diagnostics=diagnostics)
+        phase = _run_phase_guarded(
+            lambda c: flow.run_msb_phase(config=c,
+                                         diagnostics=diagnostics),
+            cfg, diagnostics, policy, "msb")
     if not phase.resolved:
         exploded = phase.final.exploded
         diagnostics.add(
@@ -96,7 +133,10 @@ def escalate_msb(flow, diagnostics, policy=None):
 def escalate_lsb(flow, msb_ranges, diagnostics, policy=None):
     """LSB phase with the retry/escalation ladder applied."""
     policy = policy or EscalationPolicy()
-    phase = flow.run_lsb_phase(msb_ranges, diagnostics=diagnostics)
+    phase = _run_phase_guarded(
+        lambda c: flow.run_lsb_phase(msb_ranges, config=c,
+                                     diagnostics=diagnostics),
+        flow.cfg, diagnostics, policy, "lsb")
     attempt = 0
     while not phase.resolved and attempt < policy.max_rounds:
         attempt += 1
@@ -106,8 +146,10 @@ def escalate_lsb(flow, msb_ranges, diagnostics, policy=None):
             "LSB phase unresolved; retry %d with seed %d, auto_error=%s"
             % (attempt, cfg.seed, cfg.auto_error),
             phase="lsb", attempt=attempt, seed=cfg.seed)
-        phase = flow.run_lsb_phase(msb_ranges, config=cfg,
-                                   diagnostics=diagnostics)
+        phase = _run_phase_guarded(
+            lambda c: flow.run_lsb_phase(msb_ranges, config=c,
+                                         diagnostics=diagnostics),
+            cfg, diagnostics, policy, "lsb")
     if not phase.resolved:
         divergent = sorted(phase.final.divergent)
         diagnostics.add(

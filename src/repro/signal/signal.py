@@ -80,7 +80,29 @@ def _decl_site():
 
 
 class Sig(Operand):
-    """A (possibly fixed-point) signal with built-in monitors."""
+    """A (possibly fixed-point) signal with built-in monitors.
+
+    Every assignment runs twice — once through the fixed-point
+    implementation, once through the float reference — so the monitors
+    can measure quantization effects directly:
+
+    >>> from repro.core.dtype import DType
+    >>> from repro.signal.context import DesignContext
+    >>> with DesignContext("doc", overflow_action="record") as ctx:
+    ...     x = Sig("x", DType("T", 8, 6, "tc", "saturate", "round"))
+    ...     _ = x.assign(0.7071)     # assign() returns the signal
+    ...     ctx.tick()
+    >>> x.fx                                 # quantized implementation
+    0.703125
+    >>> x.fl                                 # float reference
+    0.7071
+    >>> x.range_stat.count
+    1
+
+    Untyped signals pass values through unquantized; give them a type
+    later with :meth:`set_dtype` (the refinement flow does exactly
+    that).
+    """
 
     __slots__ = (
         "name", "dtype", "ctx", "role", "_fx", "_fl", "init_value",
@@ -88,7 +110,7 @@ class Sig(Operand):
         "overflow_count", "_forced_range", "_forced_error", "_fault_pre",
         "_fault_post", "_prop_ival", "_read_ival", "_history", "_node",
         "_kernel", "_err_mode", "_sat_lo", "_sat_hi", "_expr_cache",
-        "decl_site",
+        "decl_site", "_obs",
     )
 
     is_register = False
@@ -121,6 +143,11 @@ class Sig(Operand):
         # Fault-injection hooks (see repro.robust.faults).
         self._fault_pre = None           # fn(sig, fx, fl) -> (fx, fl)
         self._fault_post = None          # fn(sig, qfx) -> qfx
+
+        # Quantization metric counters (repro.obs.metrics).  Populated
+        # lazily by the instrumented _record variant; always None while
+        # observability is disabled — the default _record never reads it.
+        self._obs = None
 
         # Quasi-analytical propagated range (union over assignments),
         # mutated in place by _record.
@@ -457,6 +484,7 @@ class Sig(Operand):
         self.err_consumed.reset()
         self.err_produced.reset()
         self.overflow_count = 0
+        self._obs = None
         self._prop_ival = Interval()
         if self.dtype is None:
             self._read_ival = fast_interval(self.init_value, self.init_value)

@@ -10,6 +10,7 @@ correctness.
 from __future__ import annotations
 
 from repro.core.errors import DeadlockError, SimulationError
+from repro.obs import trace as obs_trace
 from repro.sim.channel import Channel
 
 __all__ = ["Engine"]
@@ -94,34 +95,42 @@ class Engine:
             watchdog.start()
         n = 0
         idle = 0
-        with self.ctx:
-            while cycles is None or n < cycles:
-                activity_before = sum(c.n_put + c.n_get for c in self.channels)
-                any_alive = False
-                for p in self.processors:
-                    if p.step():
-                        any_alive = True
-                self.ctx.tick()
-                n += 1
-                if watchdog is not None:
-                    watchdog.check(n)
-                activity_after = sum(c.n_put + c.n_get
-                                     for c in self.channels)
-                stalled = (self.channels and any_alive
-                           and activity_after == activity_before)
-                if until_done:
-                    if not any_alive:
-                        break
-                    if stalled:
-                        break
-                idle = idle + 1 if stalled else 0
-                if stall_limit is not None and idle >= stall_limit:
-                    alive = [p.name for p in self.processors if not p.done]
-                    raise DeadlockError(
-                        "no channel activity for %d consecutive cycles; "
-                        "processors still alive: %s"
-                        % (idle, ", ".join(alive)),
-                        processors=alive, cycles=self.ctx.cycle)
+        # One span per run() call — never per cycle; the hot loop below
+        # stays untouched when tracing is disabled.
+        with obs_trace.span("sim.engine.run",
+                            processors=len(self.processors),
+                            channels=len(self.channels)) as sp:
+            with self.ctx:
+                while cycles is None or n < cycles:
+                    activity_before = sum(c.n_put + c.n_get
+                                          for c in self.channels)
+                    any_alive = False
+                    for p in self.processors:
+                        if p.step():
+                            any_alive = True
+                    self.ctx.tick()
+                    n += 1
+                    if watchdog is not None:
+                        watchdog.check(n)
+                    activity_after = sum(c.n_put + c.n_get
+                                         for c in self.channels)
+                    stalled = (self.channels and any_alive
+                               and activity_after == activity_before)
+                    if until_done:
+                        if not any_alive:
+                            break
+                        if stalled:
+                            break
+                    idle = idle + 1 if stalled else 0
+                    if stall_limit is not None and idle >= stall_limit:
+                        alive = [p.name for p in self.processors
+                                 if not p.done]
+                        raise DeadlockError(
+                            "no channel activity for %d consecutive "
+                            "cycles; processors still alive: %s"
+                            % (idle, ", ".join(alive)),
+                            processors=alive, cycles=self.ctx.cycle)
+            sp.set(cycles=n)
         return n
 
     def __repr__(self):
