@@ -117,6 +117,46 @@ class WatchdogTimeout(SimulationError):
         self.elapsed = elapsed
 
 
+class DeadlineExceeded(WatchdogTimeout):
+    """A single simulation job ran past its per-job wall-clock deadline.
+
+    Raised inside a worker (or the serial runner) by the signal-based
+    alarm armed from :class:`repro.parallel.runner.SimConfig.deadline_seconds`.
+    Subclasses :class:`WatchdogTimeout` so existing watchdog handling
+    (graceful sample-halving, diagnostics) applies unchanged.
+    """
+
+    def __init__(self, message, deadline=None, label=None):
+        super().__init__(message)
+        self.deadline = deadline
+        self.label = label
+
+
+class WorkerCrashError(SimulationError):
+    """A pool worker died (crash/kill) while executing a simulation job.
+
+    Parent-side representation of a quarantined poison job: the worker
+    process is gone, so there is no original exception to re-raise.
+    Raised by :func:`repro.parallel.run_simulations` for jobs without
+    ``catch_errors`` once the rest of the batch has completed (and been
+    journaled).
+    """
+
+    def __init__(self, message, label=None, attempts=None):
+        super().__init__(message)
+        self.label = label
+        self.attempts = attempts
+
+
+class JournalError(ReproError):
+    """A simulation outcome journal is unreadable or incompatible.
+
+    Raised when a journal file carries an unknown format/version header
+    or when corruption is detected *before* the torn tail (append-only
+    journals can only legitimately be damaged at the end).
+    """
+
+
 class DeadlockError(SimulationError):
     """Every live processor spun without any channel activity.
 

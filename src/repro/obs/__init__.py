@@ -14,6 +14,9 @@ runs*:
   churn) collected in the assignment hot path behind a
   compile-time-style enable switch (``Sig._record`` is swapped, never
   branch-tested), so disabled runs pay nothing.
+* :mod:`repro.obs.counters` — always-on process-wide tallies of rare
+  recovery events (job retries, poison-job quarantines, deadline hits,
+  journal replays) incremented by the crash-tolerant batch layer.
 * :mod:`repro.obs.profile` — ``obs.profile()`` attributes wall time to
   quantize kernels vs interval propagation vs Python overhead.
 * :mod:`repro.obs.export` — human text, JSONL event stream and a
@@ -36,13 +39,14 @@ Everything here is standard-library only and import-cheap; nothing in
 switched on.
 """
 
-from repro.obs import export, metrics, trace
+from repro.obs import counters, export, metrics, trace
 from repro.obs.events import Recorder, read_jsonl, write_jsonl
 from repro.obs.export import (build_spans, render_html, render_text,
                               summarize)
 from repro.obs.profile import ProfileReport, profile
 from repro.obs.trace import event, span
 
-__all__ = ["trace", "metrics", "export", "span", "event", "profile",
-           "ProfileReport", "Recorder", "read_jsonl", "write_jsonl",
-           "build_spans", "render_text", "render_html", "summarize"]
+__all__ = ["trace", "metrics", "counters", "export", "span", "event",
+           "profile", "ProfileReport", "Recorder", "read_jsonl",
+           "write_jsonl", "build_spans", "render_text", "render_html",
+           "summarize"]

@@ -1,8 +1,9 @@
 """Parallel re-simulation runner (see :mod:`repro.parallel.runner`)."""
 
-from repro.parallel.runner import (SimCache, SimConfig, SimOutcome,
-                                   default_workers, fingerprint,
-                                   run_simulations)
+from repro.parallel.runner import (PoolPolicy, SimCache, SimConfig,
+                                   SimOutcome, default_workers, fingerprint,
+                                   in_worker, run_simulations)
 
-__all__ = ["SimConfig", "SimOutcome", "SimCache", "run_simulations",
-           "default_workers", "fingerprint"]
+__all__ = ["SimConfig", "SimOutcome", "SimCache", "PoolPolicy",
+           "run_simulations", "default_workers", "fingerprint",
+           "in_worker"]

@@ -1,4 +1,4 @@
-"""Deterministic parallel re-simulation fan-out.
+"""Deterministic, crash-tolerant parallel re-simulation fan-out.
 
 The refinement loop is simulation-hungry: a sensitivity sweep costs
 ``2N + 1`` runs, the greedy wordlength optimizer probes every candidate
@@ -8,7 +8,7 @@ annotations / seeds / faults — which makes them embarrassingly
 parallel.
 
 :func:`run_simulations` executes a batch of :class:`SimConfig` jobs and
-returns one :class:`SimOutcome` per job, in order.  Three execution
+returns one :class:`SimOutcome` per job, in order.  Execution
 strategies, picked automatically:
 
 * **fork pool** — a ``ProcessPoolExecutor`` on the ``fork`` start
@@ -18,13 +18,44 @@ strategies, picked automatically:
   pipe.  Results are deterministic because every job carries its own
   stimulus seed — scheduling order cannot change the numbers.
 * **serial fallback** — when ``fork`` is unavailable (Windows/macOS
-  spawn), only one CPU is visible, ``workers <= 1``, or the pool dies
-  (e.g. an outcome fails to pickle), the same jobs run in-process.
-  Bit-identical results either way.
+  spawn), only one CPU is visible, or ``workers <= 1``, the same jobs
+  run in-process.  Bit-identical results either way.
 * **result cache** — an optional :class:`SimCache` keyed by a
   fingerprint of (design factory, annotations, samples, seed, faults).
   The optimizer re-probes many type maps it has already measured; the
   cache turns those into dictionary hits.
+
+Fault tolerance (see :mod:`repro.robust.recovery` and
+``docs/robustness.md``):
+
+* **per-job deadlines** — ``SimConfig.deadline_seconds`` arms a
+  signal-based wall-clock alarm inside the executing process; a job
+  that overruns aborts with :class:`~repro.core.errors.DeadlineExceeded`
+  instead of hanging the batch.  In the quarantine phase the parent
+  additionally hard-kills a worker that ignores its alarm.
+* **poison-job quarantine** — outcomes are harvested incrementally, so
+  a worker crash (``BrokenProcessPool``) never discards jobs that
+  already finished.  The uncompleted jobs move to single-worker
+  isolation pools where a crash is attributable to exactly one job;
+  that job is retried with exponential backoff
+  (:class:`repro.robust.retry.BackoffPolicy`) and finally quarantined,
+  while every healthy job still runs in parallel — the old wholesale
+  serial re-run is gone.
+* **pipe-failure fallback** — a job whose config or outcome cannot be
+  pickled re-runs in-process, alone; the rest of the batch stays in the
+  pool.
+* **write-ahead journal** — with ``journal=``, every completed outcome
+  is appended to a :class:`repro.robust.recovery.Journal` the moment it
+  arrives; re-running the same batch after a ``kill -9`` replays the
+  journaled outcomes bit-exactly and executes only the missing jobs.
+
+Recovery events are tallied in :mod:`repro.obs.counters`
+(``parallel.retries``, ``parallel.quarantined``,
+``parallel.deadline_hits``, ``journal.replays``, ...), emitted as trace
+events under the ``parallel.batch`` span, and — when a ``diagnostics``
+container is passed — recorded as stable-coded events (``DG201``
+deadline, ``DG202`` quarantine, ``DG203`` journal replay, ``DG204``
+retry).
 
 Environment knobs: ``REPRO_WORKERS`` overrides the auto worker count,
 ``REPRO_PARALLEL=0`` forces the serial path.
@@ -36,17 +67,23 @@ import hashlib
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import signal as _signal
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
-from repro.core.errors import ReproError
+from repro.core.errors import (DeadlineExceeded, ReproError,
+                               WorkerCrashError)
+from repro.obs import counters as obs_counters
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.signal.context import DesignContext
 
-__all__ = ["SimConfig", "SimOutcome", "SimCache", "run_simulations",
-           "default_workers", "fingerprint"]
+__all__ = ["SimConfig", "SimOutcome", "SimCache", "PoolPolicy",
+           "run_simulations", "default_workers", "fingerprint"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +98,14 @@ class SimConfig:
     set, a :class:`~repro.core.errors.ReproError` aborts only this job
     and lands in ``SimOutcome.error``; otherwise it propagates to the
     caller exactly like a serial run.
+
+    ``deadline_seconds`` bounds the job's wall clock: the executing
+    process arms a ``SIGALRM``-based one-shot timer around the
+    simulation and aborts with
+    :class:`~repro.core.errors.DeadlineExceeded` when it fires (an
+    error outcome under ``catch_errors``, a raised exception
+    otherwise).  The alarm needs the job to run on a main thread —
+    pool workers and the serial runner both qualify.
     """
 
     label: str = "sim"
@@ -74,6 +119,8 @@ class SimConfig:
     faults: tuple = ()
     factory_seed: object = None
     catch_errors: bool = False
+    #: wall-clock budget of this one job, in seconds (None = unbounded).
+    deadline_seconds: object = None
 
 
 @dataclass(frozen=True)
@@ -93,6 +140,10 @@ class SimOutcome:
     guard_trips: int = 0
     fault_fired: tuple = ()
     error: object = None
+    #: machine-readable failure class when ``error`` is set:
+    #: "deadline" (per-job deadline hit), "crash" (worker died and the
+    #: job was quarantined), "error" (a ReproError inside the design).
+    error_kind: object = None
     #: Observability events recorded inside a pool worker, shipped back
     #: to the parent recorder (empty for serial runs — those record
     #: directly into the live recorder).
@@ -108,12 +159,86 @@ class SimOutcome:
         return self.records[key].sqnr_db()
 
 
+@dataclass(frozen=True)
+class PoolPolicy:
+    """Recovery knobs of the fork-pool execution path.
+
+    ``max_retries`` bounds how often a job whose worker died is
+    re-submitted before quarantine; delays between attempts come from
+    ``backoff`` (a :class:`repro.robust.retry.BackoffPolicy`, a
+    conservative default when None).  ``max_respawns`` caps worker-pool
+    rebuilds per batch (a runaway crasher cannot fork-bomb the host).
+    ``deadline_grace`` is the parent-side slack on top of twice a job's
+    deadline before its worker is hard-killed in the isolation phase —
+    the safety net for code that blocks ``SIGALRM`` delivery.
+    """
+
+    max_retries: int = 1
+    max_respawns: int = 16
+    backoff: object = None
+    deadline_grace: float = 5.0
+
+    def backoff_policy(self):
+        if self.backoff is not None:
+            return self.backoff
+        # Imported lazily: repro.robust.faults imports this runner, so a
+        # module-scope import back into repro.robust would be circular.
+        from repro.robust.retry import BackoffPolicy
+        return BackoffPolicy(base=0.05, factor=2.0, cap=1.0)
+
+
 # -- worker state ------------------------------------------------------------
 
 # Factories are installed here before the pool forks, so child processes
 # inherit them through copy-on-write instead of pickling.  The serial
-# fallback uses the same slot for symmetry.
-_WORKER_STATE = {"factory": None, "seeded_factory": None}
+# fallback uses the same slot for symmetry.  ``parent_pid`` lets code
+# running inside a job (e.g. the worker_crash fault) tell a pool worker
+# from an in-process run.
+_WORKER_STATE = {"factory": None, "seeded_factory": None,
+                 "parent_pid": None}
+
+
+def in_worker():
+    """True while executing a job in a forked pool worker."""
+    parent = _WORKER_STATE["parent_pid"]
+    return parent is not None and os.getpid() != parent
+
+
+class _DeadlineGuard:
+    """Arms a one-shot ``SIGALRM`` wall-clock alarm around a job.
+
+    Only arms on a main thread (signal handlers cannot be installed
+    elsewhere); a no-op otherwise, and for ``seconds=None``.
+    """
+
+    __slots__ = ("seconds", "label", "_armed", "_old")
+
+    def __init__(self, seconds, label):
+        self.seconds = seconds
+        self.label = label
+        self._armed = False
+        self._old = None
+
+    def _fire(self, signum, frame):
+        raise DeadlineExceeded(
+            "simulation %r exceeded its %.3gs deadline"
+            % (self.label, self.seconds),
+            deadline=self.seconds, label=self.label)
+
+    def __enter__(self):
+        if (self.seconds is not None and self.seconds > 0
+                and threading.current_thread() is threading.main_thread()):
+            self._old = _signal.signal(_signal.SIGALRM, self._fire)
+            _signal.setitimer(_signal.ITIMER_REAL, float(self.seconds))
+            self._armed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._armed:
+            _signal.setitimer(_signal.ITIMER_REAL, 0.0)
+            _signal.signal(_signal.SIGALRM, self._old)
+            self._armed = False
+        return False
 
 
 def _execute(config):
@@ -130,21 +255,22 @@ def _execute(config):
     with obs_trace.span("parallel.job", label=config.label,
                         samples=config.n_samples, seed=config.seed) as sp:
         try:
-            ctx = DesignContext(config.label, seed=config.seed,
-                                overflow_action=config.overflow_action,
-                                guard_action=config.guard_action)
-            with ctx:
-                if config.factory_seed is not None and seeded is not None:
-                    design = seeded(config.factory_seed)
-                else:
-                    design = factory()
-                design.build(ctx)
-                Annotations(dtypes=config.dtypes, ranges=config.ranges,
-                            errors=config.errors).apply(ctx)
-                for fault in faults:
-                    fault.install(ctx, design)
-                design.run(ctx, config.n_samples)
-            records = collect(ctx)
+            with _DeadlineGuard(config.deadline_seconds, config.label):
+                ctx = DesignContext(config.label, seed=config.seed,
+                                    overflow_action=config.overflow_action,
+                                    guard_action=config.guard_action)
+                with ctx:
+                    if config.factory_seed is not None and seeded is not None:
+                        design = seeded(config.factory_seed)
+                    else:
+                        design = factory()
+                    design.build(ctx)
+                    Annotations(dtypes=config.dtypes, ranges=config.ranges,
+                                errors=config.errors).apply(ctx)
+                    for fault in faults:
+                        fault.install(ctx, design)
+                    design.run(ctx, config.n_samples)
+                records = collect(ctx)
             output = getattr(design, "output", None)
             sp.set(signals=len(records), guard_trips=ctx.guard_trip_count)
             obs_metrics.emit(ctx, label=config.label)
@@ -154,11 +280,13 @@ def _execute(config):
         except ReproError as exc:
             if not config.catch_errors:
                 raise
-            sp.set(error=str(exc))
+            kind = "deadline" if isinstance(exc, DeadlineExceeded) \
+                else "error"
+            sp.set(error=str(exc), error_kind=kind)
             return SimOutcome(config.label, {}, None, 0,
                               tuple(getattr(f, "n_fired", None)
                                     for f in faults),
-                              str(exc))
+                              str(exc), error_kind=kind)
 
 
 def _execute_remote(config):
@@ -180,6 +308,14 @@ def _execute_remote(config):
     if events:
         outcome = replace(outcome, obs_events=events)
     return outcome
+
+
+def _quarantine_outcome(config, message):
+    """Error outcome standing in for a job whose worker died."""
+    return SimOutcome(config.label, {}, None, 0,
+                      tuple(getattr(f, "n_fired", None)
+                            for f in config.faults),
+                      message, error_kind="crash")
 
 
 # -- worker count ------------------------------------------------------------
@@ -243,7 +379,11 @@ def fingerprint(design_factory, config, seeded_factory=None):
     """Cache key of one job: design identity + everything that shapes it.
 
     Identical jobs collide (that is the point of the cache); any knob
-    that could change the numbers separates them:
+    that could change the numbers separates them.  ``deadline_seconds``
+    is deliberately excluded: a deadline decides whether a run
+    completes, never what a completed run computes, so journaled
+    outcomes stay replayable when the deadline is tuned between
+    sessions.
 
     >>> def factory():
     ...     pass
@@ -277,20 +417,23 @@ def fingerprint(design_factory, config, seeded_factory=None):
 
 
 class SimCache:
-    """In-memory result cache for :func:`run_simulations`.
+    """In-memory LRU result cache for :func:`run_simulations`.
 
     Keys are :func:`fingerprint` digests; values are completed
     :class:`SimOutcome` objects (failed runs are never cached).  Pass
     the same instance across :func:`analyze_sensitivity` /
     :func:`optimize_wordlengths` calls to skip re-measuring type maps
-    the refinement loop has already probed.
+    the refinement loop has already probed.  At ``max_entries`` the
+    least-recently-*used* entry is evicted (a hit refreshes its
+    recency), so a long-running optimizer keeps its working set even
+    when the total probe count far exceeds the capacity.
     """
 
     def __init__(self, max_entries=4096):
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
-        self._store = {}
+        self._store = OrderedDict()
 
     def get(self, key):
         outcome = self._store.get(key)
@@ -298,14 +441,16 @@ class SimCache:
             self.misses += 1
         else:
             self.hits += 1
+            self._store.move_to_end(key)
         return outcome
 
     def put(self, key, outcome):
         if outcome.error is not None:
             return
-        if len(self._store) >= self.max_entries:
-            # Drop the oldest entry (insertion order) — simple, bounded.
-            self._store.pop(next(iter(self._store)))
+        if key in self._store:
+            self._store.move_to_end(key)
+        elif len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)   # least recently used
         self._store[key] = outcome
 
     def clear(self):
@@ -322,30 +467,286 @@ class SimCache:
 
 # -- the runner --------------------------------------------------------------
 
-def _run_serial(pending):
-    return [(idx, key, _execute(cfg)) for idx, key, cfg in pending]
+#: Failures of the parent<->worker pipe itself (config or outcome not
+#: picklable).  Such a job re-runs in-process; everything else stays in
+#: the pool.  TypeError/AttributeError cover CPython's non-PicklingError
+#: "cannot pickle ..." paths; a genuine TypeError from design code ends
+#: up re-raised by the in-process re-run with a clean traceback.
+_PIPE_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
 
 
-def _run_pool(pending, n_workers):
-    mp_ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=n_workers,
-                             mp_context=mp_ctx) as pool:
-        futures = [(idx, key, pool.submit(_execute_remote, cfg))
-                   for idx, key, cfg in pending]
-        done = [(idx, key, fut.result()) for idx, key, fut in futures]
-    rec = obs_trace.current_recorder()
-    if rec is not None:
-        # Merge worker-recorded events into the parent trace, in job
-        # order (worker span ids embed the worker pid, so they cannot
-        # collide with ids minted here).
-        for _idx, _key, outcome in done:
-            if outcome.obs_events:
-                rec.extend(outcome.obs_events)
-    return done
+def _kill_pool_workers(pool):
+    """Hard-kill every worker process of a pool (deadline escalation)."""
+    procs = getattr(pool, "_processes", None)
+    if not procs:
+        return 0
+    n = 0
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+            n += 1
+        except Exception:
+            pass
+    return n
+
+
+class _BatchExecutor:
+    """One batch's pool execution state: harvest, quarantine, retries."""
+
+    def __init__(self, n_workers, policy, on_complete, diagnostics,
+                 batch_span):
+        self.n_workers = n_workers
+        self.policy = policy or PoolPolicy()
+        self.on_complete = on_complete
+        self.diagnostics = diagnostics
+        self.batch_span = batch_span
+        self.mp_ctx = multiprocessing.get_context("fork")
+        #: jobs that must re-run in-process (pipe failures).
+        self.serial_jobs = []
+        #: (idx, exception) for catch_errors=False jobs that failed.
+        self.fatal = []
+        self.n_retries = 0
+        self.n_quarantined = 0
+        self.n_respawns = 0
+        self.recovered = False
+
+    # -- reporting ---------------------------------------------------------
+
+    def _diag(self, category, severity, message, **data):
+        if self.diagnostics is not None:
+            self.diagnostics.add(category, severity, None, message, **data)
+
+    def _note_retry(self, cfg, attempt, delay):
+        self.n_retries += 1
+        self.recovered = True
+        obs_counters.inc("parallel.retries")
+        self.batch_span.event("parallel.retry", label=cfg.label,
+                              attempt=attempt, delay=delay)
+        self._diag("retry", "info",
+                   "worker running job %r died; retry %d/%d after %.3gs "
+                   "backoff" % (cfg.label, attempt,
+                                self.policy.max_retries, delay),
+                   label=cfg.label, attempt=attempt, delay=delay)
+
+    def _note_pipe_fallback(self, cfg, exc):
+        self.recovered = True
+        obs_counters.inc("parallel.pickling_fallbacks")
+        self.batch_span.event("parallel.pipe_fallback", label=cfg.label,
+                              exc=str(exc))
+        self._diag("retry", "info",
+                   "job %r could not cross the worker pipe (%s: %s); "
+                   "re-running in-process"
+                   % (cfg.label, type(exc).__name__, exc),
+                   label=cfg.label)
+
+    def _quarantine(self, idx, key, cfg, attempts, reason):
+        self.n_quarantined += 1
+        self.recovered = True
+        obs_counters.inc("parallel.quarantined")
+        self.batch_span.event("parallel.quarantine", label=cfg.label,
+                              attempts=attempts, reason=reason)
+        self._diag("quarantine", "warning",
+                   "job %r quarantined after %d attempt(s): %s"
+                   % (cfg.label, attempts, reason),
+                   label=cfg.label, attempts=attempts, reason=reason)
+        message = ("worker crashed (%s); job quarantined after %d "
+                   "attempt(s)" % (reason, attempts))
+        if cfg.catch_errors:
+            self.on_complete(idx, key, cfg, _quarantine_outcome(cfg, message))
+        else:
+            self.fatal.append((idx, WorkerCrashError(
+                "job %r: %s" % (cfg.label, message), label=cfg.label,
+                attempts=attempts)))
+
+    def _note_respawn(self):
+        self.n_respawns += 1
+        obs_counters.inc("parallel.pool_respawns")
+
+    # -- phase A: shared pool ---------------------------------------------
+
+    def run_shared(self, pending):
+        """All jobs through one shared pool; harvested incrementally.
+
+        Returns the (idx-sorted) jobs left uncompleted by a pool break —
+        empty on a clean batch.  Completed outcomes are delivered
+        through ``on_complete`` the moment they arrive, so they survive
+        any later failure.
+        """
+        leftovers = []
+        pool = ProcessPoolExecutor(max_workers=self.n_workers,
+                                   mp_context=self.mp_ctx)
+        try:
+            futures = {}
+            try:
+                for job in pending:
+                    futures[pool.submit(_execute_remote, job[2])] = job
+            except BrokenProcessPool:
+                submitted = {id(job) for job in futures.values()}
+                leftovers.extend(job for job in pending
+                                 if id(job) not in submitted)
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_COMPLETED)
+                for fut in done:
+                    idx, key, cfg = futures[fut]
+                    try:
+                        outcome = fut.result()
+                    except BrokenProcessPool:
+                        leftovers.append((idx, key, cfg))
+                    except _PIPE_ERRORS as exc:
+                        self._note_pipe_fallback(cfg, exc)
+                        self.serial_jobs.append((idx, key, cfg))
+                    except ReproError as exc:
+                        self.fatal.append((idx, exc))
+                    else:
+                        self.on_complete(idx, key, cfg, outcome)
+        finally:
+            pool.shutdown(wait=True)
+        leftovers.sort(key=lambda job: job[0])
+        return leftovers
+
+    # -- phase B: isolation pools -----------------------------------------
+
+    def run_isolated(self, jobs):
+        """Suspect jobs in single-worker pools: exact crash attribution.
+
+        Each pool runs one job at a time, so a ``BrokenProcessPool`` on
+        a future names its poison job unambiguously.  Healthy suspects
+        keep running in parallel (up to ``n_workers`` pools); a crasher
+        is retried with backoff, then quarantined.  Jobs with a deadline
+        get a parent-side escalation: a worker still alive past
+        ``2 * deadline + grace`` is hard-killed and the job aborted as a
+        deadline hit.
+        """
+        policy = self.policy
+        backoff = policy.backoff_policy()
+        queue = deque((idx, key, cfg, 0) for idx, key, cfg in jobs)
+        n_pools = max(1, min(self.n_workers, len(queue)))
+        pools = {}
+        for slot in range(n_pools):
+            pools[slot] = self._make_isolated_pool()
+        free = [slot for slot, p in pools.items() if p is not None]
+        inflight = {}
+
+        def dispatch():
+            while free and queue:
+                slot = free.pop()
+                idx, key, cfg, attempts = queue.popleft()
+                fut = pools[slot].submit(_execute_remote, cfg)
+                inflight[fut] = {"slot": slot, "idx": idx, "key": key,
+                                 "cfg": cfg, "attempts": attempts,
+                                 "t0": time.monotonic(), "killed": False}
+
+        def kill_budget(cfg):
+            d = cfg.deadline_seconds
+            if d is None or d <= 0:
+                return None
+            return 2.0 * float(d) + policy.deadline_grace
+
+        dispatch()
+        while inflight:
+            timeout = None
+            now = time.monotonic()
+            for info in inflight.values():
+                budget = kill_budget(info["cfg"])
+                if budget is None or info["killed"]:
+                    continue
+                left = max(0.1, info["t0"] + budget - now)
+                timeout = left if timeout is None else min(timeout, left)
+            done, _ = wait(set(inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                # No progress within the strictest parent-side budget:
+                # hard-kill the overdue worker(s); their futures then
+                # resolve as BrokenProcessPool and are handled below.
+                now = time.monotonic()
+                for fut, info in inflight.items():
+                    budget = kill_budget(info["cfg"])
+                    if (budget is not None and not info["killed"]
+                            and now - info["t0"] >= budget):
+                        info["killed"] = True
+                        _kill_pool_workers(pools[info["slot"]])
+                continue
+            for fut in done:
+                info = inflight.pop(fut)
+                slot = info["slot"]
+                idx, key, cfg = info["idx"], info["key"], info["cfg"]
+                try:
+                    outcome = fut.result()
+                except BrokenProcessPool:
+                    self._note_respawn()
+                    pools[slot].shutdown(wait=False)
+                    if self.n_respawns > policy.max_respawns:
+                        pools[slot] = None
+                    else:
+                        pools[slot] = self._make_isolated_pool()
+                    if pools[slot] is not None:
+                        free.append(slot)
+                    if info["killed"]:
+                        self._deadline_kill(idx, key, cfg)
+                    elif (info["attempts"] < policy.max_retries
+                          and pools[slot] is not None):
+                        attempts = info["attempts"] + 1
+                        delay = backoff.delay(attempts, token=cfg.label)
+                        self._note_retry(cfg, attempts, delay)
+                        if delay > 0:
+                            time.sleep(delay)
+                        queue.append((idx, key, cfg, attempts))
+                    else:
+                        self._quarantine(idx, key, cfg,
+                                         info["attempts"] + 1,
+                                         "worker process died")
+                except _PIPE_ERRORS as exc:
+                    self._note_pipe_fallback(cfg, exc)
+                    self.serial_jobs.append((idx, key, cfg))
+                    free.append(slot)
+                except ReproError as exc:
+                    self.fatal.append((idx, exc))
+                    free.append(slot)
+                else:
+                    self.on_complete(idx, key, cfg, outcome)
+                    free.append(slot)
+                dispatch()
+        for slot, pool in pools.items():
+            if pool is not None:
+                pool.shutdown(wait=True)
+        # Pool budget exhausted with jobs still queued: quarantine them.
+        while queue:
+            idx, key, cfg, attempts = queue.popleft()
+            self._quarantine(idx, key, cfg, attempts + 1,
+                             "pool respawn budget exhausted")
+
+    def _make_isolated_pool(self):
+        try:
+            return ProcessPoolExecutor(max_workers=1, mp_context=self.mp_ctx)
+        except OSError:
+            return None
+
+    def _deadline_kill(self, idx, key, cfg):
+        """A worker ignored its in-job alarm and was killed by us."""
+        message = ("simulation %r exceeded its %.3gs deadline (worker "
+                   "killed by the parent)"
+                   % (cfg.label, cfg.deadline_seconds))
+        if cfg.catch_errors:
+            outcome = SimOutcome(cfg.label, {}, None, 0,
+                                 tuple(getattr(f, "n_fired", None)
+                                       for f in cfg.faults),
+                                 message, error_kind="deadline")
+            self.on_complete(idx, key, cfg, outcome)
+        else:
+            self.fatal.append((idx, DeadlineExceeded(
+                message, deadline=cfg.deadline_seconds, label=cfg.label)))
+
+
+def _run_serial(pending, on_complete):
+    for idx, key, cfg in pending:
+        on_complete(idx, key, cfg, _execute(cfg))
 
 
 def run_simulations(design_factory, configs, workers=None, cache=None,
-                    seeded_factory=None):
+                    seeded_factory=None, journal=None, diagnostics=None,
+                    pool_policy=None):
     """Run a batch of simulation jobs, in parallel when it pays off.
 
     ``design_factory`` is called (in each worker) to build a fresh
@@ -354,58 +755,158 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
     box); any explicit ``workers >= 2`` forces a pool when ``fork`` is
     available.  ``cache`` is an optional :class:`SimCache`.
 
+    ``journal`` (a :class:`repro.robust.recovery.Journal` or a path)
+    makes the batch resumable: completed outcomes are appended to the
+    journal *as they arrive* and replayed bit-exactly — without
+    re-simulating — on any later call that produces the same job
+    fingerprints.  ``diagnostics`` (a
+    :class:`repro.robust.diagnostics.Diagnostics`) collects stable-coded
+    recovery events; ``pool_policy`` tunes retry/quarantine behaviour
+    (:class:`PoolPolicy`).
+
     Returns a list of :class:`SimOutcome` in config order — the same
     values a serial loop would produce, regardless of worker count.
+    Jobs whose worker crashed land as ``error_kind="crash"`` outcomes
+    (under ``catch_errors``) or raise
+    :class:`~repro.core.errors.WorkerCrashError` after the healthy rest
+    of the batch has completed and been journaled.
     """
     configs = list(configs)
     results = [None] * len(configs)
 
+    if journal is not None and not hasattr(journal, "append"):
+        from repro.robust.recovery import Journal
+        journal = Journal(journal)
+
+    need_key = cache is not None or journal is not None
     pending = []
+    n_cached = 0
+    n_replayed = 0
     for idx, cfg in enumerate(configs):
         key = None
-        if cache is not None:
+        if need_key:
             key = fingerprint(design_factory, cfg, seeded_factory)
-            hit = cache.get(key)
+            hit = cache.get(key) if cache is not None else None
+            if hit is None and journal is not None:
+                hit = journal.get(key)
+                if hit is not None:
+                    n_replayed += 1
+                    if cache is not None:
+                        cache.put(key, hit)
+            else:
+                if hit is not None:
+                    n_cached += 1
             if hit is not None:
-                # Cached outcomes keep their original label; re-label so
-                # the caller sees the name it asked for.
+                # Cached/journaled outcomes keep their original label;
+                # re-label so the caller sees the name it asked for.
                 results[idx] = hit if hit.label == cfg.label \
                     else replace(hit, label=cfg.label)
                 continue
         pending.append((idx, key, cfg))
 
     with obs_trace.span("parallel.batch", jobs=len(configs),
-                        cached=len(configs) - len(pending)) as batch_span:
+                        cached=n_cached,
+                        replayed=n_replayed) as batch_span:
+        if n_replayed:
+            obs_counters.inc("journal.replays", n_replayed)
+            batch_span.event("journal.replay", count=n_replayed,
+                             path=getattr(journal, "path", None))
+            if diagnostics is not None:
+                diagnostics.add(
+                    "journal", "info", None,
+                    "replayed %d completed outcome(s) from journal %s; "
+                    "%d job(s) still to run"
+                    % (n_replayed, getattr(journal, "path", "<memory>"),
+                       len(pending)),
+                    replayed=n_replayed, pending=len(pending))
         if not pending:
+            batch_span.set(mode="replayed" if n_replayed else "cached",
+                           executed=0)
             return results
+
+        executed = []
+
+        def on_complete(idx, key, cfg, outcome):
+            """Deliver one outcome: record, journal, count, diagnose."""
+            results[idx] = outcome
+            executed.append(idx)
+            if outcome.error_kind == "deadline":
+                obs_counters.inc("parallel.deadline_hits")
+                batch_span.event("parallel.deadline", label=cfg.label,
+                                 deadline=cfg.deadline_seconds)
+                if diagnostics is not None:
+                    diagnostics.add(
+                        "deadline", "warning", None,
+                        "job %r aborted by its %.3gs deadline: %s"
+                        % (cfg.label, cfg.deadline_seconds or 0.0,
+                           outcome.error),
+                        label=cfg.label, deadline=cfg.deadline_seconds)
+            if cache is not None and key is not None:
+                cache.put(key, outcome)
+            if journal is not None and key is not None:
+                journal.append(key, outcome)
 
         _WORKER_STATE["factory"] = design_factory
         _WORKER_STATE["seeded_factory"] = seeded_factory
+        _WORKER_STATE["parent_pid"] = os.getpid()
         mode = "serial"
+        fatal = []
         try:
             n_workers = default_workers() if workers is None \
                 else int(workers)
             n_workers = min(n_workers, len(pending))
             if n_workers >= 2 and _fork_available():
+                exe = _BatchExecutor(n_workers, pool_policy, on_complete,
+                                     diagnostics, batch_span)
                 try:
                     mode = "pool"
-                    done = _run_pool(pending, n_workers)
-                except (BrokenProcessPool, pickle.PicklingError, OSError):
-                    # Pool infrastructure failure (not a simulation
-                    # error): jobs are pure, so re-running them serially
-                    # is safe.
+                    leftovers = exe.run_shared(pending)
+                    if leftovers:
+                        exe._note_respawn()
+                        exe.run_isolated(leftovers)
+                    if exe.serial_jobs:
+                        exe.serial_jobs.sort(key=lambda job: job[0])
+                        _run_serial(exe.serial_jobs, on_complete)
+                    if exe.recovered:
+                        mode = "pool-recovered"
+                    fatal = exe.fatal
+                    batch_span.set(retries=exe.n_retries,
+                                   quarantined=exe.n_quarantined,
+                                   respawns=exe.n_respawns)
+                except OSError:
+                    # Pool infrastructure unavailable (fork failure):
+                    # jobs are pure, so running the remainder serially
+                    # is safe — and everything already completed stays
+                    # completed.
                     mode = "serial-fallback"
-                    done = _run_serial(pending)
+                    remaining = [job for job in pending
+                                 if results[job[0]] is None]
+                    _run_serial(remaining, on_complete)
             else:
-                done = _run_serial(pending)
+                _run_serial(pending, on_complete)
         finally:
             _WORKER_STATE["factory"] = None
             _WORKER_STATE["seeded_factory"] = None
+            _WORKER_STATE["parent_pid"] = None
         batch_span.set(mode=mode, workers=n_workers,
-                       executed=len(pending))
+                       executed=len(executed))
 
-        for idx, key, outcome in done:
-            results[idx] = outcome
-            if cache is not None and key is not None:
-                cache.put(key, outcome)
+        rec = obs_trace.current_recorder()
+        if rec is not None:
+            # Merge worker-recorded events into the parent trace, in job
+            # order (worker span ids embed the worker pid, so they
+            # cannot collide with ids minted here).  Only freshly
+            # executed outcomes merge — replayed ones already did, in
+            # the run that produced them.
+            for idx in sorted(executed):
+                outcome = results[idx]
+                if outcome is not None and outcome.obs_events:
+                    rec.extend(outcome.obs_events)
+
+        if fatal:
+            # The rest of the batch is complete (and journaled); now
+            # surface the first failure in job order, as a serial loop
+            # would have.
+            fatal.sort(key=lambda pair: pair[0])
+            raise fatal[0][1]
     return results

@@ -635,7 +635,26 @@ class RefinementFlow:
 
     # -- one-shot -----------------------------------------------------------------
 
-    def run(self, strict=True):
+    def _checkpoint_fingerprint(self, strict):
+        """Identity of this flow setup; a checkpoint from a different
+        setup must not be resumed."""
+        import hashlib
+
+        from repro.parallel.runner import _callable_fingerprint
+        h = hashlib.sha256()
+        for tag, value in (
+                ("factory", _callable_fingerprint(self.factory)),
+                ("cfg", self.cfg),
+                ("input_types", sorted(self.input_types.items())),
+                ("input_ranges", sorted(self.input_ranges.items())),
+                ("user_ranges", sorted(self.user_ranges.items())),
+                ("user_errors", sorted(self.user_errors.items())),
+                ("preset_types", sorted(self.preset_types.items())),
+                ("strict", strict)):
+            h.update(("%s=%r;" % (tag, value)).encode())
+        return h.hexdigest()
+
+    def run(self, strict=True, checkpoint=None):
         """Full flow: MSB phase, LSB phase, synthesis, verification.
 
         With ``strict=True`` (default) an unresolved phase dead-ends in
@@ -646,31 +665,91 @@ class RefinementFlow:
         nothing receive conservative saturating fallback types, and the
         returned result carries a populated
         :class:`~repro.robust.diagnostics.Diagnostics`.
+
+        ``checkpoint`` (a :class:`repro.robust.recovery.Checkpoint` or a
+        path) makes the flow *resumable*: completed stages (baseline,
+        MSB phase, LSB phase, type synthesis, verification) are
+        snapshotted atomically as they finish, and a re-run after a
+        crash replays them from disk — including the diagnostics they
+        recorded — continuing with the first unfinished stage.  A
+        checkpoint written by a different flow setup (other factory,
+        config, annotations or strictness) is ignored, with a warning
+        diagnostic, rather than half-resumed.
         """
+        from repro.obs import counters as obs_counters
         from repro.robust.diagnostics import Diagnostics
+        if checkpoint is not None and not hasattr(checkpoint, "save"):
+            from repro.robust.recovery import Checkpoint
+            checkpoint = Checkpoint(checkpoint)
         diag = Diagnostics()
+        fp = self._checkpoint_fingerprint(strict) \
+            if checkpoint is not None else None
+        state = {"fingerprint": fp, "stages": {}, "diag_events": []}
+        if checkpoint is not None:
+            loaded = checkpoint.load()
+            if checkpoint.corrupt:
+                diag.add("journal", "warning", None,
+                         "checkpoint %s is unreadable; restarting the "
+                         "flow from scratch" % checkpoint.path)
+            elif loaded is not None:
+                if loaded.get("fingerprint") != fp:
+                    diag.add("journal", "warning", None,
+                             "checkpoint %s was written by a different "
+                             "flow setup; ignoring it" % checkpoint.path)
+                else:
+                    state = loaded
+                    diag.events = list(state["diag_events"])
+        stages = state["stages"]
+
+        def stage(name, compute):
+            """Run one flow stage, or replay it from the checkpoint."""
+            if name in stages:
+                obs_counters.inc("flow.stage_replays")
+                obs_trace.event("refine.stage_replay", stage=name)
+                diag.add("journal", "info", None,
+                         "stage %r replayed from checkpoint %s"
+                         % (name, checkpoint.path), stage=name)
+                return stages[name]
+            value = compute()
+            if checkpoint is not None:
+                stages[name] = value
+                state["diag_events"] = list(diag.events)
+                checkpoint.save(state)
+            return value
+
         run_span = obs_trace.span(
             "refine.run", strict=strict,
             design=getattr(self.factory, "__name__", str(self.factory)))
         with run_span:
             if self.cfg.lint_design:
-                self._lint_into(diag)
-            baseline = self.baseline_sqnr(diagnostics=diag)
+                stage("lint", lambda: bool(self._lint_into(diag)))
+            baseline = stage("baseline",
+                             lambda: self.baseline_sqnr(diagnostics=diag))
             if strict:
-                msb = self.run_msb_phase(diagnostics=diag)
-                lsb = self.run_lsb_phase(msb.annotations, diagnostics=diag)
-                types = self.synthesize_types(msb, lsb)
+                msb = stage("msb",
+                            lambda: self.run_msb_phase(diagnostics=diag))
+                lsb = stage("lsb", lambda: self.run_lsb_phase(
+                    msb.annotations, diagnostics=diag))
+                types = stage("types",
+                              lambda: self.synthesize_types(msb, lsb))
                 fallbacks = {}
             else:
                 from repro.robust.retry import run_graceful
-                msb, lsb, types, fallbacks = run_graceful(
-                    self, diag, self.cfg.escalation)
-            verification = self.verify(types, lsb, diagnostics=diag)
-            if verification.total_overflows:
-                diag.add("verification", "warning", None,
-                         "%d overflow(s) on non-wrap types during "
-                         "verification" % verification.total_overflows,
-                         overflows=verification.total_overflows)
+
+                msb, lsb, types, fallbacks = stage(
+                    "graceful", lambda: run_graceful(
+                        self, diag, self.cfg.escalation))
+
+            def verify_stage():
+                verification = self.verify(types, lsb, diagnostics=diag)
+                if verification.total_overflows:
+                    diag.add("verification", "warning", None,
+                             "%d overflow(s) on non-wrap types during "
+                             "verification" % verification.total_overflows,
+                             overflows=verification.total_overflows)
+                return verification
+
+            verification = stage("verification", verify_stage)
             run_span.set(types=len(types), fallbacks=len(fallbacks),
                          sqnr_db=verification.output_sqnr_db,
                          diagnostics=len(diag))

@@ -56,7 +56,8 @@ def _sqnr(design_factory, dtypes, n_samples, seed):
 
 def optimize_wordlengths(design_factory, types, input_types, target_db,
                          n_samples=2000, seed=1234, max_moves=64,
-                         signals=None, workers=None, cache=None):
+                         signals=None, workers=None, cache=None,
+                         journal=None):
     """Greedy bit reclaim/repair against an output SQNR target.
 
     ``types``: the synthesized map to optimize (not mutated);
@@ -69,11 +70,21 @@ def optimize_wordlengths(design_factory, types, input_types, target_db,
     :func:`repro.parallel.run_simulations` batch (``workers`` /
     ``cache`` forwarded).  With a shared :class:`~repro.parallel.SimCache`
     the optimizer also skips any type map it has already measured.
+
+    ``journal`` (a :class:`repro.robust.recovery.Journal` or path) makes
+    the search *resumable*: every probe outcome is journaled as it
+    completes, and because the greedy search is deterministic — same
+    inputs, same probe sequence — re-running the call after a crash
+    replays the already-measured probes from disk and continues from the
+    first missing one, converging to a bit-identical result.
     """
     types = dict(types)
     names = sorted(signals if signals is not None else types)
     sims = 0
     moves = []
+    if journal is not None and not hasattr(journal, "append"):
+        from repro.robust.recovery import Journal
+        journal = Journal(journal)
 
     def probe_batch(trials):
         """SQNR of several candidate type maps, one fan-out batch."""
@@ -84,7 +95,8 @@ def optimize_wordlengths(design_factory, types, input_types, target_db,
                              n_samples=n_samples, seed=seed)
                    for trial in trials]
         outcomes = run_simulations(design_factory, configs,
-                                   workers=workers, cache=cache)
+                                   workers=workers, cache=cache,
+                                   journal=journal)
         return [o.records[o.output].sqnr_db() for o in outcomes]
 
     current_sqnr = probe_batch([types])[0]

@@ -81,7 +81,7 @@ def _run_once(design_factory, dtypes, n_samples, seed):
 
 def analyze_sensitivity(design_factory, types, input_types, signals=None,
                         n_samples=2000, seed=1234, workers=None,
-                        cache=None):
+                        cache=None, journal=None):
     """Measure the output-SQNR effect of +/-1 fractional bit per signal.
 
     ``types`` is the synthesized type map (from the flow), ``input_types``
@@ -90,7 +90,10 @@ def analyze_sensitivity(design_factory, types, input_types, signals=None,
     baseline; the whole batch is fanned out through
     :func:`repro.parallel.run_simulations` (``workers`` / ``cache``
     forwarded), so wall-clock scales with the core count while the
-    numbers stay bit-identical to a serial sweep.
+    numbers stay bit-identical to a serial sweep.  ``journal`` (a
+    :class:`repro.robust.recovery.Journal` or path) journals each probe
+    as it completes and replays completed probes bit-exactly when the
+    sweep is re-run after a crash.
     """
     base_types = {**types, **input_types}
     names = list(signals) if signals is not None else list(types)
@@ -114,7 +117,7 @@ def analyze_sensitivity(design_factory, types, input_types, signals=None,
         plan.append((name, dt.f, has_minus))
 
     outcomes = run_simulations(design_factory, configs, workers=workers,
-                               cache=cache)
+                               cache=cache, journal=journal)
     base = outcomes[0]
     output = base.output
     base_sqnr = base.records[output].sqnr_db()

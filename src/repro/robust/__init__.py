@@ -11,7 +11,12 @@ stimuli misbehave:
   degradation of a refined design under bit flips, stuck nodes, input
   overdrive, dropped channel values and seed changes;
 * :mod:`repro.robust.retry` — escalation ladder and conservative
-  fallback types behind ``RefinementFlow.run(strict=False)``.
+  fallback types behind ``RefinementFlow.run(strict=False)``, plus the
+  :class:`BackoffPolicy` used between crash retries in the pool;
+* :mod:`repro.robust.recovery` — write-ahead outcome :class:`Journal`
+  and atomic :class:`Checkpoint` behind resumable batches
+  (``run_simulations(journal=...)``, ``optimize_wordlengths(journal=...)``,
+  ``RefinementFlow.run(checkpoint=...)``).
 
 Run ``python -m repro.robust.selfcheck`` for an end-to-end smoke test.
 """
@@ -21,19 +26,23 @@ from __future__ import annotations
 from repro.robust.diagnostics import DiagEvent, Diagnostics
 from repro.robust.faults import (BitFlip, CampaignResult, ChannelDrop, Fault,
                                  FaultCampaign, FaultOutcome, InputScale,
-                                 NanInject, SeedPerturb, StuckAt,
-                                 standard_faults)
+                                 NanInject, SeedPerturb, StuckAt, WorkerCrash,
+                                 WorkerHang, standard_faults)
 from repro.robust.guards import (GuardEvent, GuardPolicy, Watchdog,
                                  guard_summary)
-from repro.robust.retry import (EscalationPolicy, conservative_fallback,
-                                escalate_lsb, escalate_msb, run_graceful)
+from repro.robust.recovery import Checkpoint, Journal
+from repro.robust.retry import (BackoffPolicy, EscalationPolicy,
+                                conservative_fallback, escalate_lsb,
+                                escalate_msb, run_graceful)
 
 __all__ = [
     "GuardPolicy", "GuardEvent", "Watchdog", "guard_summary",
     "DiagEvent", "Diagnostics",
     "Fault", "BitFlip", "StuckAt", "InputScale", "NanInject", "ChannelDrop",
-    "SeedPerturb", "FaultOutcome", "CampaignResult", "FaultCampaign",
+    "SeedPerturb", "WorkerCrash", "WorkerHang",
+    "FaultOutcome", "CampaignResult", "FaultCampaign",
     "standard_faults",
-    "EscalationPolicy", "escalate_msb", "escalate_lsb",
+    "Journal", "Checkpoint",
+    "BackoffPolicy", "EscalationPolicy", "escalate_msb", "escalate_lsb",
     "conservative_fallback", "run_graceful",
 ]

@@ -32,6 +32,11 @@ CATEGORY_CODES = {
     "fallback": "DG103",
     "baseline": "DG104",
     "verification": "DG105",
+    # Crash-tolerant execution (repro.parallel + repro.robust.recovery).
+    "deadline": "DG201",
+    "quarantine": "DG202",
+    "journal": "DG203",
+    "retry": "DG204",
 }
 
 

@@ -19,7 +19,12 @@ the same way, just symbolically):
 * :class:`ChannelDrop` — values lost in a processor-to-processor FIFO
   (engine-based designs exposing the channel as an attribute);
 * :class:`SeedPerturb` — the whole run repeated under a different
-  stimulus seed (the refined types must not be overfit to one seed).
+  stimulus seed (the refined types must not be overfit to one seed);
+* :class:`WorkerCrash` / :class:`WorkerHang` — *infrastructure* faults:
+  the simulation process dies mid-run (``os._exit``) or stops making
+  progress.  They exercise the crash-tolerance layer itself — the
+  campaign must complete with the poison job quarantined / deadlined
+  and every other fault still measured (see ``docs/robustness.md``).
 
 :func:`standard_faults` derives a default campaign from a type
 assignment; :class:`FaultCampaign` executes any fault list and returns a
@@ -30,20 +35,23 @@ and guard trips.
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.core import word
-from repro.core.errors import DesignError
+from repro.core.errors import DesignError, SimulationError
 from repro.obs import trace as obs_trace
-from repro.parallel.runner import SimConfig, run_simulations
+from repro.parallel.runner import SimConfig, in_worker, run_simulations
 from repro.refine.flow import Annotations
 from repro.refine.monitors import collect
 from repro.refine.report import format_table
 from repro.signal.context import DesignContext
 
 __all__ = ["Fault", "BitFlip", "StuckAt", "InputScale", "NanInject",
-           "ChannelDrop", "SeedPerturb", "FaultOutcome", "CampaignResult",
-           "FaultCampaign", "standard_faults"]
+           "ChannelDrop", "SeedPerturb", "WorkerCrash", "WorkerHang",
+           "FaultOutcome", "CampaignResult", "FaultCampaign",
+           "standard_faults"]
 
 
 class Fault:
@@ -270,6 +278,88 @@ class SeedPerturb(Fault):
         return "seed-perturb seed=%d" % self.seed
 
 
+@dataclass(repr=False)
+class WorkerCrash(Fault):
+    """Kill the executing process on ``signal``'s ``at``-th assignment.
+
+    An *infrastructure* fault: in a pool worker it calls ``os._exit``
+    (no cleanup, no exception — exactly what a segfaulting native
+    kernel or an OOM kill looks like to the parent), exercising the
+    runner's incremental harvest, poison-job quarantine and retry
+    machinery.  When the job happens to execute in the campaign's own
+    process (serial mode), exiting would kill the campaign itself, so
+    it degrades to raising a :class:`~repro.core.errors.SimulationError`
+    — still an aborted run, just a catchable one.
+    """
+
+    signal: str
+    at: int = 100
+    exit_code: int = 77
+
+    kind = "worker-crash"
+
+    def describe(self):
+        return "worker-crash %s @%d (exit %d)" % (self.signal, self.at,
+                                                  self.exit_code)
+
+    def install(self, ctx, design):
+        sig = ctx.get(self.signal)
+        self.n_fired = 0
+        state = {"n": 0}
+
+        def hook(s, qfx):
+            i = state["n"]
+            state["n"] += 1
+            if i == self.at:
+                self.n_fired += 1
+                if in_worker():
+                    os._exit(self.exit_code)
+                raise SimulationError(
+                    "worker-crash fault fired in-process (assignment %d "
+                    "of %r); a pool worker would have died here"
+                    % (i, self.signal))
+            return qfx
+
+        sig.fault_post(hook)
+
+
+@dataclass(repr=False)
+class WorkerHang(Fault):
+    """Stall the executing process on ``signal``'s ``at``-th assignment.
+
+    Sleeps ``seconds`` once, simulating a wedged solver or a lost lock.
+    Pair it with a per-job deadline (``FaultCampaign(deadline_seconds=...)``
+    or ``SimConfig.deadline_seconds``): the in-process ``SIGALRM`` alarm
+    interrupts the sleep and aborts the job as a deadline hit, so the
+    batch keeps moving instead of waiting out the full hang.
+    """
+
+    signal: str
+    at: int = 100
+    seconds: float = 30.0
+
+    kind = "worker-hang"
+
+    def describe(self):
+        return "worker-hang %s @%d (%.3gs)" % (self.signal, self.at,
+                                               self.seconds)
+
+    def install(self, ctx, design):
+        sig = ctx.get(self.signal)
+        self.n_fired = 0
+        state = {"n": 0}
+
+        def hook(s, qfx):
+            i = state["n"]
+            state["n"] += 1
+            if i == self.at:
+                self.n_fired += 1
+                time.sleep(self.seconds)
+            return qfx
+
+        sig.fault_post(hook)
+
+
 @dataclass(frozen=True)
 class FaultOutcome:
     """Measured impact of one injected fault."""
@@ -394,11 +484,15 @@ class FaultCampaign:
     enables :class:`SeedPerturb` faults to rebuild the stimulus.  Guard
     action defaults to ``record`` so injected NaNs are sanitized and
     counted rather than aborting the campaign.
+
+    ``deadline_seconds`` bounds each run's wall clock (see
+    ``SimConfig.deadline_seconds``) — essential when the fault list
+    contains :class:`WorkerHang` or when perturbed designs can spin.
     """
 
     def __init__(self, design_factory, types, errors=None, output=None,
                  n_samples=2000, seed=1234, guard_action="record",
-                 seeded_factory=None):
+                 seeded_factory=None, deadline_seconds=None):
         self.factory = design_factory
         self.types = dict(types)
         self.errors = dict(errors or {})
@@ -407,6 +501,7 @@ class FaultCampaign:
         self.seed = seed
         self.guard_action = guard_action
         self.seeded_factory = seeded_factory
+        self.deadline_seconds = deadline_seconds
 
     # -- single run ---------------------------------------------------------
 
@@ -450,9 +545,11 @@ class FaultCampaign:
                          overflow_action="record",
                          guard_action=self.guard_action,
                          faults=tuple(faults), factory_seed=seed,
-                         catch_errors=bool(faults))
+                         catch_errors=bool(faults),
+                         deadline_seconds=self.deadline_seconds)
 
-    def run(self, faults, workers=None, cache=None):
+    def run(self, faults, workers=None, cache=None, journal=None,
+            diagnostics=None, pool_policy=None):
         """Execute the campaign; returns a :class:`CampaignResult`.
 
         The baseline and the per-fault runs are independent and go out
@@ -461,6 +558,14 @@ class FaultCampaign:
         visible CPUs, falling back to an in-process serial loop).  The
         numbers are identical either way — each run carries its own
         seed, and fault fire counts travel back inside the outcomes.
+
+        ``journal`` (a :class:`repro.robust.recovery.Journal` or path)
+        makes the campaign resumable: per-fault outcomes are journaled
+        as they complete, and a re-run after a crash replays them
+        bit-exactly.  ``diagnostics`` collects the runner's recovery
+        events (deadline hits, quarantines, retries, replays) with
+        their stable ``DG2xx`` codes; ``pool_policy`` tunes
+        retry/quarantine behaviour.
         """
         faults = list(faults)
         with obs_trace.span("campaign.run", faults=len(faults),
@@ -473,7 +578,8 @@ class FaultCampaign:
                                             label="fault-%s" % fault.kind))
             sim_outcomes = run_simulations(
                 self.factory, configs, workers=workers, cache=cache,
-                seeded_factory=self.seeded_factory)
+                seeded_factory=self.seeded_factory, journal=journal,
+                diagnostics=diagnostics, pool_policy=pool_policy)
 
             base = sim_outcomes[0]
             output = self.output or base.output

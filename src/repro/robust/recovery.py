@@ -1,0 +1,304 @@
+"""Crash-tolerant execution state: outcome journal and checkpoints.
+
+A refinement campaign is hours of independent simulations; a killed
+process must not lose the ones that already finished.  Two persistence
+primitives make every batch layer resumable:
+
+* :class:`Journal` — a fingerprint-keyed **write-ahead outcome journal**.
+  :func:`repro.parallel.run_simulations` appends every completed
+  :class:`~repro.parallel.runner.SimOutcome` to it *as the outcome
+  arrives* (not at batch end), so after a ``kill -9`` the same call
+  replays the finished jobs bit-exactly from disk and re-runs only the
+  missing ones.  The file is append-only JSONL with a versioned header;
+  every record carries its own SHA-256, so a torn tail (the one way an
+  append-only file can legitimately be damaged) is detected and dropped
+  on reopen instead of poisoning the replay.
+* :class:`Checkpoint` — atomic whole-state snapshots (temp file +
+  ``os.replace``) for coarse-grained search state, used by
+  ``RefinementFlow.run(checkpoint=...)`` to resume phase-by-phase.
+
+Outcome payloads are pickled (then base64-wrapped into the JSON line):
+a :class:`SimOutcome` holds full :class:`~repro.refine.monitors.SignalRecord`
+snapshots whose floats must replay to the last ulp — a lossy textual
+encoding would break the bit-identical-resume contract.
+
+Both classes never import the parallel runner, so
+``repro.parallel`` <-> ``repro.robust`` stays acyclic: the runner takes
+an already-built journal object and only calls ``get``/``append``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import json
+import os
+import pickle
+import tempfile
+
+from repro.core.errors import JournalError
+from repro.obs import counters as obs_counters
+
+__all__ = ["Journal", "Checkpoint", "JOURNAL_FORMAT", "JOURNAL_VERSION"]
+
+JOURNAL_FORMAT = "repro-journal"
+JOURNAL_VERSION = 1
+
+
+def _encode(obj):
+    payload = base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+    sha = hashlib.sha256(payload.encode("ascii")).hexdigest()
+    return payload, sha
+
+
+class Journal:
+    """Fingerprint-keyed write-ahead journal of completed outcomes.
+
+    ``path`` is created (with its parent directory) on first use; an
+    existing journal is loaded and its records become immediately
+    replayable through :meth:`get`.  ``sync=True`` (default) fsyncs
+    after every append — one completed simulation outcome survives even
+    a machine crash; pass ``sync=False`` to trade that for lower
+    latency (a ``kill -9`` still loses nothing, only an OS crash can).
+
+    Only *completed* outcomes (``outcome.error is None``) are journaled:
+    errors may be environment-dependent (a deadline hit on a loaded
+    machine, a crashed worker) and must re-run on resume.
+
+    The journal is design-agnostic — keys are
+    :func:`repro.parallel.runner.fingerprint` digests, which already
+    encode the design factory identity — so one journal file can back
+    any number of sweeps over any number of designs.
+    """
+
+    def __init__(self, path, meta=None, sync=True):
+        self.path = os.fspath(path)
+        self.sync = bool(sync)
+        self.meta = dict(meta or {})
+        self.hits = 0
+        self.misses = 0
+        #: records dropped on load because of a torn/corrupt tail.
+        self.n_dropped = 0
+        self._entries = {}
+        self._fh = None
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._load()
+        self._open_append()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self):
+        if not os.path.exists(self.path):
+            return
+        with io.open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            return
+        header = self._parse_header(lines[0])
+        if header is None:
+            # Torn header: the process died inside the very first write.
+            # Nothing recoverable is in the file — start fresh.
+            self.n_dropped = len(lines)
+            self._note_dropped()
+            os.remove(self.path)
+            return
+        for i, line in enumerate(lines[1:], start=1):
+            rec = self._parse_record(line)
+            if rec is None:
+                # Append-only files can only be damaged at the tail:
+                # drop this record and everything after it.
+                self.n_dropped = len(lines) - i
+                self._note_dropped()
+                self._truncate_to(lines[:i])
+                break
+            key, label, outcome = rec
+            self._entries[key] = outcome
+
+    def _parse_header(self, line):
+        try:
+            h = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(h, dict) or h.get("kind") != "header":
+            raise JournalError("%s is not a %s file (first line is not a "
+                               "journal header)" % (self.path,
+                                                    JOURNAL_FORMAT))
+        if h.get("format") != JOURNAL_FORMAT:
+            raise JournalError("%s has unknown journal format %r"
+                               % (self.path, h.get("format")))
+        if h.get("v") != JOURNAL_VERSION:
+            raise JournalError(
+                "%s is journal version %r; this build reads version %d"
+                % (self.path, h.get("v"), JOURNAL_VERSION))
+        self.meta = dict(h.get("meta") or {})
+        return h
+
+    def _parse_record(self, line):
+        try:
+            rec = json.loads(line)
+            if rec.get("kind") != "outcome":
+                return None
+            payload = rec["payload"]
+            sha = hashlib.sha256(payload.encode("ascii")).hexdigest()
+            if sha != rec["sha"]:
+                return None
+            outcome = pickle.loads(base64.b64decode(payload))
+        except Exception:
+            return None
+        return rec["key"], rec.get("label"), outcome
+
+    def _truncate_to(self, good_lines):
+        """Rewrite the file without the torn tail (atomic)."""
+        text = "\n".join(good_lines) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(
+            os.path.abspath(self.path)), prefix=".journal-", suffix=".tmp")
+        try:
+            with io.open(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _note_dropped(self):
+        if self.n_dropped:
+            obs_counters.inc("journal.dropped_records", self.n_dropped)
+
+    # -- appending ---------------------------------------------------------
+
+    def _open_append(self):
+        fresh = not os.path.exists(self.path)
+        self._fh = io.open(self.path, "a", encoding="utf-8")
+        if fresh:
+            header = {"v": JOURNAL_VERSION, "format": JOURNAL_FORMAT,
+                      "kind": "header", "meta": self.meta}
+            self._write_line(json.dumps(header, sort_keys=True))
+
+    def _write_line(self, line):
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    def append(self, key, outcome):
+        """Journal one completed outcome (no-op for failed outcomes)."""
+        if getattr(outcome, "error", None) is not None:
+            return False
+        if self._fh is None:
+            raise JournalError("journal %s is closed" % self.path)
+        payload, sha = _encode(outcome)
+        rec = {"kind": "outcome", "key": key,
+               "label": getattr(outcome, "label", None),
+               "sha": sha, "payload": payload}
+        self._write_line(json.dumps(rec, sort_keys=True))
+        self._entries[key] = outcome
+        obs_counters.inc("journal.appends")
+        return True
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key):
+        outcome = self._entries.get(key)
+        if outcome is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return outcome
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self):
+        return "Journal(%r, %d entrie(s), %d dropped)" % (
+            self.path, len(self._entries), self.n_dropped)
+
+
+class Checkpoint:
+    """Atomic whole-state snapshot (pickle via temp file + rename).
+
+    Unlike the append-only :class:`Journal`, a checkpoint is replaced
+    wholesale on every :meth:`save`; ``os.replace`` makes the swap
+    atomic, so a reader only ever sees the previous complete state or
+    the new complete state — never a torn one.  :meth:`load` returns
+    ``None`` when no (readable) checkpoint exists; an unreadable file is
+    remembered in :attr:`corrupt` so callers can surface a diagnostic
+    instead of silently restarting.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.corrupt = False
+
+    def save(self, state):
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=parent, prefix=".ckpt-",
+                                   suffix=".tmp")
+        try:
+            with io.open(fd, "wb") as fh:
+                pickle.dump(state, fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        obs_counters.inc("checkpoint.saves")
+
+    def load(self):
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with io.open(self.path, "rb") as fh:
+                state = pickle.load(fh)
+        except Exception:
+            self.corrupt = True
+            return None
+        obs_counters.inc("checkpoint.loads")
+        return state
+
+    def remove(self):
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __repr__(self):
+        return "Checkpoint(%r)" % self.path

@@ -20,6 +20,7 @@ run's :class:`~repro.robust.diagnostics.Diagnostics`.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, replace
 
@@ -27,8 +28,45 @@ from repro.core import word
 from repro.core.dtype import DType
 from repro.core.errors import WatchdogTimeout
 
-__all__ = ["EscalationPolicy", "escalate_msb", "escalate_lsb",
-           "conservative_fallback", "run_graceful"]
+__all__ = ["BackoffPolicy", "EscalationPolicy", "escalate_msb",
+           "escalate_lsb", "conservative_fallback", "run_graceful"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Used by the parallel runner between retries of a job whose worker
+    died: ``delay(attempt)`` grows as ``base * factor**(attempt-1)``,
+    capped at ``cap``, plus up to ``jitter`` fractional spread derived
+    from a hash of ``(token, attempt)`` — deterministic (no global RNG
+    state touched, reproducible across runs) yet decorrelated between
+    jobs, so a herd of retried jobs does not slam the pool in lockstep.
+
+    >>> p = BackoffPolicy(base=0.1, factor=2.0, cap=1.0, jitter=0.0)
+    >>> p.delay(1), p.delay(2), p.delay(5)
+    (0.1, 0.2, 1.0)
+    """
+
+    #: delay of the first retry, in seconds.
+    base: float = 0.1
+    #: multiplicative growth per further attempt.
+    factor: float = 2.0
+    #: upper bound on any single delay, in seconds.
+    cap: float = 2.0
+    #: fraction of the delay added as deterministic jitter (0..1).
+    jitter: float = 0.25
+
+    def delay(self, attempt, token=""):
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        d = min(self.base * self.factor ** (attempt - 1), self.cap)
+        if self.jitter:
+            h = hashlib.sha256(("%s|%d" % (token, attempt)).encode())
+            frac = int.from_bytes(h.digest()[:4], "big") / 2.0 ** 32
+            d = min(d * (1.0 + self.jitter * frac), self.cap)
+        return d
 
 
 @dataclass(frozen=True)

@@ -186,6 +186,36 @@ def check_fault_campaign():
     assert out.certified(60.0, kinds=("bit-flip",))
 
 
+def check_deadline():
+    from repro.parallel.runner import SimConfig, run_simulations
+    from repro.robust.faults import WorkerHang
+    cfg = SimConfig(label="hang", dtypes={"x": T_IN}, n_samples=200,
+                    seed=3, faults=(WorkerHang("y", at=20, seconds=30.0),),
+                    catch_errors=True, deadline_seconds=0.5)
+    out = run_simulations(ScaleToy, [cfg], workers=1)[0]
+    assert out.error_kind == "deadline", out
+    assert "deadline" in (out.error or "")
+
+
+def check_journal_roundtrip():
+    import os
+    import tempfile
+
+    from repro.parallel.runner import SimConfig, run_simulations
+    from repro.robust.recovery import Journal
+
+    factory = ScaleToy
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-selfcheck-"),
+                        "journal.jsonl")
+    cfg = SimConfig(label="j", dtypes={"x": T_IN}, n_samples=200, seed=4)
+    first = run_simulations(factory, [cfg], workers=1, journal=path)[0]
+    again = run_simulations(factory, [cfg], workers=1, journal=path)[0]
+    assert again.sqnr_db() == first.sqnr_db(), "journal replay not bit-exact"
+    j = Journal(path)
+    assert len(j) == 1 and j.n_dropped == 0
+    j.close()
+
+
 CHECKS = [
     check_guard_raise,
     check_guard_record,
@@ -197,6 +227,8 @@ CHECKS = [
     check_graceful_fallback,
     check_graceful_escalation_resolves,
     check_fault_campaign,
+    check_deadline,
+    check_journal_roundtrip,
 ]
 
 

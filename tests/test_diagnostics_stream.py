@@ -84,6 +84,10 @@ class TestStableCodes:
             "fallback": "DG103",
             "baseline": "DG104",
             "verification": "DG105",
+            "deadline": "DG201",
+            "quarantine": "DG202",
+            "journal": "DG203",
+            "retry": "DG204",
         }
 
     @pytest.mark.parametrize("category,code", sorted(CATEGORY_CODES.items()))
