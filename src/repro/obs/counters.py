@@ -38,8 +38,16 @@ Well-known names (all under ``parallel.`` / ``journal.`` /
     jobs run in-process because they could not cross the pipe.
 ``journal.appends`` / ``journal.replays`` / ``journal.dropped_records``
     write-ahead journal activity (see :mod:`repro.robust.recovery`).
+``journal.io_errors`` / ``journal.compactions``
+    appends degraded to in-memory after an OSError / atomic
+    journal-compaction rewrites.
+``cache.corrupt``
+    :class:`~repro.parallel.runner.SimCache` entries evicted on
+    checksum mismatch (recomputed instead of unpickling garbage).
 ``checkpoint.saves`` / ``checkpoint.loads`` / ``flow.stage_replays``
     checkpointed refinement-flow state.
+``chaos.injected`` / ``chaos.scenarios_run`` / ``chaos.invariant_failures``
+    deterministic fault injection (see :mod:`repro.robust.chaos`).
 """
 
 from __future__ import annotations

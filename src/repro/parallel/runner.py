@@ -59,6 +59,12 @@ retry).
 
 Environment knobs: ``REPRO_WORKERS`` overrides the auto worker count,
 ``REPRO_PARALLEL=0`` forces the serial path.
+
+The per-job boundaries (job dispatch, pool harvest, cache store/lookup)
+consult :data:`repro.chaoshooks.ACTIVE` — a single attribute load plus
+``is None`` check when disarmed — so :mod:`repro.robust.chaos` can
+deterministically rewrite jobs, break pools mid-drain or corrupt cache
+entries.  The per-sample hot path has no hook sites.
 """
 
 from __future__ import annotations
@@ -75,6 +81,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
+from repro import chaoshooks
 from repro.core.errors import (DeadlineExceeded, ReproError,
                                WorkerCrashError)
 from repro.obs import counters as obs_counters
@@ -427,36 +434,84 @@ class SimCache:
     least-recently-*used* entry is evicted (a hit refreshes its
     recency), so a long-running optimizer keeps its working set even
     when the total probe count far exceeds the capacity.
+
+    Entries are stored as ``(pickled payload, sha256)`` pairs and the
+    checksum is verified on every hit: a corrupted payload (bit rot, a
+    buggy sharer of the process, the chaos injector) is detected,
+    evicted and counted (:attr:`n_corrupt`, ``cache.corrupt`` counter)
+    — the lookup becomes a miss and the job recomputes instead of the
+    caller unpickling garbage.  An outcome that cannot be pickled is
+    silently not cached (the batch still returns it normally).  The
+    cost is one pickle round-trip per *job-level* hit, far below the
+    simulation it saves.
     """
 
     def __init__(self, max_entries=4096):
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
+        #: entries evicted because their checksum no longer matched.
+        self.n_corrupt = 0
         self._store = OrderedDict()
 
+    def _drop_corrupt(self, key):
+        del self._store[key]
+        self.n_corrupt += 1
+        self.misses += 1
+        obs_counters.inc("cache.corrupt")
+
     def get(self, key):
-        outcome = self._store.get(key)
-        if outcome is None:
+        entry = self._store.get(key)
+        if entry is not None:
+            hook = chaoshooks.ACTIVE
+            if hook is not None and hook.on_cache_lookup(key):
+                # Simulated concurrent eviction: the entry vanishes
+                # between the presence check and the read.
+                del self._store[key]
+                entry = None
+        if entry is None:
             self.misses += 1
-        else:
-            self.hits += 1
-            self._store.move_to_end(key)
+            return None
+        payload, sha = entry
+        if hashlib.sha256(payload).hexdigest() != sha:
+            self._drop_corrupt(key)
+            return None
+        try:
+            outcome = pickle.loads(payload)
+        except Exception:
+            # A payload that checksums but does not unpickle means the
+            # entry was stored corrupt; treat it the same way.
+            self._drop_corrupt(key)
+            return None
+        self.hits += 1
+        self._store.move_to_end(key)
         return outcome
 
     def put(self, key, outcome):
         if outcome.error is not None:
             return
+        try:
+            payload = pickle.dumps(outcome,
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        # Checksum the clean payload *before* the chaos hook may damage
+        # it — otherwise injected corruption would be undetectable.
+        sha = hashlib.sha256(payload).hexdigest()
+        hook = chaoshooks.ACTIVE
+        if hook is not None:
+            payload = hook.on_cache_store(key, payload)
         if key in self._store:
             self._store.move_to_end(key)
         elif len(self._store) >= self.max_entries:
             self._store.popitem(last=False)   # least recently used
-        self._store[key] = outcome
+        self._store[key] = (payload, sha)
 
     def clear(self):
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.n_corrupt = 0
 
     def __len__(self):
         return len(self._store)
@@ -585,6 +640,7 @@ class _BatchExecutor:
                 leftovers.extend(job for job in pending
                                  if id(job) not in submitted)
             not_done = set(futures)
+            n_delivered = 0
             while not_done:
                 done, not_done = wait(not_done,
                                       return_when=FIRST_COMPLETED)
@@ -601,6 +657,10 @@ class _BatchExecutor:
                         self.fatal.append((idx, exc))
                     else:
                         self.on_complete(idx, key, cfg, outcome)
+                        n_delivered += 1
+                        hook = chaoshooks.ACTIVE
+                        if hook is not None:
+                            hook.on_pool_drain(pool, n_delivered)
         finally:
             pool.shutdown(wait=True)
         leftovers.sort(key=lambda job: job[0])
@@ -779,6 +839,7 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
         journal = Journal(journal)
 
     need_key = cache is not None or journal is not None
+    n_corrupt0 = getattr(cache, "n_corrupt", 0)
     pending = []
     n_cached = 0
     n_replayed = 0
@@ -804,6 +865,14 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                 continue
         pending.append((idx, key, cfg))
 
+    hook = chaoshooks.ACTIVE
+    if hook is not None:
+        # Fault injection rewrites jobs *after* fingerprinting, so the
+        # cache/journal keys of a chaos run match the fault-free run —
+        # recovery must land on the same entries.
+        pending = [(idx, key, hook.on_job(pos, cfg))
+                   for pos, (idx, key, cfg) in enumerate(pending)]
+
     with obs_trace.span("parallel.batch", jobs=len(configs),
                         cached=n_cached,
                         replayed=n_replayed) as batch_span:
@@ -819,6 +888,15 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                     % (n_replayed, getattr(journal, "path", "<memory>"),
                        len(pending)),
                     replayed=n_replayed, pending=len(pending))
+        n_corrupt = getattr(cache, "n_corrupt", 0) - n_corrupt0
+        if n_corrupt:
+            batch_span.event("cache.corrupt", count=n_corrupt)
+            if diagnostics is not None:
+                diagnostics.add(
+                    "cache-corrupt", "warning", None,
+                    "%d cached outcome(s) failed checksum verification; "
+                    "evicted and recomputed" % n_corrupt,
+                    count=n_corrupt)
         if not pending:
             batch_span.set(mode="replayed" if n_replayed else "cached",
                            executed=0)
@@ -845,6 +923,21 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                 cache.put(key, outcome)
             if journal is not None and key is not None:
                 journal.append(key, outcome)
+                if (getattr(journal, "degraded", False)
+                        and not getattr(journal, "_degrade_noted", True)):
+                    # One warning for the whole fan-out, not one per job.
+                    journal._degrade_noted = True
+                    batch_span.event("journal.degraded",
+                                     path=journal.path,
+                                     error=str(journal.io_error))
+                    if diagnostics is not None:
+                        diagnostics.add(
+                            "journal-degraded", "warning", None,
+                            "journal %s hit an I/O error (%s); continuing "
+                            "in-memory — completed outcomes replay within "
+                            "this process but will not survive it"
+                            % (journal.path, journal.io_error),
+                            path=journal.path, error=str(journal.io_error))
 
         _WORKER_STATE["factory"] = design_factory
         _WORKER_STATE["seeded_factory"] = seeded_factory
@@ -902,6 +995,17 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                 outcome = results[idx]
                 if outcome is not None and outcome.obs_events:
                     rec.extend(outcome.obs_events)
+
+        if journal is not None:
+            dropped = getattr(journal, "maybe_compact", lambda: 0)()
+            if dropped:
+                batch_span.event("journal.compact", dropped=dropped)
+                if diagnostics is not None:
+                    diagnostics.add(
+                        "journal-compact", "info", None,
+                        "journal %s compacted: %d superseded record(s) "
+                        "dropped" % (journal.path, dropped),
+                        dropped=dropped)
 
         if fatal:
             # The rest of the batch is complete (and journaled); now

@@ -16,7 +16,14 @@ stimuli misbehave:
 * :mod:`repro.robust.recovery` — write-ahead outcome :class:`Journal`
   and atomic :class:`Checkpoint` behind resumable batches
   (``run_simulations(journal=...)``, ``optimize_wordlengths(journal=...)``,
-  ``RefinementFlow.run(checkpoint=...)``).
+  ``RefinementFlow.run(checkpoint=...)``);
+* :mod:`repro.robust.invariants` + :mod:`repro.robust.chaos` — the
+  proof layer: canonical bit-exact digests, the five recovery
+  invariants (durability, exactness, attribution, monotonicity,
+  termination), and a deterministic infrastructure-fault injector that
+  checks them over a ``{fault site} x {entry point}`` matrix.  Chaos is
+  not imported here (it pulls in the whole refine stack); reach it via
+  ``python -m repro.robust.chaos``.
 
 Run ``python -m repro.robust.selfcheck`` for an end-to-end smoke test.
 """
@@ -30,6 +37,8 @@ from repro.robust.faults import (BitFlip, CampaignResult, ChannelDrop, Fault,
                                  WorkerHang, standard_faults)
 from repro.robust.guards import (GuardEvent, GuardPolicy, Watchdog,
                                  guard_summary)
+from repro.robust.invariants import (InvariantCheck, canonical, digest,
+                                     journal_digests, outcome_digest)
 from repro.robust.recovery import Checkpoint, Journal
 from repro.robust.retry import (BackoffPolicy, EscalationPolicy,
                                 conservative_fallback, escalate_lsb,
@@ -43,6 +52,8 @@ __all__ = [
     "FaultOutcome", "CampaignResult", "FaultCampaign",
     "standard_faults",
     "Journal", "Checkpoint",
+    "InvariantCheck", "canonical", "digest", "outcome_digest",
+    "journal_digests",
     "BackoffPolicy", "EscalationPolicy", "escalate_msb", "escalate_lsb",
     "conservative_fallback", "run_graceful",
 ]

@@ -37,6 +37,11 @@ CATEGORY_CODES = {
     "quarantine": "DG202",
     "journal": "DG203",
     "retry": "DG204",
+    # Degraded-mode durability + chaos injection (repro.robust.chaos).
+    "journal-degraded": "DG205",
+    "cache-corrupt": "DG206",
+    "chaos": "DG207",
+    "journal-compact": "DG208",
 }
 
 

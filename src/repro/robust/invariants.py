@@ -1,0 +1,253 @@
+"""Machine-checked recovery invariants of the durability layer.
+
+The chaos harness (:mod:`repro.robust.chaos`) does not eyeball logs; it
+reduces every run — faulted or clean — to canonical digests and checks
+five explicit invariants against them:
+
+========================  ====================================================
+durability                every outcome whose journal append completed
+                          survives recovery bit-identically (a journal replay
+                          is never an approximation of the original run)
+exactness                 the results a caller finally observes after fault +
+                          recovery are bit-identical to a fault-free run
+attribution               when a job is quarantined, the quarantined culprit
+                          is the actual injected victim — never a healthy
+                          bystander
+monotonicity              retries and re-runs only ever *add* completed
+                          results; nothing previously durable is lost or
+                          silently rewritten
+termination               recovery completes within an explicit wall-clock
+                          budget (bounded backoff really bounds time)
+========================  ====================================================
+
+"Bit-identical" is made precise by :func:`canonical`: every float in an
+outcome is rendered through :meth:`float.hex` (so ``0.1 + 0.2`` and
+``0.30000000000000004`` cannot alias through decimal rounding), the
+structure is walked through dataclasses, namedtuples, ``__slots__``
+classes, dicts and sequences, and the result is hashed with SHA-256.
+Two outcomes digest equal iff a serial replay could not tell them
+apart.
+
+This module is deliberately light (stdlib only, no imports from the
+runner) so test code and the CLI can use it without dragging in the
+simulation stack.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import numbers
+
+__all__ = ["canonical", "digest", "outcome_digest", "batch_digest",
+           "journal_digests", "InvariantCheck", "check_durability",
+           "check_exactness", "check_attribution", "check_monotonicity",
+           "check_termination"]
+
+
+def canonical(obj):
+    """JSON-able canonical form of ``obj`` with bit-exact floats.
+
+    >>> canonical(0.5)
+    '0x1.0000000000000p-1'
+    >>> canonical({"b": 1, "a": (2.0,)})
+    ['dict', [['a', ['tuple', '0x1.0000000000000p+1']], ['b', 1]]]
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, numbers.Integral):      # int and numpy ints
+        return int(obj)
+    if isinstance(obj, numbers.Real):          # float and numpy floats
+        return float(obj).hex()
+    if isinstance(obj, bytes):
+        return ["bytes", base64.b64encode(obj).decode("ascii")]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [type(obj).__name__] + [
+            [f.name, canonical(getattr(obj, f.name))]
+            for f in dataclasses.fields(obj)]
+    if isinstance(obj, tuple) and hasattr(obj, "_fields"):  # namedtuple
+        return [type(obj).__name__] + [
+            [name, canonical(value)]
+            for name, value in zip(obj._fields, obj)]
+    if isinstance(obj, dict):
+        return ["dict", sorted(([canonical(k), canonical(v)]
+                                for k, v in obj.items()), key=repr)]
+    if isinstance(obj, (list, tuple)):
+        return [type(obj).__name__] + [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted((canonical(v) for v in obj), key=repr)]
+    if hasattr(obj, "tolist") and hasattr(obj, "dtype"):    # numpy array
+        return ["ndarray", canonical(obj.tolist())]
+    slots = _all_slots(type(obj))
+    if slots is not None:
+        # Private slots are skipped: they hold lazily-built caches
+        # (e.g. DType._kernel) whose reprs embed memory addresses.
+        return [type(obj).__name__] + [
+            [name, canonical(getattr(obj, name, None))]
+            for name in slots if not name.startswith("_")]
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        return [type(obj).__name__] + sorted(
+            ([k, canonical(v)] for k, v in d.items()
+             if not k.startswith("_")), key=repr)
+    return ["repr", repr(obj)]
+
+
+def _all_slots(klass):
+    """All ``__slots__`` names across the MRO, or None if slot-less."""
+    found = None
+    for base in klass.__mro__:
+        slots = base.__dict__.get("__slots__")
+        if slots is None:
+            continue
+        if isinstance(slots, str):
+            slots = (slots,)
+        found = (found or []) + list(slots)
+    return found
+
+
+def digest(obj):
+    """SHA-256 hex digest of :func:`canonical` (order-stable)."""
+    blob = json.dumps(canonical(obj), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def outcome_digest(outcome):
+    """Digest of one :class:`~repro.parallel.runner.SimOutcome`.
+
+    ``label`` and ``obs_events`` are excluded: a replayed outcome is
+    relabeled to the asking config's name, and trace events carry
+    timestamps/pids — neither is part of the numerical contract.
+    """
+    skip = {"label", "obs_events"}
+    return digest([[f.name, canonical(getattr(outcome, f.name))]
+                   for f in dataclasses.fields(outcome)
+                   if f.name not in skip])
+
+
+def batch_digest(outcomes):
+    """One digest over an ordered batch of outcomes."""
+    return digest([outcome_digest(o) if o is not None else None
+                   for o in outcomes])
+
+
+def journal_digests(path):
+    """``{key: outcome_digest}`` of every record a reopened journal replays.
+
+    Reopening runs the journal's own recovery (torn-tail detection and
+    repair) — exactly what a restarted process would see.
+    """
+    from repro.robust.recovery import Journal
+
+    j = Journal(path)
+    try:
+        return {key: outcome_digest(o) for key, o in j.entries().items()}
+    finally:
+        j.close()
+
+
+# -- the five invariants -----------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class InvariantCheck:
+    """Outcome of one invariant over one scenario."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __str__(self):
+        return "%-12s %s%s" % (self.name, "ok" if self.ok else "VIOLATED",
+                               "" if self.ok else " — " + self.detail)
+
+
+def check_durability(surviving, reference):
+    """Surviving journal records are a bit-identical subset of reference.
+
+    ``surviving`` / ``reference`` are ``{key: digest}`` maps — what a
+    reopened journal replays after the fault vs. what the fault-free
+    run journaled.  The journal's contract is *prefix* durability: a
+    torn tail may drop records, but whatever survives must be exactly
+    what was originally appended, never a mutation of it.
+    """
+    bad = sorted(k for k, dg in surviving.items()
+                 if reference.get(k) != dg)
+    if bad:
+        return InvariantCheck(
+            "durability", False,
+            "%d surviving record(s) differ from the fault-free run "
+            "(first key: %s...)" % (len(bad), bad[0][:12]))
+    return InvariantCheck("durability", True,
+                          "%d surviving record(s) all bit-identical"
+                          % len(surviving))
+
+
+def check_exactness(final_digest, reference_digest):
+    """Post-recovery results are bit-identical to the fault-free run."""
+    if final_digest != reference_digest:
+        return InvariantCheck(
+            "exactness", False,
+            "recovered batch digest %s... != fault-free %s..."
+            % (final_digest[:12], reference_digest[:12]))
+    return InvariantCheck("exactness", True, "recovered == fault-free")
+
+
+def check_attribution(victim, attributed):
+    """The blamed job is the injected victim, and no bystander is blamed.
+
+    ``victim`` is the label the scenario injected against (None when
+    the fault targets infrastructure, not a job — then nothing may be
+    blamed at all... except that a pool break can legitimately blame no
+    one, so only *wrong* blame fails).  ``attributed`` is the set of
+    labels the system quarantined / error-attributed.
+    """
+    attributed = set(attributed)
+    bystanders = attributed - ({victim} if victim is not None else set())
+    if bystanders:
+        return InvariantCheck(
+            "attribution", False,
+            "healthy job(s) blamed: %s (victim: %r)"
+            % (sorted(bystanders), victim))
+    if victim is not None and not attributed:
+        return InvariantCheck(
+            "attribution", False,
+            "injected victim %r was never attributed" % victim)
+    return InvariantCheck("attribution", True,
+                          "blame == {%s}" % (victim or ""))
+
+
+def check_monotonicity(before, after):
+    """Completed results only ever accumulate across recovery attempts.
+
+    ``before`` / ``after`` are ``{key: digest}`` maps taken around a
+    retry or a re-run.  Every key durable before must still be there
+    after, with the same digest.
+    """
+    lost = sorted(k for k in before if k not in after)
+    if lost:
+        return InvariantCheck(
+            "monotonicity", False,
+            "%d completed record(s) lost across recovery (first key: "
+            "%s...)" % (len(lost), lost[0][:12]))
+    changed = sorted(k for k, dg in before.items() if after.get(k) != dg)
+    if changed:
+        return InvariantCheck(
+            "monotonicity", False,
+            "%d completed record(s) rewritten across recovery (first "
+            "key: %s...)" % (len(changed), changed[0][:12]))
+    return InvariantCheck("monotonicity", True,
+                          "%d -> %d records, none lost"
+                          % (len(before), len(after)))
+
+
+def check_termination(elapsed, budget):
+    """Fault + recovery completed inside the scenario's time budget."""
+    if elapsed > budget:
+        return InvariantCheck(
+            "termination", False,
+            "took %.2fs, budget %.2fs" % (elapsed, budget))
+    return InvariantCheck("termination", True,
+                          "%.2fs <= %.2fs" % (elapsed, budget))

@@ -17,6 +17,25 @@ primitives make every batch layer resumable:
   ``os.replace``) for coarse-grained search state, used by
   ``RefinementFlow.run(checkpoint=...)`` to resume phase-by-phase.
 
+Two robustness behaviors are part of the journal's contract (and are
+exercised by the chaos matrix, :mod:`repro.robust.chaos`):
+
+* **Graceful ENOSPC** — an :class:`OSError` while appending (disk full,
+  permission lost, file system gone read-only) *degrades* the journal
+  to in-memory-only operation instead of aborting the fan-out: the
+  batch finishes, results stay replayable within the process, and the
+  runner emits a single ``DG205`` warning.  Pass
+  ``on_io_error="raise"`` to get the old fail-fast behavior.
+* **Compaction** — long campaigns re-append the same fingerprints
+  (reruns, retries after quarantine); :meth:`Journal.compact` atomically
+  rewrites the file keeping only the latest record per key, and
+  :meth:`Journal.maybe_compact` does so opportunistically once the file
+  passes ``compact_threshold`` bytes *and* holds superseded records.
+
+Every I/O boundary consults :data:`repro.chaoshooks.ACTIVE` (one
+attribute load + ``is None`` test when disarmed) so the chaos injector
+can tear a write, fail an fsync or crash mid-rename deterministically.
+
 Outcome payloads are pickled (then base64-wrapped into the JSON line):
 a :class:`SimOutcome` holds full :class:`~repro.refine.monitors.SignalRecord`
 snapshots whose floats must replay to the last ulp — a lossy textual
@@ -37,6 +56,7 @@ import os
 import pickle
 import tempfile
 
+from repro import chaoshooks
 from repro.core.errors import JournalError
 from repro.obs import counters as obs_counters
 
@@ -71,22 +91,43 @@ class Journal:
     :func:`repro.parallel.runner.fingerprint` digests, which already
     encode the design factory identity — so one journal file can back
     any number of sweeps over any number of designs.
+
+    ``on_io_error`` selects what an :class:`OSError` during an append
+    does: ``"degrade"`` (default) switches to in-memory-only operation
+    (:attr:`degraded` set, original error kept in :attr:`io_error`),
+    ``"raise"`` wraps it in a :class:`JournalError`.  A non-``None``
+    ``compact_threshold`` (bytes) arms :meth:`maybe_compact`, which the
+    runner calls at the end of every batch.
     """
 
-    def __init__(self, path, meta=None, sync=True):
+    def __init__(self, path, meta=None, sync=True, on_io_error="degrade",
+                 compact_threshold=None):
+        if on_io_error not in ("degrade", "raise"):
+            raise ValueError("on_io_error must be 'degrade' or 'raise', "
+                             "got %r" % (on_io_error,))
         self.path = os.fspath(path)
         self.sync = bool(sync)
         self.meta = dict(meta or {})
+        self.on_io_error = on_io_error
+        self.compact_threshold = compact_threshold
         self.hits = 0
         self.misses = 0
         #: records dropped on load because of a torn/corrupt tail.
         self.n_dropped = 0
+        #: True once an append-time OSError demoted this journal to
+        #: in-memory-only operation (see ``on_io_error``).
+        self.degraded = False
+        #: the OSError that caused the degrade, for diagnostics.
+        self.io_error = None
+        self._degrade_noted = False   # runner emitted DG205 already
         self._entries = {}
+        self._n_records = 0           # record lines on disk (incl. stale)
         self._fh = None
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         self._load()
         self._open_append()
+        self._last_compact_size = self.size_bytes()
 
     # -- loading -----------------------------------------------------------
 
@@ -118,6 +159,7 @@ class Journal:
                 break
             key, label, outcome = rec
             self._entries[key] = outcome
+            self._n_records += 1
 
     def _parse_header(self, line):
         try:
@@ -162,6 +204,9 @@ class Journal:
                 fh.write(text)
                 fh.flush()
                 os.fsync(fh.fileno())
+            hook = chaoshooks.ACTIVE
+            if hook is not None:
+                hook.on_journal_replace(self)
             os.replace(tmp, self.path)
         except BaseException:
             try:
@@ -177,33 +222,139 @@ class Journal:
     # -- appending ---------------------------------------------------------
 
     def _open_append(self):
-        fresh = not os.path.exists(self.path)
-        self._fh = io.open(self.path, "a", encoding="utf-8")
-        if fresh:
-            header = {"v": JOURNAL_VERSION, "format": JOURNAL_FORMAT,
-                      "kind": "header", "meta": self.meta}
-            self._write_line(json.dumps(header, sort_keys=True))
+        # A 0-byte file counts as fresh: a crash (or ENOSPC) between
+        # file creation and the header write must not leave a journal
+        # that appends records under no header.
+        fresh = not os.path.exists(self.path) \
+            or os.path.getsize(self.path) == 0
+        try:
+            self._fh = io.open(self.path, "a", encoding="utf-8")
+            if fresh:
+                header = {"v": JOURNAL_VERSION, "format": JOURNAL_FORMAT,
+                          "kind": "header", "meta": self.meta}
+                self._write_line(json.dumps(header, sort_keys=True))
+        except OSError as exc:
+            self._degrade(exc)
 
     def _write_line(self, line):
-        self._fh.write(line + "\n")
+        data = line + "\n"
+        hook = chaoshooks.ACTIVE
+        if hook is not None:
+            data = hook.on_journal_write(self, data)
+        self._fh.write(data)
         self._fh.flush()
         if self.sync:
+            if hook is not None:
+                hook.on_journal_fsync(self)
             os.fsync(self._fh.fileno())
 
+    def _degrade(self, exc):
+        """Demote to in-memory-only after an append-time OSError."""
+        obs_counters.inc("journal.io_errors")
+        self.degraded = True
+        self.io_error = exc
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        if self.on_io_error == "raise":
+            raise JournalError("journal %s: write failed (%s); pass "
+                               "on_io_error='degrade' to continue "
+                               "in-memory" % (self.path, exc)) from exc
+
     def append(self, key, outcome):
-        """Journal one completed outcome (no-op for failed outcomes)."""
+        """Journal one completed outcome (no-op for failed outcomes).
+
+        Returns True when the outcome is replayable through :meth:`get`
+        afterwards — including on the degraded in-memory path; only the
+        ``journal.appends`` counter distinguishes a durable append.
+        """
         if getattr(outcome, "error", None) is not None:
             return False
+        if self.degraded:
+            self._entries[key] = outcome
+            return True
         if self._fh is None:
             raise JournalError("journal %s is closed" % self.path)
         payload, sha = _encode(outcome)
         rec = {"kind": "outcome", "key": key,
                "label": getattr(outcome, "label", None),
                "sha": sha, "payload": payload}
-        self._write_line(json.dumps(rec, sort_keys=True))
+        try:
+            self._write_line(json.dumps(rec, sort_keys=True))
+        except OSError as exc:
+            self._degrade(exc)
+            self._entries[key] = outcome
+            return True
         self._entries[key] = outcome
+        self._n_records += 1
         obs_counters.inc("journal.appends")
         return True
+
+    # -- compaction --------------------------------------------------------
+
+    def size_bytes(self):
+        """Current on-disk size (0 when the file does not exist)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def compact(self):
+        """Atomically rewrite the file keeping the latest record per key.
+
+        Long campaigns re-append fingerprints (quarantine retries,
+        overlapping sweeps); compaction drops the superseded lines via
+        the same temp-file + ``os.replace`` dance as torn-tail repair,
+        then reopens the append handle on the new file.  Returns the
+        number of stale records dropped.  A degraded or closed journal
+        compacts to nothing (returns 0).
+        """
+        if self.degraded or self._fh is None:
+            return 0
+        stale = self._n_records - len(self._entries)
+        lines = [json.dumps({"v": JOURNAL_VERSION, "format": JOURNAL_FORMAT,
+                             "kind": "header", "meta": self.meta},
+                            sort_keys=True)]
+        for key, outcome in self._entries.items():
+            payload, sha = _encode(outcome)
+            lines.append(json.dumps(
+                {"kind": "outcome", "key": key,
+                 "label": getattr(outcome, "label", None),
+                 "sha": sha, "payload": payload}, sort_keys=True))
+        self._fh.close()
+        self._fh = None
+        try:
+            self._truncate_to(lines)
+        finally:
+            # Reopen even if the rewrite died: the old (intact) file is
+            # still in place and further appends must keep working.
+            if not self.degraded:
+                self._fh = io.open(self.path, "a", encoding="utf-8")
+        self._n_records = len(self._entries)
+        self._last_compact_size = self.size_bytes()
+        obs_counters.inc("journal.compactions")
+        return max(stale, 0)
+
+    def maybe_compact(self):
+        """Compact when past ``compact_threshold`` and worth doing.
+
+        "Worth doing" means the file holds superseded records, or it
+        doubled since the last compaction check (so a pathological file
+        is not re-scanned on every batch).  Returns records dropped.
+        """
+        if (self.compact_threshold is None or self.degraded
+                or self._fh is None):
+            return 0
+        size = self.size_bytes()
+        if size <= self.compact_threshold:
+            return 0
+        if (self._n_records <= len(self._entries)
+                and size < 2 * self._last_compact_size):
+            return 0
+        return self.compact()
 
     # -- lookup ------------------------------------------------------------
 
@@ -214,6 +365,10 @@ class Journal:
         else:
             self.hits += 1
         return outcome
+
+    def entries(self):
+        """Snapshot of all replayable outcomes, ``{key: outcome}``."""
+        return dict(self._entries)
 
     def __contains__(self, key):
         return key in self._entries
@@ -273,6 +428,9 @@ class Checkpoint:
                             protocol=pickle.HIGHEST_PROTOCOL)
                 fh.flush()
                 os.fsync(fh.fileno())
+            hook = chaoshooks.ACTIVE
+            if hook is not None:
+                hook.on_checkpoint_save(self)
             os.replace(tmp, self.path)
         except BaseException:
             try:
@@ -281,6 +439,9 @@ class Checkpoint:
                 pass
             raise
         obs_counters.inc("checkpoint.saves")
+        hook = chaoshooks.ACTIVE
+        if hook is not None:
+            hook.on_checkpoint_saved(self)
 
     def load(self):
         if not os.path.exists(self.path):

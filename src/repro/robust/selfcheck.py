@@ -216,6 +216,36 @@ def check_journal_roundtrip():
     j.close()
 
 
+def check_journal_degrade_and_compact():
+    import os
+    import tempfile
+
+    from repro.parallel.runner import SimConfig, run_simulations
+    from repro.robust.recovery import Journal
+
+    path = os.path.join(tempfile.mkdtemp(prefix="repro-selfcheck-"),
+                        "journal.jsonl")
+    cfg = SimConfig(label="c", dtypes={"x": T_IN}, n_samples=200, seed=6)
+    out = run_simulations(ScaleToy, [cfg], workers=1, journal=path)[0]
+    j = Journal(path, compact_threshold=1)
+    key = next(iter(j.entries()))
+    j.append(key, out)               # superseding duplicate
+    assert j.maybe_compact() == 1, "compaction did not drop the dup"
+    os.close(j._fh.fileno())         # provoke an append-time OSError
+    assert j.append(key + "-x", out), "degrade path lost the outcome"
+    assert j.degraded and j.get(key + "-x") is not None
+    j.close()
+    assert len(Journal(path)) == 1, "compacted journal must reload"
+
+
+def check_chaos_scenario():
+    from repro.robust.chaos import run_scenario, scenario_from_sid
+    report = run_scenario(
+        scenario_from_sid("run_simulations:journal.torn_write:2:1"))
+    assert report.injections, "chaos fault never fired"
+    assert report.ok, "\n" + report.describe()
+
+
 CHECKS = [
     check_guard_raise,
     check_guard_record,
@@ -229,6 +259,8 @@ CHECKS = [
     check_fault_campaign,
     check_deadline,
     check_journal_roundtrip,
+    check_journal_degrade_and_compact,
+    check_chaos_scenario,
 ]
 
 

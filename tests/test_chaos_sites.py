@@ -1,0 +1,244 @@
+"""Direct unit tests for the individual fault sites and the new
+durability-layer hardening they exercise: SimCache checksums, journal
+degrade-on-ENOSPC, journal compaction, and the chaos hook protocol."""
+
+import errno
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import chaoshooks
+from repro.chaoshooks import ChaosCrash, ChaosHooks, armed
+from repro.core.dtype import DType
+from repro.obs import counters as obs_counters
+from repro.parallel.runner import (SimCache, SimConfig, SimOutcome,
+                                   run_simulations)
+from repro.robust.chaos import ChaosInjector
+from repro.robust.recovery import Journal
+from repro.signal import Sig
+from repro.refine import Design
+
+T8 = DType("T8", 8, 6, "tc", "saturate", "round")
+
+
+class Tiny(Design):
+    name = "tiny"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.y = Sig("y")
+        rng = np.random.default_rng(7)
+        self._stim = iter(rng.uniform(-1, 1, 4096).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.y.assign(self.x * 0.5)
+            ctx.tick()
+
+
+def _outcome(label="a", value=0.5):
+    return SimOutcome(label=label, records={"v": value}, output="v")
+
+
+class TestSimCacheChecksums:
+    def test_corrupt_payload_detected_and_evicted(self):
+        cache = SimCache()
+        cache.put("k", _outcome())
+        payload, sha = cache._store["k"]
+        cache._store["k"] = (payload[:-1] + bytes([payload[-1] ^ 0xFF]),
+                             sha)
+        before = obs_counters.get("cache.corrupt")
+        assert cache.get("k") is None
+        assert cache.n_corrupt == 1
+        assert "k" not in cache
+        assert obs_counters.get("cache.corrupt") == before + 1
+
+    def test_checksummed_but_unpicklable_entry_dropped(self):
+        cache = SimCache()
+        cache.put("k", _outcome())
+        bad = b"\x80\x04not a pickle"
+        import hashlib
+        cache._store["k"] = (bad, hashlib.sha256(bad).hexdigest())
+        assert cache.get("k") is None
+        assert cache.n_corrupt == 1
+
+    def test_unpicklable_outcome_not_cached(self):
+        cache = SimCache()
+        cache.put("k", _outcome(value=lambda: None))   # lambdas don't pickle
+        assert "k" not in cache
+        assert len(cache) == 0
+
+    def test_clean_roundtrip_is_bit_exact(self):
+        cache = SimCache()
+        out = _outcome(value=0.1 + 0.2)
+        cache.put("k", out)
+        got = cache.get("k")
+        assert got.records["v"].hex() == out.records["v"].hex()
+
+    def test_clear_resets_corruption_counter(self):
+        cache = SimCache()
+        cache.put("k", _outcome())
+        payload, sha = cache._store["k"]
+        cache._store["k"] = (b"x" + payload, sha)
+        cache.get("k")
+        assert cache.n_corrupt == 1
+        cache.clear()
+        assert cache.n_corrupt == 0
+
+    def test_evict_race_hook_turns_hit_into_miss(self):
+        class Evictor(ChaosHooks):
+            def on_cache_lookup(self, key):
+                return True
+
+        cache = SimCache()
+        cache.put("k", _outcome())
+        with armed(Evictor()):
+            assert cache.get("k") is None
+        assert "k" not in cache
+        assert cache.get("k") is None      # still gone when disarmed
+
+
+class TestJournalDegrade:
+    def test_enospc_degrades_to_memory(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        assert j.append("a", _outcome("a"))
+        os.close(j._fh.fileno())           # every later write -> EBADF
+        assert j.append("b", _outcome("b"))
+        assert j.degraded and isinstance(j.io_error, OSError)
+        assert j.get("b") is not None      # in-memory copy retained
+        j.close()
+        assert list(Journal(path).entries()) == ["a"]   # disk has phase 1
+
+    def test_on_io_error_raise_mode(self, tmp_path):
+        from repro.robust.recovery import JournalError
+        j = Journal(str(tmp_path / "j.jsonl"), on_io_error="raise")
+        os.close(j._fh.fileno())
+        with pytest.raises(JournalError):
+            j.append("a", _outcome())
+
+    def test_degraded_run_still_returns_outcomes(self, tmp_path):
+        """run_simulations survives a dead journal and emits DG205."""
+        from repro.robust.diagnostics import Diagnostics
+
+        class Enospc(ChaosHooks):
+            def on_journal_write(self, journal, data):
+                raise OSError(errno.ENOSPC, "No space left on device")
+
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        diag = Diagnostics()
+        cfgs = [SimConfig(label="t%d" % i, dtypes={"x": T8},
+                          n_samples=64, seed=i) for i in range(3)]
+        with armed(Enospc()):
+            outs = run_simulations(Tiny, cfgs, workers=1, journal=journal,
+                                   diagnostics=diag)
+        assert all(o.completed for o in outs)
+        assert journal.degraded
+        events = [e for e in diag.events if e.code == "DG205"]
+        assert len(events) == 1, "exactly one degrade warning expected"
+        journal.close()
+
+
+class TestJournalCompaction:
+    def test_compact_drops_stale_records(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        for i in range(4):
+            j.append("k", _outcome("k", float(i)))     # same key 4x
+        j.append("other", _outcome("other"))
+        size_before = j.size_bytes()
+        assert j.compact() == 3
+        assert j.size_bytes() < size_before
+        assert len(j) == 2
+        j.append("post", _outcome("post"))             # handle still live
+        j.close()
+        reloaded = Journal(path)
+        assert set(reloaded.entries()) == {"k", "other", "post"}
+        assert reloaded.get("k").records["v"] == 3.0   # latest won
+
+    def test_maybe_compact_respects_threshold(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"),
+                    compact_threshold=10 ** 9)
+        for i in range(3):
+            j.append("k", _outcome("k", float(i)))
+        assert j.maybe_compact() == 0          # under threshold: no-op
+        j.close()
+
+    def test_maybe_compact_skips_when_nothing_stale(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"), compact_threshold=1)
+        j.append("a", _outcome("a"))
+        j.append("b", _outcome("b"))
+        assert j.maybe_compact() == 0          # all records are live
+        j.close()
+
+    def test_runner_autocompacts_over_threshold(self, tmp_path):
+        """A re-run batch with a tiny threshold triggers DG208."""
+        from repro.robust.diagnostics import Diagnostics
+        journal = Journal(str(tmp_path / "j.jsonl"), compact_threshold=64)
+        cfg = SimConfig(label="t", dtypes={"x": T8}, n_samples=64, seed=1)
+        run_simulations(Tiny, [cfg], workers=1, journal=journal)
+        # Force a stale duplicate, then re-run to trip maybe_compact().
+        journal.append(next(iter(journal.entries())),
+                       _outcome("stale"))
+        diag = Diagnostics()
+        run_simulations(Tiny, [SimConfig(label="t2", dtypes={"x": T8},
+                                         n_samples=64, seed=2)],
+                        workers=1, journal=journal, diagnostics=diag)
+        assert any(e.code == "DG208" for e in diag.events)
+        journal.close()
+
+
+class TestInjectorDeterminism:
+    def test_same_triple_same_damage(self):
+        a = ChaosInjector("journal.torn_write", trigger=1, seed=9)
+        b = ChaosInjector("journal.torn_write", trigger=1, seed=9)
+        assert a.rng.random() == b.rng.random()
+
+    def test_different_seed_different_stream(self):
+        a = ChaosInjector("journal.torn_write", trigger=1, seed=9)
+        b = ChaosInjector("journal.torn_write", trigger=1, seed=10)
+        assert a.rng.random() != b.rng.random()
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosInjector("journal.not_a_site")
+
+    def test_cache_corruption_is_reproducible(self):
+        payload = pickle.dumps(_outcome())
+        a = ChaosInjector("cache.corrupt", trigger=0, seed=3)
+        b = ChaosInjector("cache.corrupt", trigger=0, seed=3)
+        ca = a.on_cache_store("k", payload)        # one-shot: fires here
+        cb = b.on_cache_store("k", payload)
+        assert ca == cb
+        assert ca != payload
+
+
+class TestHookProtocol:
+    def test_defaults_are_noops(self, tmp_path):
+        hooks = ChaosHooks()
+        assert hooks.on_journal_write(None, b"data") == b"data"
+        assert hooks.on_cache_store("k", b"p") == b"p"
+        assert hooks.on_cache_lookup("k") is False
+        assert hooks.on_job(0, "cfg") == "cfg"
+
+    def test_armed_always_uninstalls(self):
+        class Boom(ChaosHooks):
+            pass
+
+        with pytest.raises(RuntimeError):
+            with armed(Boom()):
+                assert chaoshooks.ACTIVE is not None
+                raise RuntimeError("x")
+        assert chaoshooks.ACTIVE is None
+
+    def test_chaoscrash_bypasses_except_exception(self):
+        with pytest.raises(ChaosCrash):
+            try:
+                raise ChaosCrash("simulated death")
+            except Exception:                  # noqa: BLE001
+                pytest.fail("ChaosCrash must not be an Exception")

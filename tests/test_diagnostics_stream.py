@@ -88,6 +88,10 @@ class TestStableCodes:
             "quarantine": "DG202",
             "journal": "DG203",
             "retry": "DG204",
+            "journal-degraded": "DG205",
+            "cache-corrupt": "DG206",
+            "chaos": "DG207",
+            "journal-compact": "DG208",
         }
 
     @pytest.mark.parametrize("category,code", sorted(CATEGORY_CODES.items()))

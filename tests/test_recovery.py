@@ -226,7 +226,8 @@ class TestSimCacheLRU:
         keys, outs = _outcomes(4, n_samples=40)
         for k, o in zip(keys[:3], outs[:3]):
             cache.put(k, o)
-        assert cache.get(keys[0]) is outs[0]   # refresh the oldest
+        got = cache.get(keys[0])               # refresh the oldest
+        assert got is not None and got.sqnr_db() == outs[0].sqnr_db()
         cache.put(keys[3], outs[3])
         assert keys[0] in cache               # survived thanks to the hit
         assert keys[1] not in cache           # true LRU victim
