@@ -95,7 +95,7 @@ def propagate_error_bounds(sfg, ranges, input_errors, max_rounds=60,
     amplifying the bound are cut at ``growth_cut`` and reported as
     infinite (the analytical method cannot bound them).
     """
-    order = sfg.topological_order()
+    order = sfg.condensed_order()
     errs = {}
     for node in order:
         errs[node] = 0.0

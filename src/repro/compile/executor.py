@@ -1,0 +1,852 @@
+"""Batched vector executor for frozen instruction tapes.
+
+One :class:`BatchExecutor` owns the structure-of-arrays state of ``B``
+simulation lanes — one per :class:`~repro.parallel.runner.SimConfig` in
+a compiled group.  :func:`capture` lifts the per-lane scalar signal
+state (values, monitors, propagated ranges) of ``B`` identically-built
+:class:`~repro.signal.context.DesignContext` objects into ``(B,)``
+vectors; :meth:`BatchExecutor.freeze` compiles the recorded tape
+(:mod:`repro.compile.tape`) into a straight-line list of NumPy closures;
+:meth:`BatchExecutor.run_sample` executes them once per clock tick; and
+:meth:`BatchExecutor.write_back` scatters the final vector state back
+into the lane contexts so :func:`repro.refine.monitors.collect` sees
+exactly what an interpreted run would have left behind.
+
+Bit-identity argument
+---------------------
+Every closure is a transcription of the corresponding scalar code in
+:meth:`repro.signal.signal.Sig._record` / :mod:`repro.signal.expr` /
+:mod:`repro.signal.ops` into elementwise float64 NumPy, in the same
+operation order (see :mod:`repro.compile.vectorops`).  IEEE-754 double
+arithmetic is deterministic, so per lane the vectors hold the same bits
+the interpreted engine computes.  Anywhere the scalar path could raise,
+branch per-value, or otherwise diverge (division by zero, non-finite
+values, error-mode overflow under ``overflow_action="raise"``,
+frac-bits probe overflow, NaN interval bounds), the executor raises
+:class:`~repro.compile.tape.CompileFallback` instead and the driver
+re-runs the whole group interpreted — conservative, never wrong.
+
+Interval versioning
+-------------------
+Interval (range-propagation) arithmetic is gated behind monotonic
+version counters: an op recomputes its bounds only when some operand's
+interval actually changed.  Read slots alias the *live* per-signal
+``read_lo``/``read_hi`` vectors — mirroring the interpreted engine,
+where a signal read exposes the live ``_read_ival`` object — so a
+version bump observed one op later still computes on current bounds.
+For fully-typed designs every read interval is static and steady-state
+interval cost is near zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.compile.tape import CompileFallback
+from repro.compile.vectorops import (IV_FNS, QuantGroup, VRange, VStat,
+                                     build_quant_plan, iv_vclip, iv_vscale,
+                                     iv_vunion, vrange_update, vstat_update)
+from repro.core.dtype import DType
+from repro.core.interval import fast_interval, iv_add, iv_mul, iv_neg, iv_sub
+
+__all__ = ["BatchExecutor"]
+
+
+class _Slot:
+    """Runtime value of one tape instruction.
+
+    ``fx``/``fl`` are floats (consts, all-scalar ops) or ``(B,)`` arrays
+    — scalar/vector-ness is static after freeze.  ``lo``/``hi`` carry
+    the propagated interval, ``ver`` its monotonic version.
+    """
+
+    __slots__ = ("fx", "fl", "lo", "hi", "ver")
+
+    def __init__(self):
+        self.fx = 0.0
+        self.fl = 0.0
+        self.lo = math.inf
+        self.hi = -math.inf
+        self.ver = 0
+
+
+class _SigState:
+    """Structure-of-arrays state of one signal across all lanes."""
+
+    __slots__ = (
+        "name", "is_reg", "sigs", "fx", "fl", "pend_fx", "pend_fl",
+        "has_pending", "rs", "ec", "ep", "vs", "ovf", "plan", "gbufs",
+        "prop_lo", "prop_hi", "not_forced", "all_unforced", "sat_lo",
+        "sat_hi", "has_sat", "read_lo", "read_hi", "read_ver", "dyn_mask",
+        "any_dyn", "assigned",
+    )
+
+
+def _uniform(name, what, values):
+    first = values[0]
+    for v in values[1:]:
+        if v != first:
+            raise CompileFallback(
+                "signal %r: %s differs between lanes (%r vs %r)"
+                % (name, what, first, v))
+    return first
+
+
+def _vec(values):
+    return np.asarray(values, dtype=np.float64)
+
+
+def _capture_signal(name, sigs):
+    """Vectorize one signal's per-lane state (or refuse)."""
+    st = _SigState()
+    st.name = name
+    st.sigs = sigs
+    st.is_reg = _uniform(name, "register-ness",
+                         [s.is_register for s in sigs])
+    for s in sigs:
+        if s._forced_error is not None:
+            raise CompileFallback(
+                "signal %r carries an error() annotation" % name)
+        if s._fault_pre is not None or s._fault_post is not None:
+            raise CompileFallback(
+                "signal %r carries fault-injection hooks" % name)
+        if s._history is not None:
+            raise CompileFallback("signal %r records history" % name)
+        if s._obs is not None:
+            raise CompileFallback(
+                "signal %r carries observability counters" % name)
+    st.fx = _vec([s._fx for s in sigs])
+    st.fl = _vec([s._fl for s in sigs])
+    if st.is_reg:
+        st.pend_fx = _vec([s._pend_fx for s in sigs])
+        st.pend_fl = _vec([s._pend_fl for s in sigs])
+        st.has_pending = _uniform(name, "pending-register state",
+                                  [s._has_pending for s in sigs])
+    else:
+        st.pend_fx = st.pend_fl = None
+        st.has_pending = False
+
+    rc = _uniform(name, "range-monitor count",
+                  [s.range_stat.count for s in sigs])
+    st.rs = VRange(rc, _vec([s.range_stat.min for s in sigs]),
+                   _vec([s.range_stat.max for s in sigs]),
+                   np.asarray([s.range_stat.frac_bits for s in sigs],
+                              dtype=np.int32))
+    for attr in ("err_consumed", "err_produced", "val_stat"):
+        stats = [getattr(s, attr) for s in sigs]
+        count = _uniform(name, "%s count" % attr, [t.count for t in stats])
+        vst = VStat(count, _vec([t.mean for t in stats]),
+                    _vec([t._m2 for t in stats]),
+                    _vec([t.max_abs for t in stats]))
+        setattr(st, {"err_consumed": "ec", "err_produced": "ep",
+                     "val_stat": "vs"}[attr], vst)
+    st.ovf = np.asarray([s.overflow_count for s in sigs], dtype=np.int64)
+
+    st.plan = build_quant_plan([s.dtype for s in sigs])
+    st.gbufs = []
+    for g in st.plan.groups:
+        if g.idx is None:
+            st.gbufs.append(None)
+        else:
+            k = len(g.idx)
+            st.gbufs.append((np.empty(k), np.empty(k), np.empty(k),
+                             np.empty(k, dtype=bool),
+                             np.empty(k, dtype=bool)))
+
+    st.prop_lo = _vec([s._prop_ival.lo for s in sigs])
+    st.prop_hi = _vec([s._prop_ival.hi for s in sigs])
+    st.not_forced = np.asarray([s._forced_range is None for s in sigs],
+                               dtype=bool)
+    st.all_unforced = bool(st.not_forced.all())
+    st.sat_lo = _vec([s._sat_lo if s._sat_lo is not None else -math.inf
+                      for s in sigs])
+    st.sat_hi = _vec([s._sat_hi if s._sat_hi is not None else math.inf
+                      for s in sigs])
+    st.has_sat = any(s._sat_lo is not None for s in sigs)
+    ivs = [s.read_interval() for s in sigs]
+    st.read_lo = _vec([iv.lo for iv in ivs])
+    st.read_hi = _vec([iv.hi for iv in ivs])
+    st.read_ver = 0
+    st.dyn_mask = np.asarray(
+        [s.dtype is None and s._forced_range is None for s in sigs],
+        dtype=bool)
+    st.any_dyn = bool(st.dyn_mask.any())
+    st.assigned = False
+    return st
+
+
+def _scalar_interval(lo, hi):
+    return fast_interval(lo, hi)
+
+
+class BatchExecutor:
+    """Vector state + frozen program of one compiled simulation group."""
+
+    def __init__(self, lane_ctxs, overflow_action):
+        self.lane_ctxs = lane_ctxs
+        self.B = len(lane_ctxs)
+        self.overflow_raise = overflow_action == "raise"
+
+        names = lane_ctxs[0].signal_names()
+        for ctx in lane_ctxs[1:]:
+            if ctx.signal_names() != names:
+                raise CompileFallback(
+                    "lanes declare different signal sets")
+        self.names = names
+        self.states = {
+            name: _capture_signal(name, [ctx.get(name) for ctx in lane_ctxs])
+            for name in names}
+        reg_names = [r.name for r in lane_ctxs[0]._registers]
+        self._reg_states = [self.states[n] for n in reg_names]
+
+        B = self.B
+        self.acc = np.zeros(B)                # non-finite guard accumulator
+        self.s1 = np.empty(B)
+        self.s2 = np.empty(B)
+        self.d1 = np.empty(B)
+        self.codes = np.empty(B)
+        self.qbuf = np.empty(B)
+        self.ilo = np.empty(B)
+        self.ihi = np.empty(B)
+        self.mb = np.empty(B, dtype=bool)
+        self.mb2 = np.empty(B, dtype=bool)
+
+        self._ver = 0
+        self.slots = None
+        self._prog = None           # dense closure list (full sample)
+        self._prog_aligned = None   # tape-index-aligned, None entries
+        self.samples = 0
+
+    def _next_ver(self):
+        self._ver += 1
+        return self._ver
+
+    # -- tape interface ---------------------------------------------------
+
+    def set_const(self, i, value):
+        """Record-time constant changed value in a later sample."""
+        slot = self.slots[i]
+        if slot.fx != value:
+            slot.fx = slot.fl = value
+            slot.lo = slot.hi = value
+            slot.ver = self._next_ver()
+
+    def freeze(self, tape):
+        """Compile the recorded tape into the closure program."""
+        assigned = {ins.name for ins in tape
+                    if ins.kind == "assign" and not ins.is_register}
+        for name in assigned:
+            st = self.states.get(name)
+            if st is not None:
+                st.assigned = True
+        self.slots = [_Slot() for _ in tape]
+        self._is_vec = [False] * len(tape)
+        aligned = []
+        for i, ins in enumerate(tape):
+            kind = ins.kind
+            if kind == "const":
+                slot = self.slots[i]
+                slot.fx = slot.fl = ins.value
+                slot.lo = slot.hi = ins.value
+                slot.ver = self._next_ver()
+                aligned.append(None)
+            elif kind == "read":
+                aligned.append(self._freeze_read(i, ins))
+            elif kind == "op":
+                aligned.append(self._freeze_op(i, ins))
+            else:   # assign
+                aligned.append(self._freeze_assign(ins))
+        self._prog_aligned = aligned
+        self._prog = [fn for fn in aligned if fn is not None]
+
+    def run_sample(self, n=None, commit=True):
+        """Execute one (possibly partial) sample across all lanes."""
+        if n is None:
+            for fn in self._prog:
+                fn()
+        else:
+            for fn in self._prog_aligned[:n]:
+                if fn is not None:
+                    fn()
+        if commit:
+            for st in self._reg_states:
+                if st.has_pending:
+                    np.copyto(st.fx, st.pend_fx)
+                    np.copyto(st.fl, st.pend_fl)
+                    st.has_pending = False
+            self.samples += 1
+        acc = self.acc
+        if not np.isfinite(acc).all():
+            raise CompileFallback(
+                "non-finite value reached a signal in at least one lane "
+                "(the interpreted engine applies its guard policy there)")
+        acc.fill(0.0)
+
+    # -- freeze helpers ---------------------------------------------------
+
+    def _state_for(self, ins):
+        st = self.states.get(ins.name)
+        if st is None:
+            raise CompileFallback(
+                "signal %r was created during run(); lanes built without it"
+                % ins.name)
+        if st.is_reg != ins.is_register:
+            raise CompileFallback(
+                "signal %r traced with inconsistent register-ness"
+                % ins.name)
+        return st
+
+    def _freeze_read(self, i, ins):
+        st = self._state_for(ins)
+        slot = self.slots[i]
+        self._is_vec[i] = True
+        slot.lo = st.read_lo        # live alias, as in the interpreted engine
+        slot.hi = st.read_hi
+        slot.ver = st.read_ver
+        if not st.is_reg and st.assigned:
+            # Value snapshot at this tape position: the backing signal is
+            # reassigned within the sample, so alias identity would leak
+            # future values into earlier reads.
+            fx_buf = np.empty(self.B)
+            fl_buf = np.empty(self.B)
+            slot.fx = fx_buf
+            slot.fl = fl_buf
+            if st.any_dyn:
+                def run(slot=slot, st=st, fx_buf=fx_buf, fl_buf=fl_buf,
+                        copyto=np.copyto):
+                    copyto(fx_buf, st.fx)
+                    copyto(fl_buf, st.fl)
+                    slot.ver = st.read_ver
+            else:
+                def run(st=st, fx_buf=fx_buf, fl_buf=fl_buf,
+                        copyto=np.copyto):
+                    copyto(fx_buf, st.fx)
+                    copyto(fl_buf, st.fl)
+            return run
+        slot.fx = st.fx             # registers / never-reassigned signals:
+        slot.fl = st.fl             # commit copies in place, alias is stable
+        if st.any_dyn:
+            def run(slot=slot, st=st):
+                slot.ver = st.read_ver
+            return run
+        return None
+
+    def _freeze_op(self, i, ins):
+        op = ins.op
+        in_slots = tuple(self.slots[j] for j in ins.args)
+        vec = any(self._is_vec[j] for j in ins.args)
+        self._is_vec[i] = vec
+        slot = self.slots[i]
+        if op in ("add", "sub", "mul", "div", "neg", "abs", "min", "max",
+                  "gt", "ge", "lt", "le", "select") \
+                or op.startswith(("shl", "shr", "cast")):
+            if op == "select" and len(in_slots) != 2 + 1:
+                raise CompileFallback(
+                    "select with an untraced boolean condition")
+            if vec:
+                return self._vector_op(op, slot, in_slots)
+            return self._scalar_op(op, slot, in_slots)
+        raise CompileFallback("unsupported traced operation %r" % op)
+
+    # .. vector ops .......................................................
+
+    def _iv_gate(self, slot, iv_slots, compute):
+        """Wrap ``compute`` in a version-dirty check over ``iv_slots``."""
+        cached = [None] * len(iv_slots)
+        next_ver = self._next_ver
+
+        def run_ival():
+            dirty = False
+            for k, s in enumerate(iv_slots):
+                if s.ver != cached[k]:
+                    dirty = True
+                    break
+            if dirty:
+                for k, s in enumerate(iv_slots):
+                    cached[k] = s.ver
+                lo, hi = compute()
+                slot.lo = lo
+                slot.hi = hi
+                slot.ver = next_ver()
+        return run_ival
+
+    def _vector_op(self, op, slot, in_slots):
+        B = self.B
+        mb = self.mb
+        fxo = np.empty(B)
+
+        if op in ("gt", "ge", "lt", "le"):
+            sa, sb = in_slots
+            cmp = {"gt": np.greater, "ge": np.greater_equal,
+                   "lt": np.less, "le": np.less_equal}[op]
+            slot.fx = fxo
+            slot.fl = fxo           # _compare: fl == fx by construction
+            slot.lo = 0.0           # shared _BOOL_IVAL, never dirty
+            slot.hi = 1.0
+            slot.ver = 0
+
+            def run(sa=sa, sb=sb, cmp=cmp, fxo=fxo, mb=mb, mul=np.multiply):
+                cmp(sa.fx, sb.fx, out=mb)
+                mul(mb, 1.0, out=fxo)
+            return run
+
+        if op.startswith("cast"):
+            dt = DType.from_cast_label(op)
+            if dt is None:
+                raise CompileFallback("unparseable cast label %r" % op)
+            if dt.n > 53:
+                raise CompileFallback(
+                    "cast to %s: n=%d > 53 codes are not exact in float64"
+                    % (dt.spec(), dt.n))
+            (sa,) = in_slots
+            group = QuantGroup(dt)
+            slot.fx = fxo
+            codes, mb2 = self.codes, self.mb2
+            if dt.msbspec == "saturate":
+                clo, chi = dt.min_value, dt.max_value
+                ival = self._iv_gate(
+                    slot, in_slots,
+                    lambda sa=sa: iv_vclip((sa.lo, sa.hi), clo, chi))
+            else:
+                ival = None         # wrap / error: range passes through
+
+            def run(slot=slot, sa=sa, group=group, fxo=fxo, codes=codes,
+                    mb=mb, mb2=mb2, ival=ival, isfinite=np.isfinite):
+                v = sa.fx
+                if not isfinite(v).all():
+                    raise CompileFallback(
+                        "non-finite value cast in some lane (the "
+                        "interpreted kernel raises NonFiniteError)")
+                group.apply(v, fxo, codes, mb, mb2)
+                slot.fl = sa.fl
+                if ival is not None:
+                    ival()
+                else:
+                    slot.lo = sa.lo
+                    slot.hi = sa.hi
+                    slot.ver = sa.ver
+            return run
+
+        if op == "select":
+            sc, st_, sf = in_slots
+            flo = np.empty(B)
+            slot.fx = fxo
+            slot.fl = flo
+            ival = self._iv_gate(
+                slot, (st_, sf),
+                lambda a=st_, b=sf: iv_vunion((a.lo, a.hi), (b.lo, b.hi)))
+
+            def run(sc=sc, st_=st_, sf=sf, fxo=fxo, flo=flo, mb=mb,
+                    ival=ival, copyto=np.copyto, ne=np.not_equal,
+                    ndarray=np.ndarray):
+                cfx = sc.fx
+                if isinstance(cfx, ndarray):
+                    ne(cfx, 0.0, out=mb)
+                    copyto(fxo, sf.fx)
+                    copyto(fxo, st_.fx, where=mb)
+                    copyto(flo, sf.fl)
+                    copyto(flo, st_.fl, where=mb)
+                else:
+                    picked = st_ if cfx != 0.0 else sf
+                    copyto(fxo, picked.fx)
+                    copyto(flo, picked.fl)
+                ival()
+            return run
+
+        flo = np.empty(B)
+        slot.fx = fxo
+        slot.fl = flo
+
+        if op in ("add", "sub", "mul"):
+            sa, sb = in_slots
+            ufn = {"add": np.add, "sub": np.subtract,
+                   "mul": np.multiply}[op]
+            ival = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, sb=sb, fn=IV_FNS[op]:
+                    fn((sa.lo, sa.hi), (sb.lo, sb.hi)))
+
+            def run(sa=sa, sb=sb, ufn=ufn, fxo=fxo, flo=flo, ival=ival):
+                ufn(sa.fx, sb.fx, out=fxo)
+                ufn(sa.fl, sb.fl, out=flo)
+                ival()
+            return run
+
+        if op == "div":
+            sa, sb = in_slots
+            ival = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, sb=sb:
+                    IV_FNS["div"]((sa.lo, sa.hi), (sb.lo, sb.hi)))
+
+            def run(sa=sa, sb=sb, fxo=fxo, flo=flo, mb=mb, ival=ival,
+                    div=np.divide, eq=np.equal, ndarray=np.ndarray):
+                for den in (sb.fx, sb.fl):
+                    if isinstance(den, ndarray):
+                        eq(den, 0.0, out=mb)
+                        if mb.any():
+                            raise CompileFallback(
+                                "division by zero in some lane (the "
+                                "interpreted engine raises "
+                                "ZeroDivisionError)")
+                    elif den == 0.0:
+                        raise CompileFallback(
+                            "division by zero (the interpreted engine "
+                            "raises ZeroDivisionError)")
+                div(sa.fx, sb.fx, out=fxo)
+                div(sa.fl, sb.fl, out=flo)
+                ival()
+            return run
+
+        if op in ("min", "max"):
+            sa, sb = in_slots
+            cmp = np.less if op == "min" else np.greater
+            ival = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, sb=sb, fn=IV_FNS[op]:
+                    fn((sa.lo, sa.hi), (sb.lo, sb.hi)))
+
+            # python min/max keep the *first* argument on ties; the
+            # strict compare picks b only when it is strictly smaller
+            # (greater), which preserves even -0.0/+0.0 identity.
+            def run(sa=sa, sb=sb, cmp=cmp, fxo=fxo, flo=flo, mb=mb,
+                    ival=ival, copyto=np.copyto):
+                cmp(sb.fx, sa.fx, out=mb)
+                copyto(fxo, sa.fx)
+                copyto(fxo, sb.fx, where=mb)
+                cmp(sb.fl, sa.fl, out=mb)
+                copyto(flo, sa.fl)
+                copyto(flo, sb.fl, where=mb)
+                ival()
+            return run
+
+        if op in ("neg", "abs"):
+            (sa,) = in_slots
+            ufn = np.negative if op == "neg" else np.abs
+            ival = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, fn=IV_FNS[op]: fn((sa.lo, sa.hi)))
+
+            def run(sa=sa, ufn=ufn, fxo=fxo, flo=flo, ival=ival):
+                ufn(sa.fx, out=fxo)
+                ufn(sa.fl, out=flo)
+                ival()
+            return run
+
+        # shl<k> / shr<k>: value track multiplies by 2.0**±k exactly as
+        # the scalar _unop does; interval scales by the same factor.
+        k = int(op[3:])
+        factor = 2.0 ** k if op.startswith("shl") else 2.0 ** -k
+        (sa,) = in_slots
+        ival = self._iv_gate(
+            slot, in_slots,
+            lambda sa=sa, f=factor: iv_vscale((sa.lo, sa.hi), f))
+
+        def run(sa=sa, f=factor, fxo=fxo, flo=flo, ival=ival,
+                mul=np.multiply):
+            mul(sa.fx, f, out=fxo)
+            mul(sa.fl, f, out=flo)
+            ival()
+        return run
+
+    # .. all-scalar ops ...................................................
+
+    def _scalar_op(self, op, slot, in_slots):
+        """Constant-only expression: plain Python floats + real Intervals.
+
+        Rare (an op node needs an Expr operand, and reads are vector),
+        but e.g. ``cast(0.5, dtype)`` or ``gt(1.0, 2.0)`` land here.
+        Using the interpreter's own Interval methods makes the range
+        math trivially exact.
+        """
+        if op in ("gt", "ge", "lt", "le"):
+            sa, sb = in_slots
+            fn = {"gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
+                  "lt": lambda a, b: a < b, "le": lambda a, b: a <= b}[op]
+            slot.lo, slot.hi, slot.ver = 0.0, 1.0, 0
+
+            def run(slot=slot, sa=sa, sb=sb, fn=fn):
+                v = 1.0 if fn(sa.fx, sb.fx) else 0.0
+                slot.fx = v
+                slot.fl = v
+            return run
+
+        if op.startswith("cast"):
+            dt = DType.from_cast_label(op)
+            if dt is None:
+                raise CompileFallback("unparseable cast label %r" % op)
+            (sa,) = in_slots
+            wrap = dt.msbspec == "wrap"
+            kern = None if wrap else dt.saturating.kernel
+            clip = dt.range_interval() if dt.msbspec == "saturate" else None
+            gate = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, clip=clip:
+                    self._scalar_iv_pair(
+                        _scalar_interval(sa.lo, sa.hi).clip(clip)))
+
+            def run(slot=slot, sa=sa, dt=dt, wrap=wrap, kern=kern,
+                    clip=clip, gate=gate):
+                try:
+                    slot.fx = dt.quantize(sa.fx) if wrap else kern(sa.fx)[0]
+                except Exception as exc:
+                    raise CompileFallback(
+                        "scalar cast failed: %s (the interpreted engine "
+                        "raises the same)" % exc)
+                slot.fl = sa.fl
+                if clip is not None:
+                    gate()
+                else:
+                    slot.lo = sa.lo
+                    slot.hi = sa.hi
+                    slot.ver = sa.ver
+            return run
+
+        if op == "select":
+            sc, st_, sf = in_slots
+            gate = self._iv_gate(
+                slot, (st_, sf),
+                lambda a=st_, b=sf: self._scalar_iv_pair(
+                    _scalar_interval(a.lo, a.hi).union(
+                        _scalar_interval(b.lo, b.hi))))
+
+            def run(slot=slot, sc=sc, st_=st_, sf=sf, gate=gate):
+                picked = st_ if sc.fx != 0.0 else sf
+                slot.fx = picked.fx
+                slot.fl = picked.fl
+                gate()
+            return run
+
+        if op in ("add", "sub", "mul", "div", "min", "max"):
+            sa, sb = in_slots
+            vfn = {"add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+                   "mul": lambda a, b: a * b, "div": lambda a, b: a / b,
+                   "min": min, "max": max}[op]
+            ifn = {"add": iv_add, "sub": iv_sub, "mul": iv_mul,
+                   "div": lambda a, b: a / b,
+                   "min": lambda a, b: a.minimum(b),
+                   "max": lambda a, b: a.maximum(b)}[op]
+            gate = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, sb=sb, ifn=ifn: self._scalar_iv_pair(
+                    ifn(_scalar_interval(sa.lo, sa.hi),
+                        _scalar_interval(sb.lo, sb.hi))))
+
+            def run(slot=slot, sa=sa, sb=sb, vfn=vfn, gate=gate):
+                try:
+                    slot.fx = vfn(sa.fx, sb.fx)
+                    slot.fl = vfn(sa.fl, sb.fl)
+                except ZeroDivisionError:
+                    raise CompileFallback(
+                        "scalar division by zero (the interpreted engine "
+                        "raises ZeroDivisionError)")
+                gate()
+            return run
+
+        if op in ("neg", "abs"):
+            (sa,) = in_slots
+            vfn = (lambda a: -a) if op == "neg" else abs
+            ifn = iv_neg if op == "neg" else (lambda a: abs(a))
+            gate = self._iv_gate(
+                slot, in_slots,
+                lambda sa=sa, ifn=ifn: self._scalar_iv_pair(
+                    ifn(_scalar_interval(sa.lo, sa.hi))))
+
+            def run(slot=slot, sa=sa, vfn=vfn, gate=gate):
+                slot.fx = vfn(sa.fx)
+                slot.fl = vfn(sa.fl)
+                gate()
+            return run
+
+        k = int(op[3:])
+        factor = 2.0 ** k if op.startswith("shl") else 2.0 ** -k
+        kk = k if op.startswith("shl") else -k
+        (sa,) = in_slots
+        gate = self._iv_gate(
+            slot, in_slots,
+            lambda sa=sa, kk=kk: self._scalar_iv_pair(
+                _scalar_interval(sa.lo, sa.hi).scale_pow2(kk)))
+
+        def run(slot=slot, sa=sa, f=factor, gate=gate):
+            slot.fx = sa.fx * f
+            slot.fl = sa.fl * f
+            gate()
+        return run
+
+    @staticmethod
+    def _scalar_iv_pair(interval):
+        try:
+            return interval.lo, interval.hi
+        except ValueError:      # pragma: no cover - Interval ctor guard
+            raise CompileFallback("scalar interval arithmetic failed")
+
+    # .. assigns ..........................................................
+
+    def _freeze_assign(self, ins):
+        st = self._state_for(ins)
+        src = self.slots[ins.args]
+        plan = st.plan
+        check_err = self.overflow_raise and plan.any_err
+        acc, s1, s2, d1 = self.acc, self.s1, self.s2, self.d1
+        codes, qbuf, mb, mb2 = self.codes, self.qbuf, self.mb, self.mb2
+        ilo, ihi = self.ilo, self.ihi
+        ndarray = np.ndarray
+        copyto = np.copyto
+
+        def run():
+            in_fx = src.fx
+            in_fl = src.fl
+            # Non-finite guard accumulator: checked at the end of the
+            # sample; any non-finite anywhere forces the fallback.
+            np.add(acc, in_fx, out=acc)
+            np.add(acc, in_fl, out=acc)
+
+            vrange_update(st.rs, in_fx, s1, mb)
+
+            if isinstance(in_fl, ndarray) or isinstance(in_fx, ndarray):
+                np.subtract(in_fl, in_fx, out=d1)
+                d = d1
+            else:
+                d = in_fl - in_fx
+            vstat_update(st.ec, d, s1, s2)
+
+            groups = plan.groups
+            if not groups:
+                qfx = in_fx
+            elif groups[0].idx is None:
+                g = groups[0]
+                g.apply(in_fx, qbuf, codes, mb, mb2)
+                if check_err and g.err_idx is not None \
+                        and mb[g.err_idx].any():
+                    raise CompileFallback(
+                        "error-mode overflow on %r under "
+                        "overflow_action='raise'" % st.name)
+                np.add(st.ovf, mb, out=st.ovf)
+                qfx = qbuf
+            else:
+                vec_in = isinstance(in_fx, ndarray)
+                for g, bufs in zip(groups, st.gbufs):
+                    gv, gout, gcodes, gbad, gb2 = bufs
+                    if vec_in:
+                        np.take(in_fx, g.idx, out=gv)
+                    else:
+                        gv.fill(in_fx)
+                    g.apply(gv, gout, gcodes, gbad, gb2)
+                    if check_err and g.err_idx is not None \
+                            and gbad[g.err_idx].any():
+                        raise CompileFallback(
+                            "error-mode overflow on %r under "
+                            "overflow_action='raise'" % st.name)
+                    qbuf[g.idx] = gout
+                    st.ovf[g.idx] += gbad
+                pt = plan.passthrough_idx
+                if pt is not None:
+                    if vec_in:
+                        qbuf[pt] = in_fx[pt]
+                    else:
+                        qbuf[pt] = in_fx
+                qfx = qbuf
+
+            # No error() annotations in compiled lanes: fl = in_fl.
+            if isinstance(in_fl, ndarray) or isinstance(qfx, ndarray):
+                np.subtract(in_fl, qfx, out=d1)
+                d = d1
+            else:
+                d = in_fl - qfx
+            vstat_update(st.ep, d, s1, s2)
+            vstat_update(st.vs, in_fl, s1, s2)
+
+            lo = src.lo
+            hi = src.hi
+            if isinstance(lo, ndarray) or lo <= hi:
+                if st.has_sat:
+                    # Sig._record's exclusive clip branches, as
+                    # sequential masked clamps (equivalent because
+                    # sat_lo <= sat_hi; ±inf bounds are identities for
+                    # non-saturating lanes).
+                    if isinstance(lo, ndarray):
+                        copyto(ilo, lo)
+                    else:
+                        ilo.fill(lo)
+                    np.greater(ilo, st.sat_hi, out=mb)
+                    copyto(ilo, st.sat_hi, where=mb)
+                    np.less(ilo, st.sat_lo, out=mb)
+                    copyto(ilo, st.sat_lo, where=mb)
+                    if isinstance(hi, ndarray):
+                        copyto(ihi, hi)
+                    else:
+                        ihi.fill(hi)
+                    np.less(ihi, st.sat_lo, out=mb)
+                    copyto(ihi, st.sat_lo, where=mb)
+                    np.greater(ihi, st.sat_hi, out=mb)
+                    copyto(ihi, st.sat_hi, where=mb)
+                    ulo, uhi = ilo, ihi
+                else:
+                    ulo, uhi = lo, hi
+                np.less(ulo, st.prop_lo, out=mb)
+                if not st.all_unforced:
+                    np.logical_and(mb, st.not_forced, out=mb)
+                copyto(st.prop_lo, ulo, where=mb)
+                np.greater(uhi, st.prop_hi, out=mb)
+                if not st.all_unforced:
+                    np.logical_and(mb, st.not_forced, out=mb)
+                copyto(st.prop_hi, uhi, where=mb)
+                if st.any_dyn:
+                    changed = False
+                    np.less(ulo, st.read_lo, out=mb)
+                    np.logical_and(mb, st.dyn_mask, out=mb)
+                    if mb.any():
+                        copyto(st.read_lo, ulo, where=mb)
+                        changed = True
+                    np.greater(uhi, st.read_hi, out=mb)
+                    np.logical_and(mb, st.dyn_mask, out=mb)
+                    if mb.any():
+                        copyto(st.read_hi, uhi, where=mb)
+                        changed = True
+                    if changed:
+                        st.read_ver += 1
+
+            if st.is_reg:
+                copyto(st.pend_fx, qfx)
+                copyto(st.pend_fl, in_fl)
+                st.has_pending = True
+            else:
+                copyto(st.fx, qfx)
+                copyto(st.fl, in_fl)
+        return run
+
+    # -- write-back -------------------------------------------------------
+
+    def write_back(self):
+        """Scatter the vector state back into the lane signal objects."""
+        for name in self.names:
+            st = self.states[name]
+            for b, sig in enumerate(st.sigs):
+                sig._fx = float(st.fx[b])
+                sig._fl = float(st.fl[b])
+                if st.is_reg:
+                    sig._pend_fx = float(st.pend_fx[b])
+                    sig._pend_fl = float(st.pend_fl[b])
+                    sig._has_pending = st.has_pending
+                rs = sig.range_stat
+                rs.count = st.rs.count
+                rs.min = float(st.rs.min[b])
+                rs.max = float(st.rs.max[b])
+                rs.frac_bits = int(st.rs.fb[b])
+                for stat, vst in ((sig.err_consumed, st.ec),
+                                  (sig.err_produced, st.ep),
+                                  (sig.val_stat, st.vs)):
+                    stat.count = vst.count
+                    stat.mean = float(vst.mean[b])
+                    stat._m2 = float(vst.m2[b])
+                    stat.max_abs = float(vst.max_abs[b])
+                sig.overflow_count = int(st.ovf[b])
+                p = sig._prop_ival
+                p.lo = float(st.prop_lo[b])
+                p.hi = float(st.prop_hi[b])
+                if st.dyn_mask[b]:
+                    r = sig._read_ival
+                    r.lo = float(st.read_lo[b])
+                    r.hi = float(st.read_hi[b])

@@ -1,0 +1,240 @@
+"""Streaming instruction tape for the compiled simulation engine.
+
+The compiled engine does not schedule the traced SFG statically — a
+design's ``run`` method is ordinary Python, and its per-sample stream
+of traced operations *is* the schedule.  A stub copy of the design runs
+once with the tracer hooks that normally build :class:`repro.sfg.SFG`
+pointed at a :class:`TapeStreamer` instead: every signal read, literal,
+operation and monitored assignment becomes one instruction.
+
+The first clock tick freezes the recorded sample into vector closures
+(:mod:`repro.compile.executor`); every later tick verifies that the new
+sample streamed the *exact same structure* — constants may change
+value, control flow may not — and then executes the frozen closures
+once across all batch lanes.  Any divergence raises
+:class:`CompileFallback`, which the driver answers by re-running the
+whole group on the interpreted engine.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+from repro.signal.context import DesignContext
+from repro.signal.expr import Operand
+
+__all__ = ["CompileFallback", "Instr", "TapeStreamer", "StubContext",
+           "value_branch_guard"]
+
+#: Record-mode safety valve: a design that streams this many
+#: instructions without ever ticking is not a per-sample loop.
+MAX_TAPE_INSTRUCTIONS = 200_000
+
+
+class CompileFallback(Exception):
+    """The design cannot be (or stopped being) lowerable.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: the
+    parallel runner treats ``ReproError`` as a simulation failure, while
+    this exception only means "run this batch interpreted instead".
+    """
+
+
+class Instr:
+    """One tape instruction.
+
+    ``kind`` is ``"const"`` / ``"read"`` / ``"op"`` / ``"assign"``;
+    ``name`` names the signal for reads and assigns, ``op`` the
+    operation for ops, ``args`` the operand slot indices (a tuple for
+    ops, a single index for assigns) and ``value`` the initially
+    recorded literal for consts.
+    """
+
+    __slots__ = ("kind", "name", "op", "args", "value", "is_register")
+
+    def __init__(self, kind, name=None, op=None, args=None, value=None,
+                 is_register=False):
+        self.kind = kind
+        self.name = name
+        self.op = op
+        self.args = args
+        self.value = value
+        self.is_register = is_register
+
+    def __repr__(self):
+        body = {"const": lambda: repr(self.value),
+                "read": lambda: self.name,
+                "op": lambda: "%s%r" % (self.op, self.args),
+                "assign": lambda: "%s <- %d" % (self.name, self.args)}
+        return "Instr(%s %s)" % (self.kind, body[self.kind]())
+
+
+class TapeStreamer:
+    """Duck-typed tracer that records/verifies the instruction stream.
+
+    Implements the tracer interface consumed by ``repro.signal``
+    (``sig_node`` / ``const_node`` / ``op_node`` / ``assign_edge``) so
+    the stub run needs no changes to the signal layer.  Tokens handed
+    back to the expression machinery are ``(sample_serial, slot_index)``
+    pairs; an operand token minted in an earlier sample means the design
+    cached an expression across ticks, which the value closures cannot
+    reproduce — fallback.
+    """
+
+    def __init__(self, executor, max_instructions=MAX_TAPE_INSTRUCTIONS):
+        self.executor = executor
+        self.max_instructions = max_instructions
+        self.serial = 0          # sample currently being streamed
+        self.cursor = 0          # next instruction index within it
+        self.frozen = False
+        self.tape = []
+
+    # -- tracer interface -------------------------------------------------
+
+    def sig_node(self, sig):
+        return self._emit("read", name=sig.name,
+                          is_register=sig.is_register)
+
+    def const_node(self, value):
+        v = float(value)
+        if not math.isfinite(v):
+            raise CompileFallback(
+                "non-finite constant %r streamed into the tape" % v)
+        return self._emit("const", value=v)
+
+    def op_node(self, opname, operand_nodes):
+        args = tuple(self._operand(tok) for tok in operand_nodes)
+        return self._emit("op", op=opname, args=args)
+
+    def assign_edge(self, src, sig):
+        self._emit("assign", name=sig.name, args=self._operand(src),
+                   is_register=sig.is_register)
+
+    # -- internals --------------------------------------------------------
+
+    def _operand(self, token):
+        serial, idx = token
+        if serial != self.serial:
+            raise CompileFallback(
+                "expression built in sample %d was reused in sample %d; "
+                "cross-sample expression caching is not lowerable"
+                % (serial, self.serial))
+        return idx
+
+    def _emit(self, kind, name=None, op=None, args=None, value=None,
+              is_register=False):
+        i = self.cursor
+        if not self.frozen:
+            if i >= self.max_instructions:
+                raise CompileFallback(
+                    "more than %d instructions streamed without a tick; "
+                    "not a per-sample simulation loop"
+                    % self.max_instructions)
+            self.tape.append(Instr(kind, name, op, args, value,
+                                   is_register))
+        else:
+            if i >= len(self.tape):
+                raise CompileFallback(
+                    "sample %d streamed more instructions than the "
+                    "frozen %d-instruction tape"
+                    % (self.serial, len(self.tape)))
+            ins = self.tape[i]
+            if (ins.kind != kind or ins.name != name or ins.op != op
+                    or ins.is_register != is_register
+                    or (kind != "const" and ins.args != args)):
+                raise CompileFallback(
+                    "sample %d diverged from the frozen tape at "
+                    "instruction %d: expected %r, streamed %s %r"
+                    % (self.serial, i, ins, kind,
+                       name if name is not None else (op or value)))
+            if kind == "const":
+                self.executor.set_const(i, value)
+        self.cursor = i + 1
+        return (self.serial, i)
+
+    # -- sample boundaries ------------------------------------------------
+
+    def flush(self):
+        """Clock tick: freeze on first use, verify + execute afterwards."""
+        if not self.frozen:
+            self.executor.freeze(self.tape)
+            self.frozen = True
+        if self.cursor != len(self.tape):
+            raise CompileFallback(
+                "tick after %d of %d tape instructions in sample %d"
+                % (self.cursor, len(self.tape), self.serial))
+        self.executor.run_sample(commit=True)
+        self.serial += 1
+        self.cursor = 0
+
+    def finalize(self):
+        """End of the run: execute any trailing partial sample (no tick).
+
+        Assignments after the final tick are visible in the interpreted
+        engine without a register commit; the verified prefix replays
+        them the same way.
+        """
+        if not self.frozen:
+            # The design never ticked: the whole run is one
+            # uncommitted sample.
+            self.executor.freeze(self.tape)
+            self.frozen = True
+        if self.cursor:
+            self.executor.run_sample(n=self.cursor, commit=False)
+            self.cursor = 0
+
+
+class StubContext(DesignContext):
+    """Context for the tape-recording stub run.
+
+    A plain :class:`~repro.signal.context.DesignContext` whose ``tick``
+    additionally flushes the streamer, so the vector lanes advance in
+    lock-step with the stub's own scalar simulation.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.streamer = None
+
+    def tick(self):
+        if self.streamer is not None:
+            self.streamer.flush()
+        super().tick()
+
+
+#: Operand entry points whose results feed Python control flow (or leak
+#: plain floats): all return scalars the tape cannot carry, so touching
+#: any of them during the stub run forces the interpreted engine.
+_VALUE_BRANCH_HOOKS = ("__lt__", "__le__", "__gt__", "__ge__",
+                      "__bool__", "__float__", "eq")
+
+
+@contextmanager
+def value_branch_guard():
+    """Trap value-dependent control flow during the stub run.
+
+    ``if w > 0:`` (relational dunders return plain bools),
+    ``bool(expr)`` and ``float(expr)`` all erase information the vector
+    executor would need per-lane; while the guard is active any such
+    call raises :class:`CompileFallback` immediately.  The traced
+    comparison *ops* (:func:`repro.signal.ops.gt` and friends) and
+    :func:`repro.signal.ops.select` remain fully lowerable.
+    """
+    saved = [(name, getattr(Operand, name))
+             for name in _VALUE_BRANCH_HOOKS]
+
+    def _hook(name):
+        def hooked(self, *args):
+            raise CompileFallback(
+                "value-dependent control flow: Operand.%s was evaluated "
+                "during the stub run" % name)
+        return hooked
+
+    for name, _ in saved:
+        setattr(Operand, name, _hook(name))
+    try:
+        yield
+    finally:
+        for name, fn in saved:
+            setattr(Operand, name, fn)

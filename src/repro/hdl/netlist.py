@@ -142,7 +142,7 @@ def build_netlist(sfg, types, inputs=(), outputs=(), max_const_frac=32):
 
     consts = {}
     ops = {}
-    for node in sfg.topological_order():
+    for node in sfg.condensed_order():
         if node.kind == "const":
             consts[node] = (node.payload,
                             const_dtype(node.payload, max_const_frac))

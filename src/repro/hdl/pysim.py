@@ -76,7 +76,7 @@ class NetlistSimulator:
         topological order for the expression DAG.
         """
         order = []
-        for node in self.sfg.topological_order():
+        for node in self.sfg.condensed_order():
             if node.kind == "sig":
                 net = self.netlist.nets[node.label]
                 if not net.is_input and net.driver is not None:

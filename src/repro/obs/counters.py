@@ -48,6 +48,14 @@ Well-known names (all under ``parallel.`` / ``journal.`` /
     checkpointed refinement-flow state.
 ``chaos.injected`` / ``chaos.scenarios_run`` / ``chaos.invariant_failures``
     deterministic fault injection (see :mod:`repro.robust.chaos`).
+``compile.batches`` / ``compile.lanes`` / ``compile.samples``
+    compiled-engine groups executed, total lanes (configs) batched into
+    them, and committed samples per group times lanes
+    (see :mod:`repro.compile`).
+``compile.fallbacks`` / ``compile.ineligible``
+    groups re-run interpreted after a :class:`CompileFallback` /
+    configs that never qualified for batching (faults, error()
+    annotations, deadlines, metrics enabled, n > 53 dtypes).
 """
 
 from __future__ import annotations

@@ -382,7 +382,8 @@ def _dtype_key(dt):
     return (dt.n, dt.f, dt.vtype, dt.msbspec, dt.lsbspec)
 
 
-def fingerprint(design_factory, config, seeded_factory=None):
+def fingerprint(design_factory, config, seeded_factory=None,
+                engine="interpreted"):
     """Cache key of one job: design identity + everything that shapes it.
 
     Identical jobs collide (that is the point of the cache); any knob
@@ -391,6 +392,13 @@ def fingerprint(design_factory, config, seeded_factory=None):
     completes, never what a completed run computes, so journaled
     outcomes stay replayable when the deadline is tuned between
     sessions.
+
+    ``engine="compiled"`` folds the engine identity *and* the compiler
+    version into the key: compiled outcomes are bit-identical to
+    interpreted ones by contract, but a lowering bug fixed by a compiler
+    bump must never replay stale journaled results produced by the old
+    lowering.  Interpreted keys are unchanged from before the engine
+    existed, so old journals keep replaying.
 
     >>> def factory():
     ...     pass
@@ -420,6 +428,9 @@ def fingerprint(design_factory, config, seeded_factory=None):
     feed("overflow", config.overflow_action)
     feed("guard", config.guard_action)
     feed("faults", tuple(repr(f) for f in config.faults))
+    if engine == "compiled":
+        from repro.compile import COMPILER_VERSION
+        feed("engine", "compiled:%d" % COMPILER_VERSION)
     return h.hexdigest()
 
 
@@ -806,7 +817,7 @@ def _run_serial(pending, on_complete):
 
 def run_simulations(design_factory, configs, workers=None, cache=None,
                     seeded_factory=None, journal=None, diagnostics=None,
-                    pool_policy=None):
+                    pool_policy=None, engine=None):
     """Run a batch of simulation jobs, in parallel when it pays off.
 
     ``design_factory`` is called (in each worker) to build a fresh
@@ -814,6 +825,15 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
     ``workers=None`` auto-sizes to the visible CPUs (serial on a 1-CPU
     box); any explicit ``workers >= 2`` forces a pool when ``fork`` is
     available.  ``cache`` is an optional :class:`SimCache`.
+
+    ``engine`` selects the execution engine (``None`` defers to
+    :func:`repro.sim.engine.default_engine`).  With ``"compiled"``,
+    eligible jobs are grouped and batch-executed by :mod:`repro.compile`
+    — bit-identically to the interpreted path, with automatic per-group
+    fallback — and only the remainder (ineligible jobs, e.g. fault
+    campaigns) goes through the pool/serial machinery below, so the
+    compiled batch axis *composes* with process-level parallelism
+    instead of replacing it.
 
     ``journal`` (a :class:`repro.robust.recovery.Journal` or a path)
     makes the batch resumable: completed outcomes are appended to the
@@ -831,6 +851,9 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
     :class:`~repro.core.errors.WorkerCrashError` after the healthy rest
     of the batch has completed and been journaled.
     """
+    from repro.sim.engine import resolve_engine
+
+    engine = resolve_engine(engine)
     configs = list(configs)
     results = [None] * len(configs)
 
@@ -846,7 +869,8 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
     for idx, cfg in enumerate(configs):
         key = None
         if need_key:
-            key = fingerprint(design_factory, cfg, seeded_factory)
+            key = fingerprint(design_factory, cfg, seeded_factory,
+                              engine=engine)
             hit = cache.get(key) if cache is not None else None
             if hit is None and journal is not None:
                 hit = journal.get(key)
@@ -874,8 +898,8 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                    for pos, (idx, key, cfg) in enumerate(pending)]
 
     with obs_trace.span("parallel.batch", jobs=len(configs),
-                        cached=n_cached,
-                        replayed=n_replayed) as batch_span:
+                        cached=n_cached, replayed=n_replayed,
+                        engine=engine) as batch_span:
         if n_replayed:
             obs_counters.inc("journal.replays", n_replayed)
             batch_span.event("journal.replay", count=n_replayed,
@@ -945,10 +969,18 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
         mode = "serial"
         fatal = []
         try:
+            if engine == "compiled" and pending:
+                from repro.compile import run_compiled_pending
+                pending = run_compiled_pending(design_factory,
+                                               seeded_factory, pending,
+                                               on_complete, diagnostics,
+                                               _execute)
+                if not pending:
+                    mode = "compiled"
             n_workers = default_workers() if workers is None \
                 else int(workers)
             n_workers = min(n_workers, len(pending))
-            if n_workers >= 2 and _fork_available():
+            if pending and n_workers >= 2 and _fork_available():
                 exe = _BatchExecutor(n_workers, pool_policy, on_complete,
                                      diagnostics, batch_span)
                 try:

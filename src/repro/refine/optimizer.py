@@ -57,7 +57,7 @@ def _sqnr(design_factory, dtypes, n_samples, seed):
 def optimize_wordlengths(design_factory, types, input_types, target_db,
                          n_samples=2000, seed=1234, max_moves=64,
                          signals=None, workers=None, cache=None,
-                         journal=None):
+                         journal=None, engine=None):
     """Greedy bit reclaim/repair against an output SQNR target.
 
     ``types``: the synthesized map to optimize (not mutated);
@@ -77,6 +77,9 @@ def optimize_wordlengths(design_factory, types, input_types, target_db,
     inputs, same probe sequence — re-running the call after a crash
     replays the already-measured probes from disk and continues from the
     first missing one, converging to a bit-identical result.
+    ``engine="compiled"`` runs each probe batch through the compiled
+    engine — every candidate type map becomes one lane of a vectorized
+    batch — producing the same greedy trajectory bit-for-bit.
     """
     types = dict(types)
     names = sorted(signals if signals is not None else types)
@@ -96,7 +99,7 @@ def optimize_wordlengths(design_factory, types, input_types, target_db,
                    for trial in trials]
         outcomes = run_simulations(design_factory, configs,
                                    workers=workers, cache=cache,
-                                   journal=journal)
+                                   journal=journal, engine=engine)
         return [o.records[o.output].sqnr_db() for o in outcomes]
 
     current_sqnr = probe_batch([types])[0]

@@ -81,7 +81,7 @@ def _run_once(design_factory, dtypes, n_samples, seed):
 
 def analyze_sensitivity(design_factory, types, input_types, signals=None,
                         n_samples=2000, seed=1234, workers=None,
-                        cache=None, journal=None):
+                        cache=None, journal=None, engine=None):
     """Measure the output-SQNR effect of +/-1 fractional bit per signal.
 
     ``types`` is the synthesized type map (from the flow), ``input_types``
@@ -93,7 +93,9 @@ def analyze_sensitivity(design_factory, types, input_types, signals=None,
     numbers stay bit-identical to a serial sweep.  ``journal`` (a
     :class:`repro.robust.recovery.Journal` or path) journals each probe
     as it completes and replays completed probes bit-exactly when the
-    sweep is re-run after a crash.
+    sweep is re-run after a crash.  ``engine="compiled"`` batches the
+    whole +/-1-bit sweep — one dtype assignment per lane — through the
+    compiled engine (:mod:`repro.compile`), with the same numbers.
     """
     base_types = {**types, **input_types}
     names = list(signals) if signals is not None else list(types)
@@ -117,7 +119,7 @@ def analyze_sensitivity(design_factory, types, input_types, signals=None,
         plan.append((name, dt.f, has_minus))
 
     outcomes = run_simulations(design_factory, configs, workers=workers,
-                               cache=cache, journal=journal)
+                               cache=cache, journal=journal, engine=engine)
     base = outcomes[0]
     output = base.output
     base_sqnr = base.records[output].sqnr_db()

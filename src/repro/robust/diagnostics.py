@@ -42,6 +42,8 @@ CATEGORY_CODES = {
     "cache-corrupt": "DG206",
     "chaos": "DG207",
     "journal-compact": "DG208",
+    # Compiled simulation engine (repro.compile).
+    "compile-fallback": "DG209",
 }
 
 

@@ -549,7 +549,7 @@ class FaultCampaign:
                          deadline_seconds=self.deadline_seconds)
 
     def run(self, faults, workers=None, cache=None, journal=None,
-            diagnostics=None, pool_policy=None):
+            diagnostics=None, pool_policy=None, engine=None):
         """Execute the campaign; returns a :class:`CampaignResult`.
 
         The baseline and the per-fault runs are independent and go out
@@ -566,6 +566,12 @@ class FaultCampaign:
         events (deadline hits, quarantines, retries, replays) with
         their stable ``DG2xx`` codes; ``pool_policy`` tunes
         retry/quarantine behaviour.
+
+        ``engine`` is forwarded to the runner.  Under
+        ``engine="compiled"`` only the fault-free baseline run is
+        batch-eligible — fault injection hooks into the scalar
+        assignment path, so every per-fault config automatically takes
+        the interpreted pool, composing both levels of parallelism.
         """
         faults = list(faults)
         with obs_trace.span("campaign.run", faults=len(faults),
@@ -579,7 +585,8 @@ class FaultCampaign:
             sim_outcomes = run_simulations(
                 self.factory, configs, workers=workers, cache=cache,
                 seeded_factory=self.seeded_factory, journal=journal,
-                diagnostics=diagnostics, pool_policy=pool_policy)
+                diagnostics=diagnostics, pool_policy=pool_policy,
+                engine=engine)
 
             base = sim_outcomes[0]
             output = self.output or base.output

@@ -135,7 +135,7 @@ def propagate_ranges(sfg, input_ranges=None, forced_ranges=None,
     for k, v in list(input_ranges.items()):
         input_ranges[k] = Interval.coerce(v)
 
-    order = sfg.topological_order()
+    order = sfg.condensed_order()
     values = {}
     for node in order:
         if node.kind == "const":

@@ -17,6 +17,7 @@ Node kinds:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -189,14 +190,103 @@ class SFG:
                     names.append(n.label)
         return sorted(set(names))
 
+    @staticmethod
+    def _structural_key(node):
+        """Sort key independent of trace order up to the final id tiebreak.
+
+        ``(kind, label)`` orders nodes structurally; the id only breaks
+        ties between distinct nodes that share both (e.g. two ``add`` op
+        nodes), where *some* stable tiebreak is required.
+        """
+        return (node.kind, node.label, node.id)
+
     def topological_order(self):
-        """Topological order of the acyclic condensation (cycle-safe)."""
+        """Deterministic topological order of the full graph.
+
+        Lexicographic Kahn's algorithm: among all ready nodes the one
+        with the smallest structural ``(kind, label)`` key is emitted
+        first, so the order does not depend on hash/insertion accidents.
+
+        Raises :class:`~repro.core.errors.DesignError` when the graph is
+        cyclic, naming the signals on an offending cycle — feedback
+        graphs must be scheduled via :meth:`condensed_order` (or have
+        their registers split first, as the compiler does).
+        """
+        indegree = {n: self.g.in_degree(n) for n in self.g.nodes}
+        heap = [self._structural_key(n) + (n,)
+                for n in self.g.nodes if indegree[n] == 0]
+        heapq.heapify(heap)
+        order = []
+        while heap:
+            node = heapq.heappop(heap)[-1]
+            order.append(node)
+            for succ in self.g.successors(node):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(heap, self._structural_key(succ) + (succ,))
+        if len(order) != self.g.number_of_nodes():
+            cycles = self.cycles()
+            if cycles:
+                names = self.cycle_signal_names(cycles[0])
+                detail = " -> ".join(names + names[:1]) if names else "?"
+            else:        # pragma: no cover - cycles() finds one when Kahn stalls
+                detail = "?"
+            raise DesignError(
+                "signal flow graph is cyclic (feedback through %s); "
+                "topological_order() requires an acyclic graph -- use "
+                "condensed_order() for cycle-safe scheduling" % detail)
+        return order
+
+    def condensed_order(self):
+        """Topological order of the acyclic condensation (cycle-safe).
+
+        Components are emitted in condensation order; *within* a
+        strongly connected component the feedback edges into ``reg``
+        nodes (the legal cycle points) are cut, and the remaining
+        combinational subgraph is scheduled by the same lexicographic
+        Kahn as :meth:`topological_order` — so op operands still precede
+        their ops, and the result is stable across traces of the same
+        design.  Nodes on a purely combinational cycle (a design error
+        that downstream consumers diagnose) are appended in structural
+        order.
+        """
         cond = nx.condensation(self.g)
         order = []
         for comp_id in nx.topological_sort(cond):
-            order.extend(sorted(cond.nodes[comp_id]["members"],
-                                key=lambda n: n.id))
+            members = cond.nodes[comp_id]["members"]
+            if len(members) == 1:
+                order.extend(members)
+            else:
+                order.extend(self._component_order(members))
         return order
+
+    def _component_order(self, members):
+        """Schedule one SCC: registers first, then combinational flow."""
+        members = set(members)
+        indegree = {}
+        for n in members:
+            if n.kind == "reg":
+                indegree[n] = 0       # feedback in-edges cut: reg = source
+            else:
+                indegree[n] = sum(1 for p in self.g.predecessors(n)
+                                  if p in members)
+        heap = [self._structural_key(n) + (n,)
+                for n in members if indegree[n] == 0]
+        heapq.heapify(heap)
+        out = []
+        emitted = set()
+        while heap:
+            node = heapq.heappop(heap)[-1]
+            emitted.add(node)
+            out.append(node)
+            for succ in self.g.successors(node):
+                if succ in members and succ.kind != "reg":
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        heapq.heappush(heap,
+                                       self._structural_key(succ) + (succ,))
+        out.extend(sorted(members - emitted, key=self._structural_key))
+        return out
 
     @property
     def n_nodes(self):

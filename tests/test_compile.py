@@ -1,0 +1,280 @@
+"""Unit tests for the compiled-engine machinery itself.
+
+The bit-exactness of compiled results is property-tested in
+``test_property_compile.py``; this module pins down the surrounding
+contracts — engine selection, fingerprint identity, eligibility and
+grouping, fallback diagnostics, cache/journal interplay and the
+quantization-plan edge gates.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compile import (COMPILER_VERSION, CompileFallback, compile_design,
+                           config_eligible, group_key)
+from repro.compile.vectorops import QuantGroup, build_quant_plan
+from repro.core.dtype import DType
+from repro.dsp.lms import LmsEqualizerDesign
+from repro.dsp.timing_recovery import TimingRecoveryDesign
+from repro.obs import counters, metrics as obs_metrics
+from repro.parallel.runner import (SimCache, SimConfig, fingerprint,
+                                   run_simulations)
+from repro.robust.diagnostics import Diagnostics
+from repro.robust.faults import StuckAt
+from repro.sim.engine import (ENGINES, default_engine, resolve_engine,
+                              set_default_engine)
+
+
+# -- engine selection ---------------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_default_is_interpreted(self):
+        assert default_engine() == "interpreted"
+        assert resolve_engine(None) == "interpreted"
+
+    def test_explicit_wins(self):
+        assert resolve_engine("compiled") == "compiled"
+        assert resolve_engine("interpreted") == "interpreted"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            resolve_engine("jit")
+        with pytest.raises(ValueError, match="engine"):
+            set_default_engine("jit")
+
+    def test_set_default_engine_roundtrip(self):
+        prev = set_default_engine("compiled")
+        try:
+            assert default_engine() == "compiled"
+            assert resolve_engine(None) == "compiled"
+        finally:
+            set_default_engine(prev)
+        assert default_engine() == "interpreted"
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "compiled")
+        assert default_engine() == "compiled"
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        assert default_engine() == "interpreted"
+
+    def test_engines_tuple(self):
+        assert ENGINES == ("interpreted", "compiled")
+
+
+# -- fingerprint engine identity ----------------------------------------------
+
+
+class TestFingerprintEngine:
+    def test_interpreted_key_unchanged(self):
+        # Pre-engine journals must keep replaying: the interpreted key
+        # is exactly the key fingerprint() produced before the engine
+        # parameter existed.
+        cfg = SimConfig(label="a", n_samples=50)
+        legacy = fingerprint(LmsEqualizerDesign, cfg)
+        assert fingerprint(LmsEqualizerDesign, cfg,
+                           engine="interpreted") == legacy
+
+    def test_compiled_key_differs(self):
+        cfg = SimConfig(label="a", n_samples=50)
+        assert (fingerprint(LmsEqualizerDesign, cfg, engine="compiled")
+                != fingerprint(LmsEqualizerDesign, cfg))
+
+    def test_compiler_version_in_key(self, monkeypatch):
+        cfg = SimConfig(label="a", n_samples=50)
+        k1 = fingerprint(LmsEqualizerDesign, cfg, engine="compiled")
+        import repro.compile as rc
+        monkeypatch.setattr(rc, "COMPILER_VERSION", COMPILER_VERSION + 1)
+        k2 = fingerprint(LmsEqualizerDesign, cfg, engine="compiled")
+        assert k1 != k2
+
+
+# -- eligibility / grouping ---------------------------------------------------
+
+
+class TestEligibility:
+    def test_plain_config_eligible(self):
+        assert config_eligible(SimConfig())
+
+    def test_faults_ineligible(self):
+        cfg = SimConfig(faults=(StuckAt("x", value=0.0),))
+        assert not config_eligible(cfg)
+
+    def test_error_annotations_ineligible(self):
+        assert not config_eligible(SimConfig(errors={"x": 1e-3}))
+
+    def test_deadline_ineligible(self):
+        assert not config_eligible(SimConfig(deadline_seconds=1.0))
+
+    def test_wide_dtype_ineligible(self):
+        cfg = SimConfig(dtypes={"x": DType("T", 54, 10)})
+        assert not config_eligible(cfg)
+        assert config_eligible(SimConfig(dtypes={"x": DType("T", 53, 10)}))
+
+    def test_group_key_partitions(self):
+        a = SimConfig(label="a", n_samples=100, seed=1)
+        b = SimConfig(label="b", n_samples=100, seed=1,
+                      dtypes={"x": DType("T", 8, 6)}, catch_errors=True)
+        c = SimConfig(label="c", n_samples=200, seed=1)
+        assert group_key(a) == group_key(b)   # label/dtypes don't split
+        assert group_key(a) != group_key(c)   # n_samples does
+
+
+# -- compile_design / describe ------------------------------------------------
+
+
+class TestCompileDesign:
+    def test_describe_lowered(self):
+        info = compile_design(LmsEqualizerDesign).describe()
+        assert info["lowered"] is True
+        assert info["reason"] is None
+        assert info["instructions"] > 0
+        assert info["signals"] > 0
+        assert info["compiler_version"] == COMPILER_VERSION
+
+    def test_describe_fallback_reason(self):
+        info = compile_design(TimingRecoveryDesign).describe()
+        assert info["lowered"] is False
+        assert info["reason"]
+
+    def test_describe_ineligible(self):
+        sim = compile_design(LmsEqualizerDesign,
+                             SimConfig(deadline_seconds=1.0))
+        info = sim.describe()
+        assert info["lowered"] is False
+        assert info["eligible"] is False
+
+    def test_run_matches_interpreted(self):
+        cfgs = [SimConfig(label="l%d" % i, n_samples=60, seed=i)
+                for i in range(3)]
+        compiled = compile_design(LmsEqualizerDesign).run(cfgs)
+        interp = run_simulations(LmsEqualizerDesign, cfgs, workers=0)
+        for a, b in zip(compiled, interp):
+            assert a.output == b.output
+            assert (a.records[a.output].sqnr_db()
+                    == b.records[b.output].sqnr_db())
+
+
+# -- fallback diagnostics -----------------------------------------------------
+
+
+class TestFallbackDiagnostics:
+    def test_dg209_emitted(self):
+        diags = Diagnostics()
+        counters.reset()
+        run_simulations(TimingRecoveryDesign,
+                        [SimConfig(label="t", n_samples=200)],
+                        workers=0, engine="compiled", diagnostics=diags)
+        events = diags.by_category("compile-fallback")
+        assert len(events) == 1
+        assert events[0].code == "DG209"
+        assert events[0].severity == "info"
+        assert counters.get("compile.fallbacks") == 1
+
+    def test_clean_compile_no_diags(self):
+        diags = Diagnostics()
+        run_simulations(LmsEqualizerDesign,
+                        [SimConfig(label="l", n_samples=60)],
+                        workers=0, engine="compiled", diagnostics=diags)
+        assert not diags.by_category("compile-fallback")
+
+    def test_metrics_enabled_disables_compile(self):
+        # Per-assignment metrics hook the scalar path; the compiled
+        # engine cannot feed them and must step aside entirely.
+        counters.reset()
+        obs_metrics.enable()
+        try:
+            run_simulations(LmsEqualizerDesign,
+                            [SimConfig(label="m", n_samples=60)],
+                            workers=0, engine="compiled")
+        finally:
+            obs_metrics.disable()
+        assert counters.get("compile.batches") == 0
+        assert counters.get("compile.ineligible") == 1
+
+
+# -- cache / journal interplay ------------------------------------------------
+
+
+class TestCacheJournal:
+    def test_compiled_outcomes_cached(self):
+        cache = SimCache()
+        cfgs = [SimConfig(label="c%d" % i, n_samples=60,
+                          dtypes={"x": DType("T", 8, 6)}) for i in range(4)]
+        run_simulations(LmsEqualizerDesign, cfgs, workers=0,
+                        cache=cache, engine="compiled")
+        assert cache.misses == 4
+        counters.reset()
+        out = run_simulations(LmsEqualizerDesign, cfgs, workers=0,
+                              cache=cache, engine="compiled")
+        assert cache.hits == 4
+        assert counters.get("compile.batches") == 0   # nothing re-ran
+        assert all(o.error is None for o in out)
+
+    def test_journal_replay(self, tmp_path):
+        path = tmp_path / "compile.journal"
+        cfg = SimConfig(label="j", n_samples=60)
+        first = run_simulations(LmsEqualizerDesign, [cfg], workers=0,
+                                journal=path, engine="compiled")
+        counters.reset()
+        second = run_simulations(LmsEqualizerDesign, [cfg], workers=0,
+                                 journal=path, engine="compiled")
+        assert counters.get("compile.batches") == 0
+        assert (first[0].records[first[0].output].sqnr_db()
+                == second[0].records[second[0].output].sqnr_db())
+
+    def test_engines_do_not_share_cache_keys(self):
+        cache = SimCache()
+        cfg = SimConfig(label="x", n_samples=60)
+        run_simulations(LmsEqualizerDesign, [cfg], workers=0,
+                        cache=cache, engine="interpreted")
+        run_simulations(LmsEqualizerDesign, [cfg], workers=0,
+                        cache=cache, engine="compiled")
+        assert len(cache) == 2
+
+
+# -- quantization-plan gates --------------------------------------------------
+
+
+class TestQuantPlan:
+    def test_all_untyped_passthrough(self):
+        plan = build_quant_plan([None, None])
+        assert plan.groups == ()
+
+    def test_uniform_single_group(self):
+        dt = DType("T", 8, 6)
+        plan = build_quant_plan([dt, dt, dt])
+        assert len(plan.groups) == 1
+        assert plan.groups[0].idx is None
+
+    def test_mixed_groups_and_passthrough(self):
+        a, b = DType("A", 8, 6), DType("B", 10, 4)
+        plan = build_quant_plan([a, None, b, a])
+        assert len(plan.groups) == 2
+        assert plan.passthrough_idx.tolist() == [1]
+
+    def test_wide_dtype_gate(self):
+        with pytest.raises(CompileFallback, match="n=54"):
+            build_quant_plan([DType("W", 54, 10)])
+
+    def test_wrap_wide_gate(self):
+        with pytest.raises(CompileFallback, match="wrap"):
+            QuantGroup(DType("W", 53, 0, msbspec="wrap"))
+        QuantGroup(DType("W", 52, 0, msbspec="wrap"))   # exact: fine
+
+    def test_apply_matches_scalar_kernel(self):
+        # Spot-check the vector quantizer against the scalar kernel at
+        # the nasty points (ties, boundaries); the engine-level property
+        # tests cover it end to end.
+        dt = DType("T", 6, 3, msbspec="wrap")
+        g = QuantGroup(dt)
+        vals = np.array([3.9375, -4.0625, 0.0625, 0.1875, -0.1875, 11.3])
+        out = np.empty_like(vals)
+        codes = np.empty_like(vals)
+        bad = np.empty(len(vals), dtype=bool)
+        b2 = np.empty(len(vals), dtype=bool)
+        g.apply(vals, out, codes, bad, b2)
+        for v, got in zip(vals, out):
+            assert got == dt.kernel(float(v))[0]

@@ -92,6 +92,7 @@ class TestStableCodes:
             "cache-corrupt": "DG206",
             "chaos": "DG207",
             "journal-compact": "DG208",
+            "compile-fallback": "DG209",
         }
 
     @pytest.mark.parametrize("category,code", sorted(CATEGORY_CODES.items()))
