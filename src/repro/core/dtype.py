@@ -143,6 +143,65 @@ class DType:
     def num_codes(self):
         return 1 << self.n
 
+    # -- integer-code (bit-level) semantics ---------------------------------
+    #
+    # A stored word is an integer *code*; the value is ``code * 2**-f``.
+    # These methods are the exact-arithmetic twin of the float kernel,
+    # shared by the bit-vector verifier (repro.verify) and property-tested
+    # bit-for-bit against :attr:`kernel` in tests/test_verify_encode.py.
+
+    @property
+    def code_min(self):
+        """Smallest representable integer code."""
+        return word.int_min(self.n, self.signed)
+
+    @property
+    def code_max(self):
+        """Largest representable integer code."""
+        return word.int_max(self.n, self.signed)
+
+    def to_code(self, value):
+        """Integer code of a value that lies exactly on this type's grid.
+
+        >>> DType("T", 8, 5).to_code(0.125)
+        4
+        """
+        code = int(round(float(value) * (1 << self.f)))
+        if code * 2.0 ** -self.f != float(value):
+            raise DTypeError("value %r is not on the 2**-%d grid"
+                             % (value, self.f))
+        return code
+
+    def value_of_code(self, code):
+        """Real value of an integer code (``code * 2**-f``)."""
+        return int(code) * 2.0 ** -self.f
+
+    def quantize_code(self, code, f_in):
+        """Quantize a code on the ``2**-f_in`` grid into this type.
+
+        Pure integer arithmetic: returns ``(code_out, overflowed)`` where
+        ``code_out`` is the stored code after rounding (per ``lsbspec``)
+        and overflow handling (per ``msbspec``; ``error`` behaves as the
+        recorded-saturate path of the simulator).  Bit-identical to
+        feeding ``code * 2**-f_in`` through :attr:`kernel` whenever that
+        float is exact.
+
+        >>> t = DType("T", 4, 2, "tc", "wrap", "round")
+        >>> t.quantize_code(9, 3)        # 1.125 -> round -> wrap
+        (5, False)
+        >>> t.quantize_code(15, 1)       # 7.5 overflows, wraps to -0.5
+        (-2, True)
+        """
+        rounded = word.shift_round_code(code, int(f_in) - self.f,
+                                        self.lsbspec)
+        lo = word.int_min(self.n, self.signed)
+        hi = word.int_max(self.n, self.signed)
+        if lo <= rounded <= hi:
+            return rounded, False
+        if self.msbspec == "wrap":
+            return word.wrap_code(rounded, self.n, self.signed), True
+        return word.saturate_code(rounded, self.n, self.signed), True
+
     # -- static-analysis queries --------------------------------------------
 
     def covers(self, interval):

@@ -29,6 +29,7 @@ __all__ = [
     "required_msb",
     "wordlength_for_msb",
     "msb_of_wordlength",
+    "shift_round_code",
     "to_bits",
     "from_bits",
 ]
@@ -160,6 +161,42 @@ def needed_frac_bits(value, cap=64):
     trailing = (m53 & -m53).bit_length() - 1
     f = 53 - e - trailing
     return min(cap, max(0, f))
+
+
+def shift_round_code(code, delta, rounding="round"):
+    """Rescale an integer code by ``2**-delta`` with exact rounding.
+
+    A value ``code * 2**-f_in`` re-expressed on the coarser grid
+    ``2**-(f_in - delta)`` becomes ``shift_round_code(code, delta, mode)``
+    — the pure-integer form of the float quantizer's rounding step (the
+    scaled value is ``code / 2**delta``).  ``delta <= 0`` is a lossless
+    left shift.  Modes match :mod:`repro.core.kernels` bit for bit:
+
+    * ``round``  — round half up: ``floor(scaled + 0.5)``,
+    * ``floor``  — toward minus infinity: arithmetic shift right,
+    * ``ceil``   — toward plus infinity,
+    * ``trunc``  — toward zero.
+
+    >>> [shift_round_code(c, 1, "round") for c in (-3, -2, -1, 0, 1, 3)]
+    [-1, -1, 0, 0, 1, 2]
+    >>> [shift_round_code(c, 1, "trunc") for c in (-3, -1, 1, 3)]
+    [-1, 0, 0, 1]
+    >>> shift_round_code(3, -2)
+    12
+    """
+    code = int(code)
+    delta = int(delta)
+    if delta <= 0:
+        return code << -delta
+    if rounding == "round":
+        return (code + (1 << (delta - 1))) >> delta
+    if rounding == "floor":
+        return code >> delta
+    if rounding == "ceil":
+        return -((-code) >> delta)
+    if rounding == "trunc":
+        return code >> delta if code >= 0 else -((-code) >> delta)
+    raise DTypeError("unknown rounding mode %r" % (rounding,))
 
 
 def to_bits(code, n, signed=True):

@@ -35,17 +35,22 @@ def to_json_dict(reports):
     }
 
 
-def to_sarif_dict(reports, tool_version="1.0.0"):
+def to_sarif_dict(reports, tool_version="1.0.0", extra_rules=()):
     """SARIF 2.1.0 payload of one or more :class:`LintReport`.
 
     One SARIF *run* per linted design, each with a stable
     ``automationDetails.id`` (no timestamps — output is deterministic
-    and diffable in CI).
+    and diffable in CI).  ``extra_rules`` appends rule metadata beyond
+    the registered lint rules — rule-shaped objects with ``id`` /
+    ``title`` / ``severity`` / ``description`` / ``hint`` attributes
+    (e.g. ``repro.verify.verdict.VERIFY_RULE_METAS`` for the DG210–
+    DG212 verdict findings).
     """
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
-        "runs": [_sarif_run(r, tool_version) for r in _as_list(reports)],
+        "runs": [_sarif_run(r, tool_version, extra_rules)
+                 for r in _as_list(reports)],
     }
 
 
@@ -68,8 +73,8 @@ def _rule_metadata(cls):
     }
 
 
-def _sarif_run(report, tool_version):
-    rules = all_rules()
+def _sarif_run(report, tool_version, extra_rules=()):
+    rules = list(all_rules()) + list(extra_rules)
     rule_index = {cls.id: i for i, cls in enumerate(rules)}
     return {
         "automationDetails": {"id": "repro-lint/%s" % report.design_name},

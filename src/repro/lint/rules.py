@@ -1,4 +1,4 @@
-"""The paper-grounded lint rules FX001–FX008.
+"""The paper-grounded lint rules FX001–FX009.
 
 Every rule works purely on the traced graph structure, the declared
 types/annotations and the analytical range propagation — never on
@@ -369,3 +369,50 @@ def _assigned_signal(sfg, op_node):
         if succ.kind in ("sig", "reg"):
             return succ.label
     return None
+
+
+@register_rule
+class StateLoopWithoutSaturationRule(Rule):
+    """FX009 — register on a cycle with a wrapping write-back."""
+
+    id = "FX009"
+    title = "state-loop-without-saturation"
+    severity = "warning"
+    description = ("A register sits on a feedback cycle and its "
+                   "write-back quantizes with wrap (its own dtype, or a "
+                   "wrapping cast on the cycle): any rounding residue "
+                   "the loop sustains becomes a zero-input limit cycle, "
+                   "and an overflow re-enters the state far from "
+                   "saturation. prove_no_limit_cycle() decides the "
+                   "hazard exactly for short periods.")
+    hint = ("saturate the state write-back (msbspec='saturate') or "
+            "truncate toward zero so zero-input orbits decay")
+
+    def check(self, lctx):
+        reported = set()
+        for cycle in lctx.cycles:
+            regs = [n for n in cycle if n.kind == "reg"]
+            if not regs:
+                continue
+            wrap_casts = [
+                n.label for n in cycle if n.kind == "op"
+                and (DType.from_cast_label(n.label) is not None
+                     and DType.from_cast_label(n.label).msbspec == "wrap")]
+            names = SFG.cycle_signal_names(cycle)
+            for reg in regs:
+                dt = lctx.dtype(reg.label)
+                wraps_via_dtype = dt is not None and dt.msbspec == "wrap"
+                if not wraps_via_dtype and not wrap_casts:
+                    continue
+                if reg.label in reported:
+                    continue
+                reported.add(reg.label)
+                how = ("its dtype %s wraps" % dt.spec()
+                       if wraps_via_dtype
+                       else "cycle cast %s wraps" % wrap_casts[0])
+                yield self.finding(
+                    "state loop through %s quantizes the write-back of "
+                    "%r with wrap (%s): limit-cycle hazard"
+                    % (" -> ".join(names), reg.label, how),
+                    signal=reg.label, cycle=names,
+                    site=lctx.site(reg.label))

@@ -56,6 +56,13 @@ Well-known names (all under ``parallel.`` / ``journal.`` /
     groups re-run interpreted after a :class:`CompileFallback` /
     configs that never qualified for batching (faults, error()
     annotations, deadlines, metrics enabled, n > 53 dtypes).
+``verify.checks`` / ``verify.proved`` / ``verify.counterexample`` /
+``verify.unknown``
+    bounded-model-checking property checks discharged and their
+    verdicts (see :mod:`repro.verify`; codes DG210–DG212).
+``verify.replays``
+    counterexamples re-executed bit-exactly through the interpreted
+    engine before being reported.
 """
 
 from __future__ import annotations

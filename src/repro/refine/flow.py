@@ -160,6 +160,16 @@ class FlowConfig:
     lint_design: bool = True
     #: samples to run under trace for the lint pass.
     lint_samples: int = 32
+    #: discharge bounded proofs (repro.verify) before the MSB phase and
+    #: surface the verdicts as DG210-DG212 diagnostics of run().  Off by
+    #: default: proofs need declared input ranges and typed state, and
+    #: cost real solver/enumeration time.
+    verify_design: bool = False
+    #: unrolling horizon for the verify pre-flight.
+    verify_k: int = 3
+    #: proof backend for the verify pre-flight ("auto", "enumeration",
+    #: "z3"); see repro.verify.backends.resolve_backend.
+    verify_backend: str = "auto"
 
 
 @dataclass
@@ -633,6 +643,67 @@ class RefinementFlow:
                             rule=f.rule_id)
         return report
 
+    def verify_static(self, k=None, backend=None, budget=None,
+                      properties=("no-overflow", "no-limit-cycle")):
+        """Static pre-flight proofs: bounded model checking of the design.
+
+        Traces the design with the flow's a-priori types (input types
+        plus preset types) and discharges the requested properties
+        through :mod:`repro.verify`: overflow freedom over the declared
+        input ranges and zero-input limit-cycle freedom.  Returns a
+        :class:`~repro.verify.verdict.VerifyReport`; honest ``UNKNOWN``
+        verdicts (missing input ranges, untyped state, exhausted
+        budget) are part of the report, never exceptions.
+        """
+        from repro.verify import (Envelope, VerifyReport,
+                                  prove_no_limit_cycle, prove_no_overflow,
+                                  trace_design)
+        from repro.verify.verdict import UNKNOWN, Verdict
+        cfg = self.cfg
+        k = cfg.verify_k if k is None else int(k)
+        backend = backend or cfg.verify_backend
+        dtypes = {**self.input_types, **self.preset_types}
+        traced = trace_design(self.factory, dtypes=dtypes)
+        verdicts = []
+        if "no-overflow" in properties:
+            missing = [n for n in traced.inputs
+                       if n not in self.input_ranges]
+            if missing:
+                verdicts.append(Verdict(
+                    "no-overflow", UNKNOWN, traced.name, k, backend,
+                    reason="no input range declared for %s; overflow "
+                           "freedom needs a full envelope"
+                           % ", ".join(sorted(missing))))
+            else:
+                envelope = Envelope({n: self.input_ranges[n]
+                                     for n in traced.inputs})
+                verdicts.append(prove_no_overflow(
+                    traced, envelope, k, backend=backend, budget=budget,
+                    dtypes=dtypes))
+        if "no-limit-cycle" in properties:
+            verdicts.append(prove_no_limit_cycle(
+                traced, k, backend=backend, budget=budget,
+                dtypes=dtypes))
+        return VerifyReport(verdicts, design_name=traced.name)
+
+    def _verify_into(self, diagnostics):
+        """Run :meth:`verify_static` defensively; verdicts become
+        DG210-DG212 diagnostics (via their category — never ``rule``,
+        so the DG codes win in :class:`DiagEvent.code`)."""
+        try:
+            report = self.verify_static()
+        except Exception as exc:  # proofs must never break the flow
+            diagnostics.add("verify-unknown", "warning", None,
+                            "static verify pass failed: %s" % exc)
+            return None
+        for v in report:
+            cex = v.counterexample
+            diagnostics.add(
+                v.category, v.severity, None if cex is None else cex.signal,
+                v.describe(), property=v.property, k=v.k,
+                backend=v.backend)
+        return report
+
     # -- one-shot -----------------------------------------------------------------
 
     def _checkpoint_fingerprint(self, strict):
@@ -723,6 +794,9 @@ class RefinementFlow:
         with run_span:
             if self.cfg.lint_design:
                 stage("lint", lambda: bool(self._lint_into(diag)))
+            if self.cfg.verify_design:
+                stage("verify_static",
+                      lambda: bool(self._verify_into(diag)))
             baseline = stage("baseline",
                              lambda: self.baseline_sqnr(diagnostics=diag))
             if strict:

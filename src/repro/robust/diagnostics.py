@@ -44,6 +44,10 @@ CATEGORY_CODES = {
     "journal-compact": "DG208",
     # Compiled simulation engine (repro.compile).
     "compile-fallback": "DG209",
+    # Static verification verdicts (repro.verify).
+    "verify-proved": "DG210",
+    "verify-counterexample": "DG211",
+    "verify-unknown": "DG212",
 }
 
 

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.verify``."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

@@ -1,0 +1,302 @@
+"""Decision backends for the bit-vector checker.
+
+A property is posed as a :class:`VerifyProblem` — a single boolean
+*violation* formula over bounded integer variables plus named witness
+expressions.  ``check`` answers:
+
+* ``sat``     — a violating assignment exists (the model is returned),
+* ``unsat``   — no violating assignment exists: the property is proved
+  for the declared envelope and horizon,
+* ``unknown`` — the backend could not decide within its budget.
+
+Two backends:
+
+:class:`EnumerationBackend`
+    Self-contained exhaustive search over the (finite) variable
+    domains.  Exact — it enumerates every representable stimulus — but
+    only viable when the domain product fits the budget; otherwise it
+    answers ``unknown`` honestly.  This is the backend the unit suite
+    proves real theorems with, no third-party solver required.
+
+:class:`Z3Backend`
+    Translates the same formula onto fixed-width ``z3`` bit-vectors
+    (width chosen from the exact interval bounds, so no intermediate
+    modular overflow is possible).  Used when ``z3-solver`` is
+    importable; both backends agree on every verdict by construction
+    and the test suite cross-checks them whenever z3 is present.
+"""
+
+from __future__ import annotations
+
+from repro.verify import bv
+from repro.verify.encode import VerifyError
+
+__all__ = [
+    "VerifyBudget", "VerifyProblem", "CheckResult",
+    "EnumerationBackend", "Z3Backend",
+    "resolve_backend", "z3_available",
+]
+
+
+class VerifyBudget:
+    """Explicit effort limits; exceeding any of them yields ``unknown``."""
+
+    __slots__ = ("max_assignments", "max_solver_ms", "max_bits")
+
+    def __init__(self, max_assignments=200_000, max_solver_ms=10_000,
+                 max_bits=52):
+        self.max_assignments = int(max_assignments)
+        self.max_solver_ms = int(max_solver_ms)
+        self.max_bits = int(max_bits)
+
+    def __repr__(self):
+        return ("VerifyBudget(max_assignments=%d, max_solver_ms=%d, "
+                "max_bits=%d)" % (self.max_assignments,
+                                  self.max_solver_ms, self.max_bits))
+
+
+class VerifyProblem:
+    """One decidable question: is the violation formula satisfiable?"""
+
+    def __init__(self, violation, witnesses=None):
+        self.violation = violation            # bv.Bool
+        self.witnesses = dict(witnesses or {})  # label -> bv.BV
+
+    def variables(self):
+        """``{name: (lo, hi)}`` for every variable in the formula."""
+        out = {}
+        roots = [self.violation] + list(self.witnesses.values())
+        for node in bv.collect_nodes(roots):
+            if isinstance(node, bv.BV) and node.op == "var":
+                name = node.args[0]
+                if name in out and out[name] != (node.lo, node.hi):
+                    raise VerifyError(
+                        "variable %r declared with two domains" % (name,))
+                out[name] = (node.lo, node.hi)
+        return out
+
+
+class CheckResult:
+    """Backend answer: status, model and witness values, statistics."""
+
+    __slots__ = ("status", "model", "witness_values", "reason", "stats")
+
+    def __init__(self, status, model=None, witness_values=None,
+                 reason="", stats=None):
+        if status not in ("sat", "unsat", "unknown"):
+            raise VerifyError("bad check status %r" % (status,))
+        self.status = status
+        self.model = dict(model or {})
+        self.witness_values = dict(witness_values or {})
+        self.reason = reason
+        self.stats = dict(stats or {})
+
+    def __repr__(self):
+        return "CheckResult(%s%s)" % (
+            self.status, ", " + self.reason if self.reason else "")
+
+
+class EnumerationBackend:
+    """Exhaustive search over the finite stimulus/state space."""
+
+    name = "enumeration"
+
+    def __init__(self, budget=None):
+        self.budget = budget or VerifyBudget()
+
+    def check(self, problem):
+        violation = problem.violation
+        if violation.op == "false":
+            return CheckResult("unsat", stats={"assignments": 0})
+        domains = problem.variables()
+        names = sorted(domains)
+        total = 1
+        for name in names:
+            lo, hi = domains[name]
+            total *= hi - lo + 1
+            if total > self.budget.max_assignments:
+                return CheckResult(
+                    "unknown",
+                    reason="domain has %s assignments; enumeration "
+                           "budget is %d (raise VerifyBudget."
+                           "max_assignments or install z3-solver)"
+                           % (">%d" % self.budget.max_assignments,
+                              self.budget.max_assignments),
+                    stats={"assignments": 0})
+        if violation.op == "true":
+            env = {name: domains[name][0] for name in names}
+            ev = bv.Evaluator(list(problem.witnesses.values()))
+            view = ev.run(env)
+            wv = {k: view[n] for k, n in problem.witnesses.items()}
+            return CheckResult("sat", model=env, witness_values=wv,
+                               stats={"assignments": 1})
+
+        roots = [violation] + list(problem.witnesses.values())
+        ev = bv.Evaluator(roots)
+        env = {name: domains[name][0] for name in names}
+        counters = [domains[name][0] for name in names]
+        n_tried = 0
+        while True:
+            n_tried += 1
+            view = ev.run(env)
+            if view[violation]:
+                wv = {k: view[n]
+                      for k, n in problem.witnesses.items()}
+                return CheckResult("sat", model=dict(env),
+                                   witness_values=wv,
+                                   stats={"assignments": n_tried})
+            # odometer increment
+            i = 0
+            while i < len(names):
+                counters[i] += 1
+                if counters[i] <= domains[names[i]][1]:
+                    env[names[i]] = counters[i]
+                    break
+                counters[i] = domains[names[i]][0]
+                env[names[i]] = counters[i]
+                i += 1
+            if i == len(names):
+                return CheckResult("unsat",
+                                   stats={"assignments": n_tried})
+
+
+def z3_available():
+    try:
+        import z3  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class Z3Backend:
+    """SMT bit-vector backend (requires the optional ``z3-solver``)."""
+
+    name = "z3"
+
+    def __init__(self, budget=None):
+        try:
+            import z3
+        except ImportError:
+            raise VerifyError(
+                "z3-solver is not installed; use the enumeration "
+                "backend or pip install z3-solver")
+        self._z3 = z3
+        self.budget = budget or VerifyBudget()
+
+    def check(self, problem):
+        z3 = self._z3
+        if problem.violation.op == "false":
+            return CheckResult("unsat", stats={"solver": "z3"})
+
+        roots = [problem.violation] + list(problem.witnesses.values())
+        order = bv.collect_nodes(roots)
+        width = 1
+        wrap_widths = []
+        for node in order:
+            if isinstance(node, bv.BV):
+                width = max(width, bv.width_bits(node))
+                if node.op == "wrap":
+                    wrap_widths.append(node.args[1] + 1)
+        width = max([width] + wrap_widths)
+
+        terms = {}
+        zvars = {}
+        constraints = []
+        for node in order:
+            op = node.op
+            a = node.args
+            if isinstance(node, bv.BV):
+                if op == "const":
+                    t = z3.BitVecVal(a[0], width)
+                elif op == "var":
+                    t = zvars.get(a[0])
+                    if t is None:
+                        t = z3.BitVec(a[0], width)
+                        zvars[a[0]] = t
+                        constraints.append(
+                            z3.BitVecVal(node.lo, width) <= t)
+                        constraints.append(
+                            t <= z3.BitVecVal(node.hi, width))
+                elif op == "add":
+                    t = terms[id(a[0])] + terms[id(a[1])]
+                elif op == "sub":
+                    t = terms[id(a[0])] - terms[id(a[1])]
+                elif op == "mul":
+                    t = terms[id(a[0])] * terms[id(a[1])]
+                elif op == "neg":
+                    t = -terms[id(a[0])]
+                elif op == "shl":
+                    t = terms[id(a[0])] << a[1]
+                elif op == "ashr":
+                    t = terms[id(a[0])] >> a[1]   # z3 >> is arithmetic
+                elif op == "ite":
+                    t = z3.If(terms[id(a[0])], terms[id(a[1])],
+                              terms[id(a[2])])
+                elif op == "wrap":
+                    low = z3.Extract(a[1] - 1, 0, terms[id(a[0])])
+                    t = (z3.SignExt(width - a[1], low) if a[2]
+                         else z3.ZeroExt(width - a[1], low))
+                else:                    # pragma: no cover - exhaustive
+                    raise AssertionError("unknown BV op %r" % op)
+            else:
+                if op == "true":
+                    t = z3.BoolVal(True)
+                elif op == "false":
+                    t = z3.BoolVal(False)
+                elif op == "lt":
+                    t = terms[id(a[0])] < terms[id(a[1])]
+                elif op == "le":
+                    t = terms[id(a[0])] <= terms[id(a[1])]
+                elif op == "eq":
+                    t = terms[id(a[0])] == terms[id(a[1])]
+                elif op == "and":
+                    t = z3.And(terms[id(a[0])], terms[id(a[1])])
+                elif op == "or":
+                    t = z3.Or(terms[id(a[0])], terms[id(a[1])])
+                elif op == "not":
+                    t = z3.Not(terms[id(a[0])])
+                else:                    # pragma: no cover - exhaustive
+                    raise AssertionError("unknown Bool op %r" % op)
+            terms[id(node)] = t
+
+        solver = z3.Solver()
+        solver.set("timeout", self.budget.max_solver_ms)
+        for c in constraints:
+            solver.add(c)
+        solver.add(terms[id(problem.violation)])
+        verdict = solver.check()
+        stats = {"solver": "z3", "width": width}
+        if verdict == z3.unsat:
+            return CheckResult("unsat", stats=stats)
+        if verdict == z3.sat:
+            m = solver.model()
+
+            def as_int(term):
+                v = m.eval(term, model_completion=True).as_long()
+                if v >= (1 << (width - 1)):
+                    v -= 1 << width
+                return v
+
+            model = {name: as_int(t) for name, t in zvars.items()}
+            wv = {k: as_int(terms[id(n)])
+                  for k, n in problem.witnesses.items()}
+            return CheckResult("sat", model=model, witness_values=wv,
+                               stats=stats)
+        return CheckResult("unknown",
+                           reason="z3 gave up: %s"
+                                  % solver.reason_unknown(),
+                           stats=stats)
+
+
+def resolve_backend(name="auto", budget=None):
+    """Backend instance for ``auto`` / ``enumeration`` / ``z3``."""
+    if name == "enumeration":
+        return EnumerationBackend(budget)
+    if name == "z3":
+        return Z3Backend(budget)
+    if name == "auto":
+        if z3_available():
+            return Z3Backend(budget)
+        return EnumerationBackend(budget)
+    raise VerifyError("unknown backend %r (want auto, enumeration or z3)"
+                      % (name,))

@@ -1,0 +1,414 @@
+"""Arbitrary-precision bit-vector expression IR of the verifier.
+
+The encoder (:mod:`repro.verify.encode`) lowers a traced design onto
+expressions over *integer codes*: every wire is a pair ``(expr, f)``
+whose real value is ``expr * 2**-f``.  This module provides the
+expression nodes, exact integer interval tracking (used both to size
+solver bit-vectors and to enforce the double-exactness budget), a
+non-recursive linearizer and an evaluator — everything the enumeration
+backend needs, with no third-party dependency.  The z3 backend maps the
+same nodes onto fixed-width ``BitVec`` terms.
+
+Semantics are plain Python integer arithmetic:
+
+* ``ashr`` is an arithmetic (floor) shift right — identical to Python's
+  ``>>`` on negative ints,
+* ``wrap`` is two's-complement (or unsigned) reduction modulo ``2**n``
+  — identical to :func:`repro.core.word.wrap_code`,
+* comparisons are signed integer comparisons.
+
+Constructors constant-fold eagerly, so structurally trivial formulas
+(e.g. multiplication by a literal coefficient) stay small.
+
+>>> x = var("x", -4, 3)
+>>> e = add(mul(x, const(3)), const(1))
+>>> (e.lo, e.hi)
+(-11, 10)
+>>> ev = Evaluator([e])
+>>> ev.run({"x": -2})[e]
+-5
+"""
+
+from __future__ import annotations
+
+from repro.core import word
+
+__all__ = [
+    "BV", "Bool", "Evaluator",
+    "const", "var", "add", "sub", "mul", "neg", "shl", "ashr", "ite",
+    "wrap",
+    "lt", "le", "gt", "ge", "eq", "ne",
+    "band", "bor", "bnot", "bool_const", "TRUE", "FALSE",
+    "any_of", "all_of", "width_bits", "collect_nodes", "variables_of",
+]
+
+
+class BV:
+    """One integer-valued expression node with exact bounds."""
+
+    __slots__ = ("op", "args", "lo", "hi")
+
+    def __init__(self, op, args, lo, hi):
+        self.op = op          # const|var|add|sub|mul|neg|shl|ashr|ite|wrap
+        self.args = args      # operands: BV/Bool nodes or literals
+        self.lo = lo          # exact integer lower bound
+        self.hi = hi          # exact integer upper bound
+
+    def __repr__(self):
+        return "BV(%s, lo=%d, hi=%d)" % (self.op, self.lo, self.hi)
+
+
+class Bool:
+    """One boolean-valued expression node."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op, args):
+        self.op = op          # true|false|lt|le|eq|and|or|not
+        self.args = args
+
+    def __repr__(self):
+        return "Bool(%s)" % self.op
+
+
+TRUE = Bool("true", ())
+FALSE = Bool("false", ())
+
+
+def bool_const(value):
+    return TRUE if value else FALSE
+
+
+# -- constructors (constant-folding) ---------------------------------------
+
+
+def const(value):
+    value = int(value)
+    return BV("const", (value,), value, value)
+
+
+def var(name, lo, hi):
+    lo = int(lo)
+    hi = int(hi)
+    if lo > hi:
+        raise ValueError("empty variable domain %r: [%d, %d]"
+                         % (name, lo, hi))
+    return BV("var", (str(name),), lo, hi)
+
+
+def _is_const(node):
+    return node.op == "const"
+
+
+def add(a, b):
+    if _is_const(a) and _is_const(b):
+        return const(a.lo + b.lo)
+    if _is_const(a) and a.lo == 0:
+        return b
+    if _is_const(b) and b.lo == 0:
+        return a
+    return BV("add", (a, b), a.lo + b.lo, a.hi + b.hi)
+
+
+def sub(a, b):
+    if _is_const(a) and _is_const(b):
+        return const(a.lo - b.lo)
+    if _is_const(b) and b.lo == 0:
+        return a
+    return BV("sub", (a, b), a.lo - b.hi, a.hi - b.lo)
+
+
+def mul(a, b):
+    if _is_const(a) and _is_const(b):
+        return const(a.lo * b.lo)
+    if _is_const(a) and a.lo == 1:
+        return b
+    if _is_const(b) and b.lo == 1:
+        return a
+    corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    return BV("mul", (a, b), min(corners), max(corners))
+
+
+def neg(a):
+    if _is_const(a):
+        return const(-a.lo)
+    return BV("neg", (a,), -a.hi, -a.lo)
+
+
+def shl(a, k):
+    k = int(k)
+    if k == 0:
+        return a
+    if k < 0:
+        raise ValueError("shl wants k >= 0, got %d" % k)
+    if _is_const(a):
+        return const(a.lo << k)
+    return BV("shl", (a, k), a.lo << k, a.hi << k)
+
+
+def ashr(a, k):
+    k = int(k)
+    if k == 0:
+        return a
+    if k < 0:
+        raise ValueError("ashr wants k >= 0, got %d" % k)
+    if _is_const(a):
+        return const(a.lo >> k)
+    return BV("ashr", (a, k), a.lo >> k, a.hi >> k)
+
+
+def ite(cond, a, b):
+    if cond.op == "true":
+        return a
+    if cond.op == "false":
+        return b
+    return BV("ite", (cond, a, b), min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def wrap(a, n, signed=True):
+    """Two's-complement/unsigned reduction of ``a`` modulo ``2**n``."""
+    n = int(n)
+    wmin = word.int_min(n, signed)
+    wmax = word.int_max(n, signed)
+    if a.lo >= wmin and a.hi <= wmax:
+        return a                      # provably in range: wrap is identity
+    if _is_const(a):
+        return const(word.wrap_code(a.lo, n, signed))
+    return BV("wrap", (a, n, signed), wmin, wmax)
+
+
+# -- comparisons / boolean algebra ------------------------------------------
+
+
+def lt(a, b):
+    if a.hi < b.lo:
+        return TRUE
+    if a.lo >= b.hi:
+        return FALSE
+    return Bool("lt", (a, b))
+
+
+def le(a, b):
+    if a.hi <= b.lo:
+        return TRUE
+    if a.lo > b.hi:
+        return FALSE
+    return Bool("le", (a, b))
+
+
+def gt(a, b):
+    return lt(b, a)
+
+
+def ge(a, b):
+    return le(b, a)
+
+
+def eq(a, b):
+    if _is_const(a) and _is_const(b):
+        return bool_const(a.lo == b.lo)
+    if a.hi < b.lo or b.hi < a.lo:
+        return FALSE
+    return Bool("eq", (a, b))
+
+
+def ne(a, b):
+    return bnot(eq(a, b))
+
+
+def band(a, b):
+    if a.op == "false" or b.op == "false":
+        return FALSE
+    if a.op == "true":
+        return b
+    if b.op == "true":
+        return a
+    return Bool("and", (a, b))
+
+
+def bor(a, b):
+    if a.op == "true" or b.op == "true":
+        return TRUE
+    if a.op == "false":
+        return b
+    if b.op == "false":
+        return a
+    return Bool("or", (a, b))
+
+
+def bnot(a):
+    if a.op == "true":
+        return FALSE
+    if a.op == "false":
+        return TRUE
+    if a.op == "not":
+        return a.args[0]
+    return Bool("not", (a,))
+
+
+def any_of(conds):
+    """Balanced OR of a sequence (keeps the DAG shallow)."""
+    conds = [c for c in conds if c.op != "false"]
+    if not conds:
+        return FALSE
+    while len(conds) > 1:
+        conds = [bor(conds[i], conds[i + 1])
+                 if i + 1 < len(conds) else conds[i]
+                 for i in range(0, len(conds), 2)]
+    return conds[0]
+
+
+def all_of(conds):
+    """Balanced AND of a sequence."""
+    conds = [c for c in conds if c.op != "true"]
+    if not conds:
+        return TRUE
+    while len(conds) > 1:
+        conds = [band(conds[i], conds[i + 1])
+                 if i + 1 < len(conds) else conds[i]
+                 for i in range(0, len(conds), 2)]
+    return conds[0]
+
+
+# -- traversal / evaluation --------------------------------------------------
+
+
+def width_bits(node):
+    """Two's-complement bits needed for every value ``node`` can take."""
+    return max(word.bit_length_signed(node.lo),
+               word.bit_length_signed(node.hi))
+
+
+def _children(node):
+    if isinstance(node, BV):
+        if node.op in ("const", "var"):
+            return ()
+        if node.op in ("shl", "ashr"):
+            return (node.args[0],)
+        if node.op == "wrap":
+            return (node.args[0],)
+        return node.args           # add/sub/mul/neg/ite (ite: cond, a, b)
+    if node.op in ("true", "false"):
+        return ()
+    return node.args               # comparisons / and / or / not
+
+
+def collect_nodes(roots):
+    """Every distinct node reachable from ``roots`` in postorder.
+
+    Non-recursive (verification formulas can be deep); each node appears
+    once, after all of its children.
+    """
+    seen = set()
+    order = []
+    stack = [(r, False) for r in reversed(list(roots))]
+    while stack:
+        node, expanded = stack.pop()
+        nid = id(node)
+        if nid in seen:
+            continue
+        if expanded:
+            seen.add(nid)
+            order.append(node)
+            continue
+        stack.append((node, True))
+        for child in reversed(_children(node)):
+            if id(child) not in seen:
+                stack.append((child, False))
+    return order
+
+
+def variables_of(roots):
+    """Sorted names of every ``var`` node reachable from ``roots``."""
+    return sorted({n.args[0] for n in collect_nodes(roots)
+                   if isinstance(n, BV) and n.op == "var"})
+
+
+class Evaluator:
+    """Evaluate a set of root nodes under variable assignments.
+
+    The DAG is linearized once; :meth:`run` then executes a flat
+    instruction list per assignment — the inner loop of the exhaustive
+    enumeration backend.
+    """
+
+    def __init__(self, roots):
+        self.roots = list(roots)
+        self._order = collect_nodes(self.roots)
+        self._index = {id(n): i for i, n in enumerate(self._order)}
+
+    @property
+    def n_nodes(self):
+        return len(self._order)
+
+    def run(self, env):
+        """Evaluate every root under ``env`` (var name -> int).
+
+        Returns a dict keyed by node identity covering *all* reachable
+        nodes, so callers can read intermediate witnesses too.
+        """
+        values = {}
+        wrap_code = word.wrap_code
+        for node in self._order:
+            op = node.op
+            a = node.args
+            if isinstance(node, BV):
+                if op == "const":
+                    v = a[0]
+                elif op == "var":
+                    v = env[a[0]]
+                elif op == "add":
+                    v = values[id(a[0])] + values[id(a[1])]
+                elif op == "sub":
+                    v = values[id(a[0])] - values[id(a[1])]
+                elif op == "mul":
+                    v = values[id(a[0])] * values[id(a[1])]
+                elif op == "neg":
+                    v = -values[id(a[0])]
+                elif op == "shl":
+                    v = values[id(a[0])] << a[1]
+                elif op == "ashr":
+                    v = values[id(a[0])] >> a[1]
+                elif op == "ite":
+                    v = (values[id(a[1])] if values[id(a[0])]
+                         else values[id(a[2])])
+                elif op == "wrap":
+                    v = wrap_code(values[id(a[0])], a[1], a[2])
+                else:                        # pragma: no cover - exhaustive
+                    raise AssertionError("unknown BV op %r" % op)
+            else:
+                if op == "true":
+                    v = True
+                elif op == "false":
+                    v = False
+                elif op == "lt":
+                    v = values[id(a[0])] < values[id(a[1])]
+                elif op == "le":
+                    v = values[id(a[0])] <= values[id(a[1])]
+                elif op == "eq":
+                    v = values[id(a[0])] == values[id(a[1])]
+                elif op == "and":
+                    v = values[id(a[0])] and values[id(a[1])]
+                elif op == "or":
+                    v = values[id(a[0])] or values[id(a[1])]
+                elif op == "not":
+                    v = not values[id(a[0])]
+                else:                        # pragma: no cover - exhaustive
+                    raise AssertionError("unknown Bool op %r" % op)
+            values[id(node)] = v
+        return _ValueView(values)
+
+
+class _ValueView:
+    """Read node values by node object (``view[node]``)."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values):
+        self._values = values
+
+    def __getitem__(self, node):
+        return self._values[id(node)]
+
+    def __contains__(self, node):
+        return id(node) in self._values

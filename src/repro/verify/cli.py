@@ -1,0 +1,187 @@
+"""``python -m repro.verify`` — check the bundled gallery designs.
+
+Runs the documented property checks of each requested gallery entry
+(see :mod:`repro.verify.gallery`) through the selected backend and
+compares every verdict against the entry's expectation.  Exit status:
+0 when every verdict matches, 1 on any mismatch (a wrongly-proved bug
+or a wrongly-refuted theorem is a regression), 2 on usage errors.
+
+Formats reuse the lint pipeline: ``text`` (verdict table), ``json``
+(structured verdicts) and ``sarif`` (findings with DG210–DG212 rule
+metadata, consumable by code-scanning UIs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.verify.backends import VerifyBudget, resolve_backend, \
+    z3_available
+from repro.verify.gallery import gallery
+from repro.verify.properties import prove_no_limit_cycle, \
+    prove_no_overflow, prove_response_error, trace_design
+from repro.verify.verdict import VERIFY_RULE_METAS, VerifyReport
+
+__all__ = ["main", "run_entry_checks"]
+
+_PROVERS = {
+    "no-overflow": prove_no_overflow,
+    "no-limit-cycle": prove_no_limit_cycle,
+    "response-error": prove_response_error,
+}
+
+
+def run_entry_checks(entry, backend="auto", budget=None,
+                     properties=None):
+    """Run one gallery entry's checks.
+
+    Returns ``(report, mismatches)`` — the
+    :class:`~repro.verify.verdict.VerifyReport` plus a list of
+    ``(verdict, expected_status)`` pairs that disagree.
+    """
+    traced = trace_design(entry.factory, name=entry.name)
+    verdicts = []
+    mismatches = []
+    for prop, kwargs, expected in entry.checks:
+        if properties and prop not in properties:
+            continue
+        prover = _PROVERS[prop]
+        verdict = prover(traced, backend=backend, budget=budget,
+                         **kwargs)
+        verdicts.append(verdict)
+        if verdict.status != expected:
+            mismatches.append((verdict, expected))
+    return VerifyReport(verdicts, design_name=entry.name), mismatches
+
+
+def build_parser():
+    p = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Bit-vector bounded model checking over the bundled "
+                    "gallery designs.")
+    p.add_argument("designs", nargs="*",
+                   help="gallery designs to check (default: none; "
+                        "use --all)")
+    p.add_argument("--all", action="store_true",
+                   help="check every gallery design")
+    p.add_argument("--list", action="store_true",
+                   help="list gallery designs and their documented "
+                        "checks")
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "enumeration", "z3"),
+                   help="solver backend (default: auto = z3 when "
+                        "installed, else enumeration)")
+    p.add_argument("--property", action="append", dest="properties",
+                   choices=sorted(_PROVERS),
+                   help="restrict to one property (repeatable)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "sarif"))
+    p.add_argument("--output", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--max-assignments", type=int, default=None,
+                   help="enumeration budget override")
+    p.add_argument("--max-solver-ms", type=int, default=None,
+                   help="z3 timeout override (milliseconds)")
+    return p
+
+
+def _budget(args):
+    kwargs = {}
+    if args.max_assignments is not None:
+        kwargs["max_assignments"] = args.max_assignments
+    if args.max_solver_ms is not None:
+        kwargs["max_solver_ms"] = args.max_solver_ms
+    return VerifyBudget(**kwargs) if kwargs else None
+
+
+def _emit(text, path):
+    if path is None:
+        print(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    entries = gallery()
+
+    if args.list:
+        for name in sorted(entries):
+            e = entries[name]
+            print("%-16s %s" % (name, e.description))
+            for prop, kwargs, expected in e.checks:
+                detail = ", ".join("%s=%r" % kv
+                                   for kv in sorted(kwargs.items()))
+                print("    %-16s %s -> expect %s"
+                      % (prop, detail, expected))
+        return 0
+
+    names = list(args.designs)
+    if args.all:
+        names = sorted(entries)
+    if not names:
+        print("no designs selected; use --all, --list or name designs",
+              file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in entries]
+    if unknown:
+        print("unknown designs: %s (have: %s)"
+              % (", ".join(unknown), ", ".join(sorted(entries))),
+              file=sys.stderr)
+        return 2
+
+    budget = _budget(args)
+    try:
+        resolve_backend(args.backend, budget)
+    except Exception as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    reports = []
+    all_mismatches = []
+    for name in names:
+        report, mismatches = run_entry_checks(
+            entries[name], backend=args.backend, budget=budget,
+            properties=args.properties)
+        reports.append(report)
+        all_mismatches.extend(mismatches)
+
+    if args.format == "text":
+        lines = []
+        for report in reports:
+            lines.append(report.table())
+        for verdict, expected in all_mismatches:
+            lines.append("MISMATCH: %s (expected %s)"
+                         % (verdict.describe(), expected))
+        if not all_mismatches:
+            lines.append("all %d verdicts match the documented "
+                         "expectations (backend: %s)"
+                         % (sum(len(r) for r in reports),
+                            "z3" if args.backend == "z3"
+                            or (args.backend == "auto"
+                                and z3_available())
+                            else "enumeration"))
+        _emit("\n".join(lines), args.output)
+    elif args.format == "json":
+        doc = {
+            "backend": args.backend,
+            "reports": [r.to_dict() for r in reports],
+            "mismatches": [
+                {"verdict": v.to_dict(), "expected": e}
+                for v, e in all_mismatches],
+        }
+        _emit(json.dumps(doc, indent=2, sort_keys=True), args.output)
+    else:  # sarif
+        from repro.lint.output import to_sarif_dict
+        doc = to_sarif_dict([r.to_lint_report() for r in reports],
+                            extra_rules=VERIFY_RULE_METAS)
+        _emit(json.dumps(doc, indent=2, sort_keys=True), args.output)
+
+    return 1 if all_mismatches else 0
+
+
+if __name__ == "__main__":          # pragma: no cover - module CLI
+    sys.exit(main())

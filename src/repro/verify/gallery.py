@@ -1,0 +1,211 @@
+"""Bundled verification gallery: small designs with *expected* verdicts.
+
+Each entry pairs a Design with the properties the checker is expected
+to decide about it — documented envelopes and horizons, chosen so the
+self-contained enumeration backend can discharge every check within
+the default :class:`~repro.verify.backends.VerifyBudget` (z3, when
+installed, must agree; the test suite cross-checks).  The gallery is
+the CLI's and CI's ground truth:
+
+* ``fir-ok`` — a saturating 3-tap FIR whose output word has headroom;
+  overflow-free and limit-cycle-free (theorems, not samples),
+* ``fir-wrap-bug`` — same structure, output squeezed into a wrapping
+  ``<5,4>`` word: the checker finds the overflowing stimulus and the
+  interpreted engine reproduces it bit for bit,
+* ``acc-trunc`` — leaky accumulator with truncating write-back:
+  zero-input orbits strictly decay, so no limit cycle exists,
+* ``acc-round-wrap`` — the same accumulator with round-half-up and a
+  wrapping word: the half-LSB round-up makes the smallest positive
+  code a nonzero fixed point — a period-1 limit cycle (and the FX009
+  lint hazard),
+* ``fir-coarse`` — a 2-tap LTI FIR with a coarse output grid: the
+  response error is exactly one half output LSB, proved as a bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dtype import DType
+from repro.refine.flow import Design
+from repro.signal.signal import Reg, Sig
+from repro.verify.verdict import COUNTEREXAMPLE, PROVED
+
+__all__ = [
+    "GalleryEntry", "gallery",
+    "FirOkDesign", "FirWrapBugDesign", "AccTruncDesign",
+    "AccRoundWrapDesign", "FirCoarseDesign",
+]
+
+#: deterministic on-grid trace stimulus (structure capture only).
+_TRACE_STIM = (0.5, -0.25, 1.0, -1.0, 0.125, 0.0, 0.75, -0.5)
+
+_T_IN = DType("TIN", 5, 3, "tc", "saturate", "round")
+
+
+class _FirBase(Design):
+    """Common FIR skeleton: three delay registers, one weighted sum."""
+
+    inputs = ("x",)
+    output = "y"
+    taps = (0.5, -0.25, 0.125)
+    y_dtype = DType("TY", 8, 5, "tc", "saturate", "round")
+
+    def build(self, ctx):
+        self.x = Sig("x", dtype=_T_IN)
+        self.d0 = Reg("d0", dtype=_T_IN)
+        self.d1 = Reg("d1", dtype=_T_IN)
+        self.d2 = Reg("d2", dtype=_T_IN)
+        self.y = Sig("y", dtype=self.y_dtype)
+        self.x.role = "input"
+        self.y.role = "output"
+
+    def run(self, ctx, n_samples):
+        t0, t1, t2 = self.taps
+        for i in range(int(n_samples)):
+            self.x.assign(_TRACE_STIM[i % len(_TRACE_STIM)])
+            self.y.assign(self.d0 * t0 + self.d1 * t1 + self.d2 * t2)
+            self.d2.assign(self.d1)
+            self.d1.assign(self.d0)
+            self.d0.assign(self.x)
+            ctx.tick()
+
+
+class FirOkDesign(_FirBase):
+    """Saturating FIR with output headroom — overflow-free by design."""
+
+    name = "fir-ok"
+
+
+class FirWrapBugDesign(_FirBase):
+    """FIR whose gain exceeds the wrapping output word — seeded bug."""
+
+    name = "fir-wrap-bug"
+    taps = (0.5, 0.5, 0.25)
+    y_dtype = DType("TYW", 5, 4, "tc", "wrap", "round")
+
+
+class _AccBase(Design):
+    """Leaky accumulator ``w' = Q(0.5*w + 0.25*x)``."""
+
+    inputs = ("x",)
+    output = "w"
+    w_dtype = DType("TW", 5, 3, "tc", "saturate", "trunc")
+
+    def build(self, ctx):
+        self.x = Sig("x", dtype=_T_IN)
+        self.w = Reg("w", dtype=self.w_dtype)
+        self.x.role = "input"
+
+    def run(self, ctx, n_samples):
+        for i in range(int(n_samples)):
+            self.x.assign(_TRACE_STIM[i % len(_TRACE_STIM)])
+            self.w.assign(self.w * 0.5 + self.x * 0.25)
+            ctx.tick()
+
+
+class AccTruncDesign(_AccBase):
+    """Truncating write-back: zero-input orbits strictly decay."""
+
+    name = "acc-trunc"
+
+
+class AccRoundWrapDesign(_AccBase):
+    """Round-half-up + wrap write-back: code 1 is a nonzero fixed
+    point (``round(0.5 LSB)`` rounds back up) — a period-1 limit
+    cycle, and the FX009 hazard."""
+
+    name = "acc-round-wrap"
+    w_dtype = DType("TWR", 5, 3, "tc", "wrap", "round")
+
+
+class FirCoarseDesign(Design):
+    """2-tap LTI FIR with a coarse output grid (response-error demo)."""
+
+    name = "fir-coarse"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x", dtype=_T_IN)
+        self.d0 = Reg("d0", dtype=_T_IN)
+        self.d1 = Reg("d1", dtype=_T_IN)
+        self.y = Sig("y", dtype=DType("TYC", 6, 3, "tc", "saturate",
+                                      "round"))
+        self.x.role = "input"
+        self.y.role = "output"
+
+    def run(self, ctx, n_samples):
+        for i in range(int(n_samples)):
+            self.x.assign(_TRACE_STIM[i % len(_TRACE_STIM)])
+            self.y.assign(self.d0 * 0.5 + self.d1 * 0.25)
+            self.d1.assign(self.d0)
+            self.d0.assign(self.x)
+            ctx.tick()
+
+
+@dataclass
+class GalleryEntry:
+    """One gallery design plus its documented property checks.
+
+    ``checks`` is a list of ``(property, kwargs, expected_status)``
+    triples; ``kwargs`` feed the matching ``prove_*`` function.
+    """
+
+    name: str
+    factory: object
+    description: str
+    checks: list = field(default_factory=list)
+
+
+#: the documented stimulus envelope shared by every gallery check.
+GALLERY_ENVELOPE = {"x": (-1.0, 1.0)}
+
+
+def gallery():
+    """Gallery entries keyed by CLI name."""
+    entries = [
+        GalleryEntry(
+            "fir-ok", FirOkDesign,
+            "saturating 3-tap FIR with output headroom",
+            checks=[
+                ("no-overflow",
+                 dict(envelope=GALLERY_ENVELOPE, k=3), PROVED),
+                ("no-limit-cycle", dict(k=3), PROVED),
+            ]),
+        GalleryEntry(
+            "fir-wrap-bug", FirWrapBugDesign,
+            "FIR gain 1.25 into a wrapping <5,4> output word",
+            checks=[
+                ("no-overflow",
+                 dict(envelope=GALLERY_ENVELOPE, k=3), COUNTEREXAMPLE),
+                ("no-limit-cycle", dict(k=3), PROVED),
+            ]),
+        GalleryEntry(
+            "acc-trunc", AccTruncDesign,
+            "leaky accumulator, truncating saturate write-back",
+            checks=[
+                ("no-overflow",
+                 dict(envelope=GALLERY_ENVELOPE, k=3), PROVED),
+                ("no-limit-cycle", dict(k=4), PROVED),
+            ]),
+        GalleryEntry(
+            "acc-round-wrap", AccRoundWrapDesign,
+            "leaky accumulator, round-half-up wrap write-back",
+            checks=[
+                ("no-overflow",
+                 dict(envelope=GALLERY_ENVELOPE, k=3), PROVED),
+                ("no-limit-cycle", dict(k=2), COUNTEREXAMPLE),
+            ]),
+        GalleryEntry(
+            "fir-coarse", FirCoarseDesign,
+            "2-tap LTI FIR, coarse output grid",
+            checks=[
+                ("no-overflow",
+                 dict(envelope=GALLERY_ENVELOPE, k=3), PROVED),
+                ("response-error",
+                 dict(bound=0.0625, k=3,
+                      envelope=GALLERY_ENVELOPE), PROVED),
+            ]),
+    ]
+    return {e.name: e for e in entries}

@@ -1,0 +1,218 @@
+"""Counterexample replay through the interpreted engine.
+
+A counterexample is only reported after it has been *reproduced*: the
+recorded stimulus is driven through the real ``Sig``/``Reg``/ops
+machinery (via :func:`repro.parallel.run_simulations`, so the replay
+exercises exactly the code path users run) and the claimed violation is
+checked bit-for-bit.  A mismatch means the encoder and the engine have
+drifted apart — that is raised loudly as a :class:`VerifyError` instead
+of reporting an unconfirmed finding.
+
+:class:`SfgReplayDesign` is the generic vehicle: it re-interprets a
+traced SFG as a Design, re-creating each traced signal and re-executing
+each traced op with the engine's own overloaded operators.
+"""
+
+from __future__ import annotations
+
+from repro.core.dtype import DType
+from repro.parallel.runner import SimConfig, run_simulations
+from repro.signal import ops as sigops
+from repro.signal.expr import as_expr
+from repro.signal.signal import Reg, Sig
+from repro.verify.encode import EncodingUnsupported, VerifyError
+
+__all__ = ["SfgReplayDesign", "ReplayResult", "replay_counterexample"]
+
+
+def _fx(value):
+    """Fixed-point value of an operand (float / Sig / Expr)."""
+    if isinstance(value, float):
+        return value
+    return value.fx
+
+
+class SfgReplayDesign:
+    """Design-protocol adapter that re-interprets a traced SFG.
+
+    ``encoder`` supplies the validated structure (schedule, drivers,
+    dtypes, power-on values); ``stimulus`` maps each input name to its
+    per-step values; ``init_state`` optionally overrides register
+    power-on values (limit-cycle counterexamples).  During ``run`` the
+    design records, per step and signal, the pre-quantization incoming
+    value and the stored value — the evidence the verifier compares
+    against its model.
+    """
+
+    name = "verify-replay"
+
+    def __init__(self, encoder, stimulus, init_state=None):
+        self.encoder = encoder
+        self.inputs = tuple(encoder.inputs)
+        self.stimulus = {k: [float(v) for v in vs]
+                         for k, vs in dict(stimulus).items()}
+        self.init_state = dict(init_state or {})
+        self.output = None
+        self.incoming = {}        # signal -> [pre-quantization fx per step]
+        self.stored = {}          # signal -> [post-quantization fx per step]
+        self.overflow_log = []    # (cycle, signal, value) from the context
+
+    # -- Design protocol ---------------------------------------------------
+
+    def build(self, ctx):
+        enc = self.encoder
+        self._sigs = {}
+        for node in enc.sfg.signal_nodes():
+            name = node.label
+            cls = Reg if node.kind == "reg" else Sig
+            sig = cls(name, dtype=enc._dtypes.get(name), ctx=ctx,
+                      init=enc._inits.get(name, 0.0))
+            self._sigs[name] = sig
+        for name, value in self.init_state.items():
+            self._sigs[name].set_init(value)
+        self.incoming = {name: [] for name in self._sigs}
+        self.stored = {name: [] for name in self._sigs}
+        self.overflow_log = []
+
+    def run(self, ctx, n_samples):
+        enc = self.encoder
+        order = enc._order
+        drivers = enc._driver
+        regs = [n.label for n in enc.sfg.nodes("reg")]
+        for t in range(int(n_samples)):
+            for name in self.inputs:
+                series = self.stimulus.get(name, ())
+                value = series[t] if t < len(series) else 0.0
+                sig = self._sigs.get(name)
+                if sig is not None:
+                    sig.assign(value)
+            values = {}
+            for node in order:
+                if node.kind == "const":
+                    values[node] = float(node.payload)
+                elif node.kind == "op":
+                    values[node] = self._apply(node,
+                                               [values[p] for p in
+                                                enc.sfg.preds(node)])
+                elif node.kind == "reg":
+                    values[node] = self._sigs[node.label]
+                else:
+                    name = node.label
+                    sig = self._sigs[name]
+                    driver = drivers.get(name)
+                    if name not in self.inputs and driver is not None:
+                        value = values[driver]
+                        self.incoming[name].append(_fx(value))
+                        sig.assign(value)
+                        self.stored[name].append(sig.fx)
+                    values[node] = sig
+            for name in regs:
+                driver = drivers.get(name)
+                if driver is not None:
+                    value = values[driver]
+                    self.incoming[name].append(_fx(value))
+                    self._sigs[name].assign(value)
+                    self.stored[name].append(self._sigs[name].next_fx)
+            ctx.tick()
+        self.overflow_log = list(ctx.overflow_log)
+
+    # -- op re-execution -----------------------------------------------------
+
+    def _apply(self, node, operands):
+        label = node.label
+        if label == "add":
+            return operands[0] + operands[1]
+        if label == "sub":
+            return operands[0] - operands[1]
+        if label == "mul":
+            return operands[0] * operands[1]
+        if label == "div":
+            return operands[0] / operands[1]
+        if label == "neg":
+            return -operands[0]
+        if label == "abs":
+            return abs(as_expr(operands[0]))
+        if label.startswith("shl") and label[3:].lstrip("-").isdigit():
+            return as_expr(operands[0]) << int(label[3:])
+        if label.startswith("shr") and label[3:].lstrip("-").isdigit():
+            return as_expr(operands[0]) >> int(label[3:])
+        if label == "min":
+            return sigops.fmin(operands[0], operands[1])
+        if label == "max":
+            return sigops.fmax(operands[0], operands[1])
+        if label == "select":
+            if len(operands) != 3:
+                raise EncodingUnsupported(
+                    "cannot replay select with an untraced condition")
+            return sigops.select(as_expr(operands[0]), operands[1],
+                                 operands[2])
+        if label in ("gt", "ge", "lt", "le"):
+            return getattr(sigops, label)(operands[0], operands[1])
+        if label.startswith("cast"):
+            dt = DType.from_cast_label(label)
+            if dt is None:
+                raise EncodingUnsupported("unparsable cast label %r"
+                                          % (label,))
+            return sigops.cast(operands[0], dt)
+        raise EncodingUnsupported("cannot replay op %r" % (label,))
+
+
+class ReplayResult:
+    """Replay evidence: engine outcome plus the recorded traces."""
+
+    __slots__ = ("outcome", "design")
+
+    def __init__(self, outcome, design):
+        self.outcome = outcome
+        self.design = design
+
+    @property
+    def completed(self):
+        return self.outcome.error is None
+
+    def overflow_count(self, signal):
+        rec = self.outcome.records.get(signal)
+        return 0 if rec is None else rec.overflow_count
+
+    def overflow_events(self, signal=None):
+        events = self.design.overflow_log
+        if signal is None:
+            return list(events)
+        return [e for e in events if e[1] == signal]
+
+    def stored_values(self, signal):
+        return list(self.design.stored.get(signal, ()))
+
+    def incoming_values(self, signal):
+        return list(self.design.incoming.get(signal, ()))
+
+
+def replay_counterexample(encoder, counterexample, n_samples=None,
+                          label="verify-replay"):
+    """Drive a counterexample through ``run_simulations`` (serial).
+
+    Returns a :class:`ReplayResult`; the serial path runs in-process, so
+    the design instance — and with it the per-step trace — survives for
+    inspection.
+    """
+    holder = {}
+
+    def factory():
+        design = SfgReplayDesign(encoder, counterexample.inputs,
+                                 counterexample.init_state)
+        holder["design"] = design
+        return design
+
+    horizon = n_samples
+    if horizon is None:
+        horizon = max(counterexample.horizon,
+                      (counterexample.step or 0) + 1, 1)
+    config = SimConfig(label=label, n_samples=int(horizon),
+                       overflow_action="record",
+                       guard_action="sanitize")
+    outcomes = run_simulations(factory, [config], workers=1)
+    design = holder.get("design")
+    if design is None:                      # pragma: no cover - serial path
+        raise VerifyError("replay did not run in-process; cannot "
+                          "inspect the replayed trace")
+    return ReplayResult(outcomes[0], design)

@@ -1,0 +1,275 @@
+"""Verdicts — the checker's output records.
+
+Every property check ends in exactly one of three states:
+
+* ``PROVED`` — the violation formula is unsatisfiable over the declared
+  envelope and horizon: a theorem, not a statistic,
+* ``COUNTEREXAMPLE`` — a concrete stimulus violating the property; it
+  is replayed through the interpreted engine bit-for-bit before being
+  reported (see :mod:`repro.verify.replay`),
+* ``UNKNOWN`` — the encoding or the budget could not cover the
+  question; the reason says why and what to raise.
+
+Each verdict maps onto the existing diagnostics vocabulary: a stable
+DG code (DG210–DG212), a :class:`repro.lint.core.Finding`-compatible
+record for report/SARIF reuse, and a ``verify.*`` counter name.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import Finding, LintReport
+
+__all__ = [
+    "PROVED", "COUNTEREXAMPLE", "UNKNOWN",
+    "DG_CODES", "CATEGORIES", "SEVERITIES", "VERIFY_RULE_METAS",
+    "Counterexample", "Verdict", "VerifyReport",
+]
+
+PROVED = "PROVED"
+COUNTEREXAMPLE = "COUNTEREXAMPLE"
+UNKNOWN = "UNKNOWN"
+
+#: Stable diagnostic codes (see repro.robust.diagnostics.CATEGORY_CODES).
+DG_CODES = {
+    PROVED: "DG210",
+    COUNTEREXAMPLE: "DG211",
+    UNKNOWN: "DG212",
+}
+
+#: Diagnostics stream categories carrying the codes above.
+CATEGORIES = {
+    PROVED: "verify-proved",
+    COUNTEREXAMPLE: "verify-counterexample",
+    UNKNOWN: "verify-unknown",
+}
+
+SEVERITIES = {
+    PROVED: "info",
+    COUNTEREXAMPLE: "error",
+    UNKNOWN: "warning",
+}
+
+
+class _RuleMeta:
+    """Rule-shaped metadata so SARIF output can describe DG210–DG212."""
+
+    def __init__(self, id, title, severity, description, hint):
+        self.id = id
+        self.title = title
+        self.severity = severity
+        self.description = description
+        self.hint = hint
+
+
+#: SARIF rule metadata for verify findings (pass as ``extra_rules`` to
+#: :func:`repro.lint.output.to_sarif_dict`).
+VERIFY_RULE_METAS = (
+    _RuleMeta("DG210", "property proved", "info",
+              "Bounded model checking proved the property for the "
+              "declared envelope and horizon.", ""),
+    _RuleMeta("DG211", "property counterexample", "error",
+              "Bounded model checking found a concrete stimulus "
+              "violating the property; it was replayed through the "
+              "interpreted engine bit for bit.",
+              "replay the recorded stimulus, then widen the type or "
+              "saturate"),
+    _RuleMeta("DG212", "property undecided", "warning",
+              "The encoding or the verification budget could not cover "
+              "the question.",
+              "raise the VerifyBudget, shorten the horizon or install "
+              "z3-solver"),
+)
+
+
+class Counterexample:
+    """A concrete violating execution.
+
+    ``inputs`` maps each input name to its per-step stimulus (real
+    values on the input grid, length = horizon); ``init_state`` maps
+    register names to their power-on values (non-trivial only for
+    limit-cycle counterexamples).  ``signal``/``step``/``value`` locate
+    the first violation: for overflow, the pre-quantization value the
+    engine would log.
+    """
+
+    __slots__ = ("inputs", "init_state", "signal", "step", "value",
+                 "detail", "replayed")
+
+    def __init__(self, inputs, init_state, signal=None, step=None,
+                 value=None, detail="", replayed=False):
+        self.inputs = {k: list(v) for k, v in dict(inputs).items()}
+        self.init_state = dict(init_state)
+        self.signal = signal
+        self.step = step
+        self.value = value
+        self.detail = detail
+        self.replayed = replayed
+
+    @property
+    def horizon(self):
+        return max((len(v) for v in self.inputs.values()), default=0)
+
+    def to_dict(self):
+        return {
+            "inputs": {k: list(v) for k, v in self.inputs.items()},
+            "init_state": dict(self.init_state),
+            "signal": self.signal,
+            "step": self.step,
+            "value": self.value,
+            "detail": self.detail,
+            "replayed": self.replayed,
+        }
+
+    def __repr__(self):
+        return ("Counterexample(signal=%r, step=%r, replayed=%r)"
+                % (self.signal, self.step, self.replayed))
+
+
+class Verdict:
+    """Outcome of one property check on one design."""
+
+    __slots__ = ("property", "status", "design_name", "k", "backend",
+                 "message", "counterexample", "reason", "stats",
+                 "envelope")
+
+    def __init__(self, prop, status, design_name, k, backend,
+                 message="", counterexample=None, reason="", stats=None,
+                 envelope=None):
+        if status not in (PROVED, COUNTEREXAMPLE, UNKNOWN):
+            raise ValueError("bad verdict status %r" % (status,))
+        self.property = prop              # no-overflow | no-limit-cycle
+        self.status = status              # | response-error
+        self.design_name = design_name
+        self.k = int(k)
+        self.backend = backend
+        self.message = message
+        self.counterexample = counterexample
+        self.reason = reason
+        self.stats = dict(stats or {})
+        self.envelope = envelope          # {input: (lo, hi)} or None
+
+    @property
+    def code(self):
+        """Stable DG diagnostic code of this verdict."""
+        return DG_CODES[self.status]
+
+    @property
+    def category(self):
+        return CATEGORIES[self.status]
+
+    @property
+    def severity(self):
+        return SEVERITIES[self.status]
+
+    def describe(self):
+        text = "%s %s [%s, k=%d, %s]" % (
+            self.status, self.property, self.design_name, self.k,
+            self.backend)
+        if self.message:
+            text += ": %s" % self.message
+        if self.status == UNKNOWN and self.reason:
+            text += ": %s" % self.reason
+        return text
+
+    def to_finding(self):
+        """Finding-compatible record for lint report / SARIF reuse."""
+        cex = self.counterexample
+        data = {
+            "property": self.property,
+            "verdict": self.status,
+            "k": self.k,
+            "backend": self.backend,
+        }
+        if self.envelope is not None:
+            data["envelope"] = {k: list(v)
+                                for k, v in self.envelope.items()}
+        if self.reason:
+            data["reason"] = self.reason
+        if cex is not None:
+            data["counterexample"] = cex.to_dict()
+        hint = ""
+        if self.status == COUNTEREXAMPLE:
+            hint = ("replay the recorded stimulus with "
+                    "repro.verify.replay_counterexample, then widen the "
+                    "type or saturate")
+        elif self.status == UNKNOWN:
+            hint = ("raise the VerifyBudget, shorten the horizon or "
+                    "install z3-solver")
+        return Finding(
+            self.code, SEVERITIES[self.status], self.describe(),
+            hint=hint,
+            signal=None if cex is None else cex.signal,
+            data=data)
+
+    def to_dict(self):
+        d = {
+            "property": self.property,
+            "status": self.status,
+            "design": self.design_name,
+            "k": self.k,
+            "backend": self.backend,
+            "code": self.code,
+            "message": self.message,
+            "reason": self.reason,
+            "stats": dict(self.stats),
+        }
+        if self.envelope is not None:
+            d["envelope"] = {k: list(v) for k, v in self.envelope.items()}
+        if self.counterexample is not None:
+            d["counterexample"] = self.counterexample.to_dict()
+        return d
+
+    def __repr__(self):
+        return "Verdict(%s)" % self.describe()
+
+
+class VerifyReport:
+    """All verdicts for one design, with lint-report interoperability."""
+
+    def __init__(self, verdicts, design_name="", artifact=None):
+        self.verdicts = list(verdicts)
+        self.design_name = design_name
+        self.artifact = artifact
+
+    def __iter__(self):
+        return iter(self.verdicts)
+
+    def __len__(self):
+        return len(self.verdicts)
+
+    def by_status(self, status):
+        return [v for v in self.verdicts if v.status == status]
+
+    @property
+    def all_proved(self):
+        return all(v.status == PROVED for v in self.verdicts)
+
+    @property
+    def has_counterexample(self):
+        return any(v.status == COUNTEREXAMPLE for v in self.verdicts)
+
+    def to_lint_report(self):
+        """Reuse the lint text/JSON/SARIF machinery for verify output."""
+        return LintReport([v.to_finding() for v in self.verdicts],
+                          design_name=self.design_name,
+                          artifact=self.artifact)
+
+    def to_dict(self):
+        return {
+            "design": self.design_name,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def summary(self):
+        counts = {PROVED: 0, COUNTEREXAMPLE: 0, UNKNOWN: 0}
+        for v in self.verdicts:
+            counts[v.status] += 1
+        return ("%s: %d proved, %d counterexamples, %d unknown"
+                % (self.design_name or "design", counts[PROVED],
+                   counts[COUNTEREXAMPLE], counts[UNKNOWN]))
+
+    def table(self):
+        lines = [self.summary()]
+        for v in self.verdicts:
+            lines.append("  " + v.describe())
+        return "\n".join(lines)

@@ -93,6 +93,9 @@ class TestStableCodes:
             "chaos": "DG207",
             "journal-compact": "DG208",
             "compile-fallback": "DG209",
+            "verify-proved": "DG210",
+            "verify-counterexample": "DG211",
+            "verify-unknown": "DG212",
         }
 
     @pytest.mark.parametrize("category,code", sorted(CATEGORY_CODES.items()))

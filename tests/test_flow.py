@@ -268,3 +268,48 @@ class TestDeterminism:
         assert {k: t.spec() for k, t in r1.types.items()} == \
                {k: t.spec() for k, t in r2.types.items()}
         assert r1.verification.output_sqnr_db == r2.verification.output_sqnr_db
+
+
+class TestVerifyPreflight:
+    """Opt-in bounded-proof pre-flight (FlowConfig.verify_design)."""
+
+    def _flow(self, factory, **kw):
+        from repro.verify.gallery import FirOkDesign
+        cfg = kw.pop("config",
+                     FlowConfig(n_samples=200, seed=9,
+                                verify_design=True, verify_k=2,
+                                verify_backend="enumeration"))
+        return RefinementFlow(factory or FirOkDesign,
+                              input_ranges={"x": (-1.0, 1.0)},
+                              config=cfg, **kw)
+
+    def test_verify_static_report(self):
+        from repro.verify.gallery import FirOkDesign
+        rep = self._flow(FirOkDesign).verify_static()
+        assert rep.all_proved
+        assert {v.property for v in rep} == {"no-overflow",
+                                             "no-limit-cycle"}
+
+    def test_run_surfaces_dg_codes(self):
+        from repro.verify.gallery import AccRoundWrapDesign
+        res = self._flow(AccRoundWrapDesign).run(strict=False)
+        codes = {e.code for e in res.diagnostics
+                 if e.category.startswith("verify-")}
+        assert "DG210" in codes          # overflow freedom proved
+        assert "DG211" in codes          # the limit cycle, found
+        (cex,) = [e for e in res.diagnostics
+                  if e.category == "verify-counterexample"]
+        assert cex.severity == "error" and cex.signal == "w"
+
+    def test_missing_envelope_is_unknown_not_fatal(self):
+        from repro.verify.gallery import FirOkDesign
+        cfg = FlowConfig(n_samples=200, seed=9, verify_design=True,
+                         verify_k=2, verify_backend="enumeration")
+        flow = RefinementFlow(FirOkDesign, config=cfg)
+        rep = flow.verify_static()
+        statuses = {v.property: v.status for v in rep}
+        assert statuses["no-overflow"] == "UNKNOWN"
+        assert statuses["no-limit-cycle"] == "PROVED"
+
+    def test_off_by_default(self):
+        assert FlowConfig().verify_design is False

@@ -309,6 +309,59 @@ class TestFX008RedundantCast:
         assert rep.by_rule("FX008") == []
 
 
+class TestFX009StateLoopWithoutSaturation:
+    def _acc(self, ctx, spec, cast_spec=None):
+        acc = Reg("acc")
+        x = Sig("x")
+        if spec is not None:
+            acc.set_dtype(DType.from_spec(spec, name="acc_t"))
+        acc.range(-4.0, 4.0)    # keep FX001 out of the picture
+
+        def body():
+            x.assign(0.25)
+            nxt = acc * 0.5 + x
+            if cast_spec is not None:
+                nxt = cast(nxt, DType.from_spec(cast_spec, name="c_t"))
+            acc.assign(nxt)
+
+        return _trace(ctx, body)
+
+    def test_trigger_wrap_dtype(self, ctx):
+        sfg = self._acc(ctx, "<5,3,tc,wr,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"acc"})
+        (f,) = rep.by_rule("FX009")
+        assert f.signal == "acc"
+        assert "wrap" in f.message
+
+    def test_trigger_wrap_cast_on_cycle(self, ctx):
+        sfg = self._acc(ctx, None, cast_spec="<5,3,tc,wr,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"acc"})
+        (f,) = rep.by_rule("FX009")
+        assert f.signal == "acc"
+
+    def test_clean_when_saturating(self, ctx):
+        sfg = self._acc(ctx, "<5,3,tc,sa,ro>")
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"acc"})
+        assert rep.by_rule("FX009") == []
+
+    def test_clean_when_untyped(self, ctx):
+        sfg = self._acc(ctx, None)
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)},
+                       outputs={"acc"})
+        assert rep.by_rule("FX009") == []
+
+    def test_clean_when_no_cycle(self, ctx):
+        x = Sig("x")
+        y = Sig("y")
+        y.set_dtype(DType.from_spec("<5,3,tc,wr,ro>", name="y_t"))
+        sfg = _trace(ctx, lambda: (x.assign(0.5), y.assign(x * 0.5)))
+        rep = run_lint(sfg, input_ranges={"x": (-1, 1)}, outputs={"y"})
+        assert rep.by_rule("FX009") == []
+
+
 class TestConfig:
     def _noisy_graph(self, ctx):
         x = Sig("x")

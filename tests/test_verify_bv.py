@@ -1,0 +1,175 @@
+"""Interval-tracked bit-vector expression layer (repro.verify.bv)."""
+
+import random
+
+import pytest
+
+from repro.verify import bv
+
+
+class TestIntervals:
+    def test_const(self):
+        c = bv.const(-5)
+        assert (c.op, c.lo, c.hi) == ("const", -5, -5)
+
+    def test_var_domain(self):
+        x = bv.var("x", -4, 3)
+        assert (x.lo, x.hi) == (-4, 3)
+        with pytest.raises(ValueError):
+            bv.var("x", 3, -4)
+
+    def test_add_sub_mul_neg(self):
+        x = bv.var("x", -4, 3)
+        y = bv.var("y", 0, 5)
+        assert (bv.add(x, y).lo, bv.add(x, y).hi) == (-4, 8)
+        assert (bv.sub(x, y).lo, bv.sub(x, y).hi) == (-9, 3)
+        m = bv.mul(x, y)
+        assert (m.lo, m.hi) == (-20, 15)
+        n = bv.neg(x)
+        assert (n.lo, n.hi) == (-3, 4)
+
+    def test_shifts(self):
+        x = bv.var("x", -4, 3)
+        s = bv.shl(x, 2)
+        assert (s.lo, s.hi) == (-16, 12)
+        a = bv.ashr(x, 1)
+        assert (a.lo, a.hi) == (-2, 1)
+
+    def test_ashr_is_floor_division(self):
+        x = bv.var("x", -8, 8)
+        node = bv.ashr(x, 1)
+        ev = bv.Evaluator([node])
+        for v in range(-8, 9):
+            assert ev.run({"x": v})[node] == v >> 1
+
+    def test_ite_hull(self):
+        c = bv.lt(bv.var("x", -4, 3), bv.const(0))
+        t = bv.ite(c, bv.const(10), bv.const(-2))
+        assert (t.lo, t.hi) == (-2, 10)
+
+    def test_constant_folding(self):
+        e = bv.add(bv.const(3), bv.const(4))
+        assert e.op == "const" and e.lo == 7
+        assert bv.mul(bv.const(-2), bv.const(5)).lo == -10
+        assert bv.shl(bv.const(3), 2).lo == 12
+
+
+class TestWrap:
+    def test_in_range_folds_to_identity(self):
+        x = bv.var("x", -8, 7)
+        assert bv.wrap(x, 4) is x
+
+    def test_out_of_range_wraps(self):
+        x = bv.var("x", -20, 20)
+        w = bv.wrap(x, 4)
+        assert (w.lo, w.hi) == (-8, 7)
+        ev = bv.Evaluator([w])
+        for v in (-20, -9, -8, 0, 7, 8, 20):
+            got = ev.run({"x": v})[w]
+            expect = ((v + 8) % 16) - 8
+            assert got == expect
+
+    def test_unsigned_wrap(self):
+        x = bv.var("x", -3, 20)
+        w = bv.wrap(x, 4, signed=False)
+        assert (w.lo, w.hi) == (0, 15)
+        ev = bv.Evaluator([w])
+        assert ev.run({"x": -3})[w] == 13
+        assert ev.run({"x": 17})[w] == 1
+
+
+class TestBool:
+    def test_comparison_folds_on_disjoint_intervals(self):
+        a = bv.var("a", 0, 3)
+        b = bv.var("b", 10, 12)
+        assert bv.lt(a, b) is bv.TRUE
+        assert bv.gt(a, b) is bv.FALSE
+        assert bv.eq(a, b) is bv.FALSE
+
+    def test_band_bor_shortcuts(self):
+        c = bv.lt(bv.var("a", 0, 3), bv.const(2))
+        assert bv.band(bv.TRUE, c) is c
+        assert bv.band(bv.FALSE, c) is bv.FALSE
+        assert bv.bor(bv.FALSE, c) is c
+        assert bv.bor(bv.TRUE, c) is bv.TRUE
+        assert bv.bnot(bv.TRUE) is bv.FALSE
+
+    def test_any_all_reduce(self):
+        conds = [bv.lt(bv.var("v%d" % i, 0, 1), bv.const(1))
+                 for i in range(5)]
+        assert bv.any_of([]) is bv.FALSE
+        assert bv.all_of([]) is bv.TRUE
+        assert bv.any_of(conds + [bv.TRUE]) is bv.TRUE
+        assert bv.all_of(conds + [bv.FALSE]) is bv.FALSE
+
+
+class TestEvaluator:
+    def test_doc_example(self):
+        x = bv.var("x", -4, 3)
+        e = bv.add(bv.mul(x, bv.const(3)), bv.const(1))
+        assert (e.lo, e.hi) == (-11, 10)
+        assert bv.Evaluator([e]).run({"x": -2})[e] == -5
+
+    def test_covers_all_reachable_nodes(self):
+        x = bv.var("x", 0, 7)
+        inner = bv.mul(x, bv.const(2))
+        outer = bv.sub(inner, bv.const(1))
+        view = bv.Evaluator([outer]).run({"x": 3})
+        assert view[inner] == 6 and view[outer] == 5
+
+    def test_missing_variable_raises(self):
+        x = bv.var("x", 0, 7)
+        with pytest.raises(KeyError):
+            bv.Evaluator([x]).run({})
+
+    def test_randomized_against_python_ints(self):
+        rng = random.Random(7)
+        x = bv.var("x", -50, 50)
+        y = bv.var("y", -50, 50)
+        expr = bv.add(bv.mul(x, y), bv.neg(bv.sub(x, bv.const(3))))
+        ev = bv.Evaluator([expr])
+        for _ in range(200):
+            vx = rng.randint(-50, 50)
+            vy = rng.randint(-50, 50)
+            assert ev.run({"x": vx, "y": vy})[expr] == \
+                vx * vy + -(vx - 3)
+
+    def test_interval_soundness_randomized(self):
+        rng = random.Random(13)
+        x = bv.var("x", -9, 9)
+        y = bv.var("y", -5, 12)
+        exprs = [bv.add(x, y), bv.sub(x, y), bv.mul(x, y),
+                 bv.shl(x, 3), bv.ashr(y, 2),
+                 bv.ite(bv.lt(x, y), x, bv.neg(y)),
+                 bv.wrap(bv.mul(x, y), 4)]
+        ev = bv.Evaluator(exprs)
+        for _ in range(300):
+            env = {"x": rng.randint(-9, 9), "y": rng.randint(-5, 12)}
+            view = ev.run(env)
+            for e in exprs:
+                assert e.lo <= view[e] <= e.hi
+
+
+class TestStructure:
+    def test_collect_nodes_postorder(self):
+        x = bv.var("x", 0, 1)
+        e = bv.add(x, bv.const(1))
+        nodes = bv.collect_nodes([e])
+        assert nodes.index(x) < nodes.index(e)
+
+    def test_variables_of(self):
+        x = bv.var("x", 0, 1)
+        y = bv.var("y", 0, 1)
+        c = bv.band(bv.lt(x, bv.const(1)), bv.eq(y, bv.const(0)))
+        assert bv.variables_of([c]) == ["x", "y"]
+
+    def test_width_bits(self):
+        assert bv.width_bits(bv.const(0)) >= 1
+        assert bv.width_bits(bv.var("x", -8, 7)) >= 4
+
+    def test_deep_chain_no_recursion_error(self):
+        e = bv.var("x", 0, 1)
+        for _ in range(5000):
+            e = bv.add(e, bv.const(1))
+        view = bv.Evaluator([e]).run({"x": 0})
+        assert view[e] == 5000

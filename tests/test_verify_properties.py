@@ -1,0 +1,203 @@
+"""The three bounded properties against the gallery's documented verdicts.
+
+Every gallery check is discharged with the self-contained enumeration
+backend; when z3 is installed the same checks are repeated there and
+the verdicts must agree (the acceptance bar of the verifier).
+"""
+
+import pytest
+
+from repro.core.dtype import DType
+from repro.refine.flow import Design
+from repro.signal import Reg, Sig
+from repro.signal.ops import fmax
+from repro.verify import (COUNTEREXAMPLE, PROVED, UNKNOWN, Envelope,
+                          VerifyBudget, VerifyError,
+                          prove_no_limit_cycle, prove_no_overflow,
+                          prove_response_error, trace_design,
+                          z3_available)
+from repro.verify.gallery import (AccRoundWrapDesign, FirCoarseDesign,
+                                  FirOkDesign, FirWrapBugDesign,
+                                  GALLERY_ENVELOPE, gallery)
+
+_PROVERS = {
+    "no-overflow": prove_no_overflow,
+    "no-limit-cycle": prove_no_limit_cycle,
+    "response-error": prove_response_error,
+}
+
+
+def _run_check(entry, prop, kwargs, backend):
+    return _PROVERS[prop](entry.factory, backend=backend, **kwargs)
+
+
+def _all_checks():
+    for entry in gallery().values():
+        for prop, kwargs, expected in entry.checks:
+            yield pytest.param(entry, prop, kwargs, expected,
+                               id="%s-%s" % (entry.name, prop))
+
+
+class TestGalleryEnumeration:
+    @pytest.mark.parametrize("entry,prop,kwargs,expected",
+                             list(_all_checks()))
+    def test_documented_verdict(self, entry, prop, kwargs, expected):
+        v = _run_check(entry, prop, kwargs, "enumeration")
+        assert v.status == expected, v.describe()
+        if expected == COUNTEREXAMPLE:
+            assert v.counterexample is not None
+            assert v.counterexample.replayed or prop == "response-error"
+
+    def test_wrap_bug_counterexample_locates_output(self):
+        v = prove_no_overflow(FirWrapBugDesign, GALLERY_ENVELOPE, k=3,
+                              backend="enumeration")
+        cex = v.counterexample
+        assert cex.signal == "y"
+        assert cex.replayed
+        # taps sum to 1.25 > 0.9375 = max of the wrapping <5,4> word.
+        assert abs(cex.value) > 0.9375
+
+    def test_limit_cycle_is_period_one_fixed_point(self):
+        v = prove_no_limit_cycle(AccRoundWrapDesign, k=2,
+                                 backend="enumeration")
+        assert v.status == COUNTEREXAMPLE
+        cex = v.counterexample
+        assert cex.init_state and cex.replayed
+        assert all(all(s == 0.0 for s in series)
+                   for series in cex.inputs.values())
+
+    def test_response_error_tight_bound_violated(self):
+        # half-LSB rounding error is exactly 0.0625; a tighter bound
+        # must produce a concrete violating stimulus.
+        v = prove_response_error(FirCoarseDesign, bound=0.03125, k=3,
+                                 envelope=GALLERY_ENVELOPE,
+                                 backend="enumeration")
+        assert v.status == COUNTEREXAMPLE
+        assert abs(v.counterexample.value) > 0.03125
+
+
+class TestUnknownPaths:
+    def test_budget_exhaustion_is_unknown(self):
+        # fir-ok folds to FALSE by interval analysis alone (no search),
+        # so exhaust the budget on a design whose violation is live.
+        v = prove_no_overflow(FirWrapBugDesign, GALLERY_ENVELOPE, k=3,
+                              backend="enumeration",
+                              budget=VerifyBudget(max_assignments=10))
+        assert v.status == UNKNOWN
+        assert "10" in v.reason or "budget" in v.reason.lower()
+
+    def test_interval_fold_proves_without_search(self):
+        # headroom design: PROVED even under a tiny assignment budget.
+        v = prove_no_overflow(FirOkDesign, GALLERY_ENVELOPE, k=3,
+                              backend="enumeration",
+                              budget=VerifyBudget(max_assignments=1))
+        assert v.status == PROVED
+
+    def test_untyped_state_limit_cycle_unknown(self):
+        class Untyped(Design):
+            name = "untyped-acc"
+            inputs = ("x",)
+
+            def build(self, ctx):
+                self.x = Sig("x", dtype=DType("TI", 5, 3, "tc",
+                                              "saturate", "round"))
+                self.acc = Reg("acc")
+
+            def run(self, ctx, n):
+                for _ in range(int(n)):
+                    self.x.assign(0.25)
+                    self.acc.assign(self.acc * 0.5 + self.x)
+                    ctx.tick()
+
+        v = prove_no_limit_cycle(Untyped, k=2, backend="enumeration")
+        assert v.status == UNKNOWN
+        assert "dtype" in v.reason
+
+    def test_nonlinear_design_response_error_unknown(self):
+        class NonLti(Design):
+            name = "nonlti"
+            inputs = ("x",)
+            output = "y"
+
+            def build(self, ctx):
+                t = DType("TI", 5, 3, "tc", "saturate", "round")
+                self.x = Sig("x", dtype=t)
+                self.y = Sig("y", dtype=t)
+
+            def run(self, ctx, n):
+                for _ in range(int(n)):
+                    self.x.assign(0.25)
+                    self.y.assign(fmax(self.x, 0.0))
+                    ctx.tick()
+
+        v = prove_response_error(NonLti, bound=0.5, k=2,
+                                 envelope=GALLERY_ENVELOPE,
+                                 backend="enumeration")
+        assert v.status == UNKNOWN
+
+    def test_stateless_design_limit_cycle_trivially_proved(self):
+        class Stateless(Design):
+            name = "stateless"
+            inputs = ("x",)
+            output = "y"
+
+            def build(self, ctx):
+                t = DType("TI", 5, 3, "tc", "saturate", "round")
+                self.x = Sig("x", dtype=t)
+                self.y = Sig("y", dtype=t)
+
+            def run(self, ctx, n):
+                for _ in range(int(n)):
+                    self.x.assign(0.5)
+                    self.y.assign(self.x * 0.5)
+                    ctx.tick()
+
+        v = prove_no_limit_cycle(Stateless, k=3, backend="enumeration")
+        assert v.status == PROVED
+
+
+class TestVerdictPlumbing:
+    def test_finding_carries_dg_code_and_payload(self):
+        v = prove_no_overflow(FirWrapBugDesign, GALLERY_ENVELOPE, k=3,
+                              backend="enumeration")
+        f = v.to_finding()
+        assert f.rule_id == "DG211"
+        assert f.severity == "error"
+        assert f.data["counterexample"]["signal"] == "y"
+        assert f.data["envelope"]["x"] == [-1.0, 1.0]
+
+    def test_counters_move(self):
+        from repro.obs import counters
+        counters.reset()
+        prove_no_overflow(FirOkDesign, GALLERY_ENVELOPE, k=2,
+                          backend="enumeration")
+        prove_no_overflow(FirWrapBugDesign, GALLERY_ENVELOPE, k=3,
+                          backend="enumeration")
+        assert counters.get("verify.checks") == 2
+        assert counters.get("verify.proved") == 1
+        assert counters.get("verify.counterexample") == 1
+        assert counters.get("verify.replays") == 1
+
+    def test_bad_bound_raises(self):
+        with pytest.raises(VerifyError):
+            prove_response_error(FirCoarseDesign, bound=-1.0, k=2,
+                                 envelope=GALLERY_ENVELOPE)
+
+
+@pytest.mark.skipif(not z3_available(), reason="z3-solver not installed")
+class TestBackendAgreement:
+    """Both backends must return the same verdict on every gallery
+    check — the acceptance bar of ISSUE 8."""
+
+    @pytest.mark.parametrize("entry,prop,kwargs,expected",
+                             list(_all_checks()))
+    def test_z3_agrees_with_enumeration(self, entry, prop, kwargs,
+                                        expected):
+        ve = _run_check(entry, prop, kwargs, "enumeration")
+        vz = _run_check(entry, prop, kwargs, "z3")
+        assert ve.status == vz.status == expected, \
+            (ve.describe(), vz.describe())
+
+    def test_auto_prefers_z3(self):
+        from repro.verify import VerifyBudget, resolve_backend
+        assert resolve_backend("auto", VerifyBudget()).name == "z3"
