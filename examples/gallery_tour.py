@@ -1,0 +1,91 @@
+"""A tour of the design gallery (``docs/gallery.md``).
+
+1. walk the registry: seven refinement case studies, each with a
+   declared input envelope, chosen dtypes and a documented SQNR
+   target;
+2. run one design end to end — annotated simulation, lint pre-flight,
+   bounded-model-checking pre-flight — the same triple the CLI's
+   ``python -m repro.gallery run`` prints;
+3. run a miniature scenario matrix (2 designs x 2 channels x
+   2 fault campaigns x 2 seeds) with a write-ahead journal, then run
+   it again to show every cell replaying bit-exactly from disk;
+4. write the artifact and regression-check it against itself — the
+   contract CI's gallery-smoke job enforces with the committed
+   ``GALLERY_MATRIX.json``.
+
+Run:  python examples/gallery_tour.py
+"""
+
+import os
+import tempfile
+
+from repro.gallery import (gallery, lint_entry, single_run, verify_entry)
+from repro.gallery.matrix import (check_artifact, load_artifact,
+                                  run_matrix, write_artifact)
+from repro.obs import counters
+
+# -- 1. the registry -----------------------------------------------------
+
+entries = gallery()
+print("registry: %d designs" % len(entries))
+for name in sorted(entries):
+    e = entries[name]
+    print("  %-14s target %5.1f dB  %s" % (name, e.sqnr_target_db,
+                                           e.description))
+
+# -- 2. one design end to end -------------------------------------------
+
+entry = entries["goertzel"]
+out = single_run(entry, n_samples=1024)
+sqnr = out.sqnr_db()
+print("\ngoertzel: SQNR %.2f dB (target %.1f)" % (sqnr,
+                                                  entry.sqnr_target_db))
+assert out.completed and sqnr >= entry.sqnr_target_db
+
+report = lint_entry(entry)
+errors = [f for f in report if f.severity == "error"]
+print("lint: %d finding(s), %d error(s)" % (len(report), len(errors)))
+assert not errors
+
+for verdict in verify_entry(entry):
+    print("verify:", verdict.describe())
+    assert verdict.status == "PROVED"
+
+# -- 3. a mini matrix, journaled and resumed ----------------------------
+
+grid = dict(designs=("kalman", "iir-lattice"),
+            channels=("clean", "awgn"),
+            campaigns=("clean", "bitflip-lsb"),
+            seeds=(101, 202), n_samples=256, analyze=False)
+
+with tempfile.TemporaryDirectory() as tmp:
+    journal = os.path.join(tmp, "matrix.jsonl")
+    first = run_matrix(journal=journal, **grid)
+    print("\nmatrix: %d cells, digest %s..."
+          % (len(first.cells), first.digest()[:12]))
+
+    counters.reset()
+    second = run_matrix(journal=journal, **grid)
+    replays = counters.get("journal.replays")
+    print("rerun with the same journal: %d/%d cells replayed from disk"
+          % (replays, len(second.cells)))
+    assert replays == len(first.cells)
+    assert first.digest() == second.digest()
+
+    # -- 4. the artifact contract ---------------------------------------
+
+    full = run_matrix(designs=sorted(entries), n_samples=256,
+                      seeds=(101, 202))
+    path = os.path.join(tmp, "GALLERY_MATRIX.json")
+    write_artifact(full, path)
+    problems = check_artifact(full.to_artifact(), load_artifact(path))
+    print("artifact: %d cells, %d designs analyzed, check -> %s"
+          % (len(full.cells), len(full.design_reports),
+             problems or "ok"))
+    assert not problems
+    for name, rep in sorted(full.design_reports.items()):
+        print("  %-14s min clean SQNR %6.2f dB  lint_clean=%s  %s"
+              % (name, rep["sqnr_db_min_clean"], rep["lint_clean"],
+                 ",".join(v["status"] for v in rep["verify"])))
+
+print("\ngallery tour ok")

@@ -1,0 +1,7 @@
+"""``python -m repro.gallery`` — see :mod:`repro.gallery.cli`."""
+
+import sys
+
+from repro.gallery.cli import main
+
+sys.exit(main())

@@ -1,0 +1,74 @@
+"""``python -m repro.gallery`` — exit codes and output contracts."""
+
+import json
+
+import pytest
+
+from repro.gallery.cli import main
+
+# Fast CLI matrix sub-grid: two designs, minimum ISSUE axes.
+MATRIX_ARGS = ["matrix", "--designs", "kalman,iir-lattice",
+               "--channels", "clean,awgn",
+               "--campaigns", "clean,bitflip-lsb",
+               "--seeds", "101,202", "--samples", "192"]
+
+
+class TestList:
+    def test_lists_every_design(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fft-butterfly", "polyphase-fir", "goertzel",
+                     "iir-lattice", "ddc", "kalman", "decim-interp"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_ok(self, capsys):
+        assert main(["run", "kalman", "--samples", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "kalman" in out and "ok" in out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "goertzel", "--samples", "256",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "goertzel"
+        assert payload["meets_target"] is True
+        assert payload["verify"]
+
+    def test_unknown_design_is_usage_error(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+
+class TestMatrix:
+    def test_matrix_writes_artifact_and_checks_clean(self, tmp_path,
+                                                     capsys):
+        out_path = tmp_path / "m.json"
+        assert main(MATRIX_ARGS + ["--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["counts"]["cells"] == 16
+        capsys.readouterr()
+
+        assert main(MATRIX_ARGS + ["--check", str(out_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_matrix_check_fails_on_regression(self, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main(MATRIX_ARGS + ["--out", str(out_path)]) == 0
+        tampered = json.loads(out_path.read_text())
+        tampered["digest"] = "0" * len(tampered["digest"])
+        out_path.write_text(json.dumps(tampered))
+        capsys.readouterr()
+
+        assert main(MATRIX_ARGS + ["--check", str(out_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_matrix_journal_flag(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        assert main(MATRIX_ARGS + ["--journal", str(journal)]) == 0
+        assert journal.exists()
+
+    def test_bad_axis_value_raises(self):
+        with pytest.raises(KeyError):
+            main(["matrix", "--designs", "nope"])

@@ -1,0 +1,207 @@
+"""The scenario matrix: grid coverage, digest stability, the committed
+artifact contract, and bit-exact journal resume — including a run
+killed outright (``kill -9``) mid-matrix.
+"""
+
+import copy
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.gallery.matrix import (FULL_AXES, SMOKE_AXES, check_artifact,
+                                  load_artifact, matrix_digest,
+                                  run_matrix, write_artifact)
+from repro.obs import counters
+
+# A fast deterministic sub-grid shared by the tests below.
+GRID = dict(designs=("kalman", "iir-lattice"),
+            channels=("clean", "awgn"),
+            campaigns=("clean", "bitflip-lsb"),
+            seeds=(101, 202), n_samples=192)
+
+
+class TestGrid:
+    def test_smoke_axes_meet_issue_floor(self):
+        assert len(SMOKE_AXES["channels"]) >= 2
+        assert len(SMOKE_AXES["campaigns"]) >= 2
+        assert len(SMOKE_AXES["seeds"]) >= 2
+        assert set(SMOKE_AXES["channels"]) <= set(FULL_AXES["channels"])
+        assert set(SMOKE_AXES["campaigns"]) <= set(FULL_AXES["campaigns"])
+
+    def test_small_matrix_completes_every_cell(self):
+        result = run_matrix(analyze=False, **GRID)
+        assert len(result.cells) == 2 * 2 * 2 * 2
+        assert all(c["completed"] for c in result.cells)
+        # The bitflip campaign must actually have fired its fault.
+        flips = [c for c in result.cells
+                 if c["campaign"] == "bitflip-lsb"]
+        assert flips and all(c["fault_fired"] for c in flips)
+        clean = [c for c in result.cells if c["campaign"] == "clean"]
+        assert clean and not any(c["fault_fired"] for c in clean)
+
+    def test_digest_deterministic_across_runs(self):
+        a = run_matrix(analyze=False, **GRID)
+        b = run_matrix(analyze=False, **GRID)
+        assert a.digest() == b.digest()
+        assert [c["sqnr_db"] for c in a.cells] == \
+               [c["sqnr_db"] for c in b.cells]
+
+    def test_digest_structural_only(self):
+        result = run_matrix(analyze=False, **GRID)
+        cells = copy.deepcopy(result.cells)
+        cells[0]["sqnr_db"] = 99.99          # measured float: no change
+        assert matrix_digest(cells, {}) == \
+            matrix_digest(result.cells, {})
+        cells[0]["completed"] = False        # structural fact: change
+        assert matrix_digest(cells, {}) != \
+            matrix_digest(result.cells, {})
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(KeyError, match="unknown gallery design"):
+            run_matrix(designs=("nope",), analyze=False)
+        with pytest.raises(KeyError, match="unknown channel"):
+            run_matrix(channels=("nope",), analyze=False)
+        with pytest.raises(KeyError, match="unknown fault campaign"):
+            run_matrix(campaigns=("nope",), analyze=False)
+
+
+class TestArtifact:
+    def test_roundtrip_and_check_ok(self, tmp_path):
+        result = run_matrix(analyze=False, **GRID)
+        path = tmp_path / "m.json"
+        payload = write_artifact(result, str(path))
+        loaded = load_artifact(str(path))
+        assert loaded == payload
+        assert loaded["schema"] == "repro.gallery.matrix/v1"
+        assert loaded["counts"]["cells"] == len(result.cells)
+        assert check_artifact(result.to_artifact(), loaded) == []
+
+    def test_check_flags_structural_tamper(self, tmp_path):
+        result = run_matrix(analyze=False, **GRID)
+        committed = result.to_artifact()
+        tampered = copy.deepcopy(committed)
+        tampered["digest"] = "0" * len(committed["digest"])
+        problems = check_artifact(result.to_artifact(), tampered)
+        assert problems and "digest mismatch" in problems[0]
+
+    def test_check_flags_sqnr_drift_but_tolerates_noise(self):
+        result = run_matrix(analyze=False, **GRID)
+        committed = result.to_artifact()
+        drifted = copy.deepcopy(committed)
+        for c in drifted["cells"]:
+            if c["campaign"] == "clean" and c["sqnr_db"] is not None:
+                c["sqnr_db"] = round(c["sqnr_db"] + 0.4, 2)
+        assert check_artifact(drifted, committed) == []
+        for c in drifted["cells"]:
+            if c["campaign"] == "clean" and c["sqnr_db"] is not None:
+                c["sqnr_db"] = round(c["sqnr_db"] + 5.0, 2)
+        problems = check_artifact(drifted, committed)
+        assert problems and "drifted" in problems[0]
+
+    def test_committed_artifact_is_current_schema(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        committed = load_artifact(os.path.join(root,
+                                               "GALLERY_MATRIX.json"))
+        assert committed["schema"] == "repro.gallery.matrix/v1"
+        assert committed["counts"]["designs"] >= 6
+        for rep in committed["designs"].values():
+            assert rep["meets_target"]
+            assert rep["lint_clean"]
+            assert rep["verify"]      # a recorded verdict per design
+
+
+class TestJournalResume:
+    def test_rerun_with_journal_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "m.jsonl"
+        first = run_matrix(analyze=False, journal=str(journal), **GRID)
+        counters.reset()
+        second = run_matrix(analyze=False, journal=str(journal), **GRID)
+        assert counters.get("journal.replays") == len(first.cells)
+        assert first.digest() == second.digest()
+        assert [c["sqnr_db"] for c in first.cells] == \
+               [c["sqnr_db"] for c in second.cells]
+
+    def test_killed_matrix_resumes_bit_identical(self, tmp_path):
+        """SIGKILL the matrix mid-run; the journal resumes it to the
+        same digest and per-cell SQNRs as an uninterrupted run."""
+        helper = tmp_path / "matrix_helper.py"
+        helper.write_text(HELPER)
+        journal = tmp_path / "m.jsonl"
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_PARALLEL"] = "0"
+        child = subprocess.Popen(
+            [sys.executable, str(helper), str(journal)], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if child.poll() is not None:
+                    pytest.fail("matrix finished before it could be "
+                                "killed; slow the helper down")
+                if journal.exists() and \
+                        journal.read_text().count('"outcome"') >= 2:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("journal never accumulated two outcomes")
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait()
+
+        import importlib.util
+        spec = importlib.util.spec_from_file_location("matrix_helper",
+                                                      str(helper))
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        counters.reset()
+        resumed = mod.matrix(str(journal))
+        assert counters.get("journal.replays") >= 2
+
+        fresh = mod.matrix(None)
+        assert resumed["digest"] == fresh["digest"]
+        assert resumed["sqnr"] == fresh["sqnr"]
+
+
+# The child process the SIGKILL test tears down: the same sub-grid the
+# resumed/fresh runs execute, slowed enough to be killable mid-matrix.
+HELPER = '''
+import sys
+
+from repro.gallery.matrix import run_matrix
+
+
+def matrix(journal):
+    result = run_matrix(designs=("kalman", "goertzel"),
+                        channels=("clean", "awgn"),
+                        campaigns=("clean", "bitflip-lsb"),
+                        seeds=(101, 202), n_samples=1500,
+                        analyze=False, workers=0, journal=journal)
+    return {"digest": result.digest(),
+            "sqnr": [c["sqnr_db"] for c in result.cells]}
+
+
+if __name__ == "__main__":
+    matrix(sys.argv[1])
+'''
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    def test_full_grid_meets_every_target(self):
+        result = run_matrix(smoke=False)
+        axes = result.axes
+        expected = (len(axes["designs"]) * len(axes["channels"])
+                    * len(axes["campaigns"]) * len(axes["seeds"]))
+        assert len(result.cells) == expected
+        assert result.all_targets_met
+        for rep in result.design_reports.values():
+            assert rep["lint_clean"]
