@@ -470,6 +470,7 @@ class SimCache:
         self.n_corrupt += 1
         self.misses += 1
         obs_counters.inc("cache.corrupt")
+        obs_counters.inc("cache.misses")
 
     def get(self, key):
         entry = self._store.get(key)
@@ -482,6 +483,7 @@ class SimCache:
                 entry = None
         if entry is None:
             self.misses += 1
+            obs_counters.inc("cache.misses")
             return None
         payload, sha = entry
         if hashlib.sha256(payload).hexdigest() != sha:
@@ -495,6 +497,7 @@ class SimCache:
             self._drop_corrupt(key)
             return None
         self.hits += 1
+        obs_counters.inc("cache.hits")
         self._store.move_to_end(key)
         return outcome
 
@@ -517,6 +520,27 @@ class SimCache:
         elif len(self._store) >= self.max_entries:
             self._store.popitem(last=False)   # least recently used
         self._store[key] = (payload, sha)
+
+    def stats(self):
+        """Measurable snapshot of the cache's effectiveness.
+
+        Returned dict: ``entries`` / ``max_entries`` (occupancy),
+        ``hits`` / ``misses`` / ``n_corrupt`` (lifetime tallies) and
+        ``hit_rate`` (0.0 when the cache was never consulted).  The
+        same tallies stream into the ``cache.hits`` / ``cache.misses``
+        / ``cache.corrupt`` process-wide counters
+        (:mod:`repro.obs.counters`); this snapshot is the per-instance
+        view a service exposes per store.
+        """
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._store),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "n_corrupt": self.n_corrupt,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
 
     def clear(self):
         self._store.clear()
@@ -1029,6 +1053,7 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                     rec.extend(outcome.obs_events)
 
         if journal is not None:
+            skipped_before = getattr(journal, "n_compact_skipped", 0)
             dropped = getattr(journal, "maybe_compact", lambda: 0)()
             if dropped:
                 batch_span.event("journal.compact", dropped=dropped)
@@ -1038,6 +1063,14 @@ def run_simulations(design_factory, configs, workers=None, cache=None,
                         "journal %s compacted: %d superseded record(s) "
                         "dropped" % (journal.path, dropped),
                         dropped=dropped)
+            elif getattr(journal, "n_compact_skipped", 0) > skipped_before:
+                batch_span.event("journal.compact_contended")
+                if diagnostics is not None:
+                    diagnostics.add(
+                        "journal-compact", "warning", None,
+                        "journal %s compaction skipped: another process "
+                        "holds the compaction lock (their rewrite serves "
+                        "both)" % journal.path, contended=True)
 
         if fatal:
             # The rest of the batch is complete (and journaled); now

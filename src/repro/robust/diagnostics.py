@@ -48,6 +48,13 @@ CATEGORY_CODES = {
     "verify-proved": "DG210",
     "verify-counterexample": "DG211",
     "verify-unknown": "DG212",
+    # Refinement-as-a-service (repro.service).
+    "service-reject": "DG213",
+    "service-dedupe": "DG214",
+    "service-breaker": "DG215",
+    "service-recover": "DG216",
+    "service-quarantine": "DG217",
+    "service-cancel": "DG218",
 }
 
 

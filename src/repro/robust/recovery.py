@@ -56,6 +56,11 @@ import os
 import pickle
 import tempfile
 
+try:                                   # POSIX advisory locks
+    import fcntl
+except ImportError:                    # pragma: no cover - non-POSIX
+    fcntl = None
+
 from repro import chaoshooks
 from repro.core.errors import JournalError
 from repro.obs import counters as obs_counters
@@ -114,6 +119,8 @@ class Journal:
         self.misses = 0
         #: records dropped on load because of a torn/corrupt tail.
         self.n_dropped = 0
+        #: compactions skipped because another process held the lock.
+        self.n_compact_skipped = 0
         #: True once an append-time OSError demoted this journal to
         #: in-memory-only operation (see ``on_io_error``).
         self.degraded = False
@@ -295,6 +302,54 @@ class Journal:
 
     # -- compaction --------------------------------------------------------
 
+    def _acquire_compact_lock(self):
+        """Try to take the cross-process compaction lock.
+
+        Two processes sharing one journal file must not rewrite it
+        concurrently (two temp-file + ``os.replace`` dances would
+        silently drop one side's records).  The lock is advisory —
+        ``flock(LOCK_EX | LOCK_NB)`` on a ``<path>.lock`` sidecar, with
+        an ``O_EXCL`` lock *file* fallback where ``fcntl`` is missing —
+        and contention is not an error: the loser degrades to a no-op
+        (the winner's compaction serves both).
+
+        Returns an opaque token for :meth:`_release_compact_lock`, or
+        None when another process holds the lock.
+        """
+        lock_path = self.path + ".lock"
+        if fcntl is not None:
+            try:
+                fh = io.open(lock_path, "a")
+            except OSError:
+                return None
+            try:
+                fcntl.flock(fh.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                fh.close()
+                return None
+            return ("flock", fh, lock_path)
+        try:                           # pragma: no cover - non-POSIX
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except OSError:                # pragma: no cover - non-POSIX
+            return None
+        return ("excl", fd, lock_path)
+
+    def _release_compact_lock(self, token):
+        kind, handle, lock_path = token
+        if kind == "flock":
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            handle.close()
+        else:                          # pragma: no cover - non-POSIX
+            os.close(handle)
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+
     def size_bytes(self):
         """Current on-disk size (0 when the file does not exist)."""
         try:
@@ -310,10 +365,26 @@ class Journal:
         the same temp-file + ``os.replace`` dance as torn-tail repair,
         then reopens the append handle on the new file.  Returns the
         number of stale records dropped.  A degraded or closed journal
-        compacts to nothing (returns 0).
+        compacts to nothing (returns 0) — and so does one whose
+        cross-process compaction lock is held by somebody else: the
+        racing compactor degrades to a no-op (counted in
+        :attr:`n_compact_skipped` and ``journal.compact_contended``;
+        the runner surfaces it as a ``journal-compact`` diagnostic)
+        rather than risking two concurrent atomic rewrites.
         """
         if self.degraded or self._fh is None:
             return 0
+        lock = self._acquire_compact_lock()
+        if lock is None:
+            self.n_compact_skipped += 1
+            obs_counters.inc("journal.compact_contended")
+            return 0
+        try:
+            return self._compact_locked()
+        finally:
+            self._release_compact_lock(lock)
+
+    def _compact_locked(self):
         stale = self._n_records - len(self._entries)
         lines = [json.dumps({"v": JOURNAL_VERSION, "format": JOURNAL_FORMAT,
                              "kind": "header", "meta": self.meta},

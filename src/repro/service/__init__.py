@@ -1,0 +1,53 @@
+"""Resilient refinement-as-a-service (`repro.service`).
+
+Long fixed-point refinement campaigns — dtype sweeps, gallery
+matrices, verification batches — stop being one-shot scripts the
+moment several of them share a machine.  This package wraps the
+existing batch runner (:func:`repro.parallel.run_simulations`) in an
+in-process *service* with the robustness posture of a shared facility:
+
+* **admission control** — per-tenant token-bucket quotas, bounded
+  queues with deterministic shedding, and circuit breakers that
+  isolate tenants whose jobs keep poisoning workers
+  (:mod:`repro.service.admission`);
+* **a content-addressed result store** — results are keyed by the
+  sha256 fingerprint of the work itself, so identical submissions from
+  any tenant are computed exactly once and concurrent duplicates
+  coalesce onto one in-flight computation
+  (:mod:`repro.service.store`);
+* **durability** — every accepted job is journaled before it is
+  queued; after ``kill -9`` the restarted service replays its
+  submission journal and completes the backlog bit-exactly
+  (:meth:`RefinementService.recover`).
+
+The five-line version:
+
+    >>> from repro.service import RefinementService
+    >>> svc = RefinementService()          # memory-only, sync mode
+    >>> from repro.parallel import SimConfig
+    >>> # job = svc.submit(my_factory, SimConfig(label="q12"))
+    >>> # outcome = svc.result(job)
+
+``python -m repro.service demo`` runs the full story end to end;
+``python -m repro.service bench`` measures the dedupe win.  See
+``docs/service.md`` for the API contract and recovery semantics.
+"""
+
+from repro.core.errors import (AdmissionError, CircuitOpen, JobCancelled,
+                               JobNotFound, QueueFull, QuotaExceeded,
+                               ServiceError)
+from repro.service.admission import (AdmissionController, CircuitBreaker,
+                                     TenantPolicy, TokenBucket)
+from repro.service.jobs import (JOB_STATES, TERMINAL_STATES, Job, JobId,
+                                JobStatus, Submission)
+from repro.service.service import RefinementService
+from repro.service.store import ContentStore
+
+__all__ = [
+    "RefinementService", "ContentStore", "AdmissionController",
+    "TenantPolicy", "TokenBucket", "CircuitBreaker",
+    "Job", "JobId", "JobStatus", "Submission",
+    "JOB_STATES", "TERMINAL_STATES",
+    "ServiceError", "AdmissionError", "QuotaExceeded", "QueueFull",
+    "CircuitOpen", "JobNotFound", "JobCancelled",
+]

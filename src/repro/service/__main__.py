@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.service``."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

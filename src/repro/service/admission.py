@@ -1,0 +1,373 @@
+"""Admission control: quotas, bounded queues and circuit breakers.
+
+The service's robustness posture is *reject early, deterministically*:
+a submission that cannot be served at its provisioned rate is refused
+at the front door with an explicit reason and a ``retry_after`` hint,
+instead of being accepted into a queue that silently degrades every
+tenant's latency.  Three independent gates, checked in order:
+
+1. **circuit breaker** (:class:`CircuitBreaker`) — a tenant whose jobs
+   keep getting quarantined as poison (crashing workers) is isolated:
+   after ``trip_threshold`` consecutive quarantines the breaker opens
+   and submissions are rejected with
+   :class:`~repro.core.errors.CircuitOpen` until a
+   :class:`~repro.robust.retry.BackoffPolicy`-scheduled half-open
+   window admits one probe job; a healthy probe closes the breaker, a
+   poisoned one re-opens it with a longer wait.
+2. **token-bucket quota** (:class:`TokenBucket`) — per-tenant sustained
+   rate plus burst capacity; an empty bucket rejects with
+   :class:`~repro.core.errors.QuotaExceeded` and the exact time until
+   one token refills.
+3. **bounded queue** — per-tenant and global backlog caps; a full lane
+   rejects the *new* submission with
+   :class:`~repro.core.errors.QueueFull` (the shed is deterministic:
+   already-accepted jobs are never evicted to make room).
+
+Everything takes an injectable ``clock`` (``time.monotonic`` by
+default) so tests — and the deterministic chaos harness — can drive
+refill and half-open schedules without sleeping.
+
+>>> clock = _FakeClock()
+>>> bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+>>> bucket.try_take(), bucket.try_take(), bucket.try_take()
+(True, True, False)
+>>> _ = clock.advance(1.0)
+>>> bucket.try_take()
+True
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.core.errors import CircuitOpen, QueueFull, QuotaExceeded
+from repro.obs import counters as obs_counters
+from repro.robust.retry import BackoffPolicy
+
+__all__ = ["TokenBucket", "CircuitBreaker", "TenantPolicy",
+           "AdmissionController"]
+
+
+class _FakeClock:
+    """Deterministic clock for doctests/tests (seconds, manual)."""
+
+    def __init__(self, t=0.0):
+        self.t = float(t)
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += float(dt)
+        return self.t
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The bucket starts full (a fresh tenant may burst immediately).
+    ``rate=None`` disables metering — every take succeeds.
+    """
+
+    __slots__ = ("rate", "burst", "clock", "_tokens", "_t_last")
+
+    def __init__(self, rate=None, burst=1, clock=None):
+        self.rate = None if rate is None else float(rate)
+        self.burst = max(1, int(burst))
+        self.clock = clock or time.monotonic
+        self._tokens = float(self.burst)
+        self._t_last = self.clock()
+
+    def _refill(self):
+        now = self.clock()
+        if self.rate:
+            self._tokens = min(float(self.burst),
+                               self._tokens + (now - self._t_last)
+                               * self.rate)
+        self._t_last = now
+
+    def try_take(self, n=1):
+        """Take ``n`` tokens if available; never blocks."""
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def give_back(self, n=1):
+        """Return tokens (an admitted job that was coalesced away)."""
+        if self.rate is not None:
+            self._tokens = min(float(self.burst), self._tokens + n)
+
+    def retry_after(self, n=1):
+        """Seconds until ``n`` tokens will have refilled (0 when ready)."""
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        missing = n - self._tokens
+        if missing <= 0:
+            return 0.0
+        return missing / self.rate
+
+    @property
+    def tokens(self):
+        self._refill()
+        return self._tokens
+
+
+class CircuitBreaker:
+    """Per-tenant poison-job circuit breaker.
+
+    States: ``closed`` (normal), ``open`` (rejecting), ``half-open``
+    (one probe admitted).  Only *quarantines* — jobs whose workers died
+    — count as failures; a design-level error outcome is the tenant's
+    own business and never trips the breaker.
+
+    >>> clock = _FakeClock()
+    >>> cb = CircuitBreaker(trip_threshold=2, clock=clock,
+    ...                     backoff=BackoffPolicy(base=10.0, jitter=0.0))
+    >>> cb.record_quarantine(); cb.state
+    'closed'
+    >>> cb.record_quarantine(); cb.state
+    'open'
+    >>> cb.allow()
+    False
+    >>> _ = clock.advance(10.0)
+    >>> cb.allow(), cb.state     # half-open: exactly one probe
+    (True, 'half-open')
+    >>> cb.allow()
+    False
+    >>> cb.record_success(); cb.state
+    'closed'
+    """
+
+    __slots__ = ("trip_threshold", "backoff", "clock", "state",
+                 "_consecutive", "_trips", "_opened_at", "_probing")
+
+    def __init__(self, trip_threshold=3, backoff=None, clock=None):
+        self.trip_threshold = max(1, int(trip_threshold))
+        self.backoff = backoff or BackoffPolicy(base=1.0, factor=2.0,
+                                                cap=60.0, jitter=0.0)
+        self.clock = clock or time.monotonic
+        self.state = "closed"
+        self._consecutive = 0
+        self._trips = 0
+        self._opened_at = None
+        self._probing = False
+
+    def _reopen_delay(self):
+        return self.backoff.delay(self._trips, token="breaker")
+
+    def allow(self):
+        """May a submission pass right now?  (May flip open→half-open.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self._opened_at >= self._reopen_delay():
+                self.state = "half-open"
+                self._probing = False
+            else:
+                return False
+        # half-open: admit exactly one probe until it reports back.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def retry_after(self):
+        """Seconds until the breaker half-opens (0 when it passes now)."""
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self._opened_at + self._reopen_delay()
+                   - self.clock())
+
+    def record_quarantine(self):
+        """One of the tenant's jobs was quarantined as poison."""
+        self._consecutive += 1
+        if self.state == "half-open" or (
+                self.state == "closed"
+                and self._consecutive >= self.trip_threshold):
+            self._trip()
+
+    def record_success(self):
+        """One of the tenant's jobs completed (or failed benignly)."""
+        self._consecutive = 0
+        if self.state in ("half-open", "open"):
+            self.state = "closed"
+            self._probing = False
+
+    def _trip(self):
+        self.state = "open"
+        self._trips += 1
+        self._opened_at = self.clock()
+        self._probing = False
+        obs_counters.inc("service.breaker_trips")
+
+    def __repr__(self):
+        return "CircuitBreaker(%s, %d consecutive, %d trip(s))" % (
+            self.state, self._consecutive, self._trips)
+
+
+class TenantPolicy:
+    """Provisioning of one tenant: quota rate/burst, queue bound, breaker."""
+
+    __slots__ = ("rate", "burst", "max_queued", "trip_threshold",
+                 "breaker_backoff")
+
+    def __init__(self, rate=None, burst=8, max_queued=64,
+                 trip_threshold=3, breaker_backoff=None):
+        self.rate = rate
+        self.burst = burst
+        self.max_queued = max(1, int(max_queued))
+        self.trip_threshold = trip_threshold
+        self.breaker_backoff = breaker_backoff
+
+
+class _TenantLane:
+    """One tenant's admission state: bucket, breaker, FIFO backlog."""
+
+    __slots__ = ("name", "policy", "bucket", "breaker", "queue")
+
+    def __init__(self, name, policy, clock):
+        self.name = name
+        self.policy = policy
+        self.bucket = TokenBucket(policy.rate, policy.burst, clock)
+        self.breaker = CircuitBreaker(policy.trip_threshold,
+                                      policy.breaker_backoff, clock)
+        self.queue = deque()
+
+
+class AdmissionController:
+    """The service's front door: gates submissions, owns the backlog.
+
+    Dequeue order is **fair across tenants, FIFO within a tenant**:
+    :meth:`take` round-robins over the tenants that have queued jobs,
+    so one tenant's burst cannot starve another's steady trickle, while
+    each tenant's own jobs run in submission order.
+    """
+
+    def __init__(self, default_policy=None, tenants=None,
+                 max_queued_total=256, clock=None):
+        self.default_policy = default_policy or TenantPolicy()
+        self.max_queued_total = max(1, int(max_queued_total))
+        self.clock = clock or time.monotonic
+        self._lanes = {}
+        self._rr = deque()          # round-robin order of lane names
+        self._n_queued = 0
+        for name, policy in (tenants or {}).items():
+            self._lane(name, policy)
+
+    def _lane(self, tenant, policy=None):
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = _TenantLane(tenant, policy or self.default_policy,
+                               self.clock)
+            self._lanes[tenant] = lane
+        return lane
+
+    def lane(self, tenant):
+        """The tenant's lane (created on first sight)."""
+        return self._lane(tenant)
+
+    # -- gating ------------------------------------------------------------
+
+    def admit(self, tenant, charge_quota=True):
+        """Pass the three gates or raise; returns the tenant's lane.
+
+        ``charge_quota=False`` skips the token charge (recovery re-
+        admissions were already paid at original accept time).
+        """
+        lane = self._lane(tenant)
+        if not lane.breaker.allow():
+            obs_counters.inc("service.rejected_breaker")
+            raise CircuitOpen(
+                "tenant %r circuit breaker is open after repeated "
+                "poison-job quarantines" % tenant, tenant=tenant,
+                retry_after=lane.breaker.retry_after())
+        if charge_quota and not lane.bucket.try_take():
+            obs_counters.inc("service.rejected_quota")
+            raise QuotaExceeded(
+                "tenant %r is over its quota (%.3g jobs/s, burst %d)"
+                % (tenant, lane.bucket.rate or float("inf"),
+                   lane.bucket.burst),
+                tenant=tenant, retry_after=lane.bucket.retry_after())
+        if len(lane.queue) >= lane.policy.max_queued:
+            lane.bucket.give_back()
+            obs_counters.inc("service.rejected_queue")
+            raise QueueFull(
+                "tenant %r backlog is full (%d queued)"
+                % (tenant, len(lane.queue)), tenant=tenant)
+        if self._n_queued >= self.max_queued_total:
+            lane.bucket.give_back()
+            obs_counters.inc("service.rejected_queue")
+            raise QueueFull(
+                "service backlog is full (%d queued across all tenants)"
+                % self._n_queued, tenant=tenant)
+        return lane
+
+    # -- the backlog -------------------------------------------------------
+
+    def enqueue(self, job):
+        """Append an admitted job to its tenant's FIFO lane."""
+        lane = self._lane(job.tenant)
+        if not lane.queue:
+            self._rr.append(job.tenant)
+        lane.queue.append(job)
+        self._n_queued += 1
+
+    def take(self, limit=None):
+        """Dequeue up to ``limit`` jobs, fair across tenants.
+
+        One round-robin sweep takes at most one job per tenant before
+        returning to a tenant for its second; cancelled jobs are
+        dropped on the floor here (their terminal state was already
+        published).
+        """
+        out = []
+        while self._rr and (limit is None or len(out) < limit):
+            tenant = self._rr.popleft()
+            lane = self._lanes[tenant]
+            while lane.queue:
+                job = lane.queue.popleft()
+                self._n_queued -= 1
+                if job.done:        # cancelled while queued
+                    continue
+                out.append(job)
+                break
+            if lane.queue:
+                self._rr.append(tenant)
+        return out
+
+    def discard(self, job):
+        """Best-effort removal of a queued job (cancellation)."""
+        lane = self._lanes.get(job.tenant)
+        if lane is None:
+            return False
+        try:
+            lane.queue.remove(job)
+        except ValueError:
+            return False
+        self._n_queued -= 1
+        return True
+
+    @property
+    def n_queued(self):
+        return self._n_queued
+
+    def tenants(self):
+        return sorted(self._lanes)
+
+    def stats(self):
+        """Queue/quota/breaker snapshot per tenant."""
+        return {
+            name: {
+                "queued": len(lane.queue),
+                "tokens": round(lane.bucket.tokens, 3)
+                if lane.bucket.rate is not None else None,
+                "breaker": lane.breaker.state,
+            }
+            for name, lane in sorted(self._lanes.items())
+        }

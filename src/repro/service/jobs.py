@@ -1,0 +1,198 @@
+"""Job records of the refinement service.
+
+A submitted refinement is represented twice:
+
+* :class:`Job` — the *live*, in-memory record: mutable state machine
+  (``accepted -> queued -> running -> completed/failed/cancelled``),
+  the per-job event log that :meth:`RefinementService.stream` replays,
+  and the condition variable result waiters block on.  Jobs never cross
+  a process boundary.
+* :class:`Submission` — the *durable* record appended to the service's
+  write-ahead submission journal at accept time (and superseded by a
+  terminal record at completion).  After a crash, the submissions whose
+  latest record is still ``accepted`` are exactly the jobs the service
+  owes its tenants; their simulation payload rides along so recovery
+  can re-enqueue them without the original caller.
+
+``JobStatus`` is the immutable snapshot handed to callers by
+:meth:`RefinementService.status` — reading it never races the
+scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["JobId", "Job", "JobStatus", "Submission", "JOB_STATES",
+           "TERMINAL_STATES"]
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("accepted", "queued", "running", "completed", "failed",
+              "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class JobId:
+    """Opaque handle of one submission: ``tenant/seq``.
+
+    Two submissions of bit-identical work still get *distinct* job ids
+    — deduplication shares the computation, never the handle, so each
+    caller can cancel or stream its own job independently.
+
+    >>> JobId("gallery", 7).value
+    'gallery/7'
+    """
+
+    tenant: str
+    seq: int
+
+    @property
+    def value(self):
+        return "%s/%d" % (self.tenant, self.seq)
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Immutable point-in-time snapshot of one job."""
+
+    job: JobId
+    state: str
+    tenant: str
+    label: str
+    #: content fingerprint of the underlying computation.
+    key: str
+    #: True when this job attached to a computation another job owns
+    #: (a duplicate submission coalesced instead of re-simulating).
+    coalesced: bool
+    #: error text for ``failed`` jobs, None otherwise.
+    error: object = None
+    #: machine-readable failure class ("deadline", "crash", "error").
+    error_kind: object = None
+    #: number of events the job's stream has produced so far.
+    n_events: int = 0
+
+    @property
+    def done(self):
+        return self.state in TERMINAL_STATES
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One durable submission-journal record (see module docstring).
+
+    ``state`` is ``"accepted"`` when appended at admission time and a
+    terminal state (``"completed"`` / ``"failed"`` / ``"cancelled"``)
+    in the superseding record, which carries no payload — the journal's
+    latest-record-per-key semantics turn the pair into a tiny state
+    machine that survives ``kill -9`` at any point between the two.
+    """
+
+    job: str                 # JobId.value
+    tenant: str
+    key: str                 # content fingerprint of the computation
+    label: str
+    state: str               # "accepted" | terminal state
+    factory_fp: str = ""     # identity of the design factory
+    engine: str = "interpreted"
+    config: object = None    # SimConfig payload (accepted records only)
+    deadline_seconds: object = None
+
+
+class Job:
+    """Live in-memory record of one submission (scheduler-owned).
+
+    All mutation happens under :attr:`cond`'s lock; readers either take
+    the lock or consume an immutable :meth:`snapshot`.
+    """
+
+    __slots__ = ("id", "tenant", "key", "config", "factory", "seeded",
+                 "engine", "state", "outcome", "error", "error_kind",
+                 "coalesced", "events", "cond", "submitted_at",
+                 "finished_at")
+
+    def __init__(self, job_id, tenant, key, config, factory,
+                 seeded=None, engine="interpreted"):
+        self.id = job_id
+        self.tenant = tenant
+        self.key = key
+        self.config = config
+        self.factory = factory
+        self.seeded = seeded
+        self.engine = engine
+        self.state = "accepted"
+        self.outcome = None
+        self.error = None
+        self.error_kind = None
+        self.coalesced = False
+        self.events = []
+        self.cond = threading.Condition()
+        self.submitted_at = time.monotonic()
+        self.finished_at = None
+
+    # -- state machine -----------------------------------------------------
+
+    @property
+    def done(self):
+        return self.state in TERMINAL_STATES
+
+    def advance(self, state, **event_data):
+        """Move to ``state`` and log it as a stream event (locked)."""
+        with self.cond:
+            if self.done:
+                return False
+            self.state = state
+            if state in TERMINAL_STATES:
+                self.finished_at = time.monotonic()
+            self.push("job.%s" % state, **event_data)
+            self.cond.notify_all()
+        return True
+
+    def complete(self, outcome):
+        """Terminal transition driven by a finished outcome."""
+        if outcome.error is None:
+            self.outcome = outcome
+            return self.advance("completed", label=outcome.label)
+        self.error = outcome.error
+        self.error_kind = outcome.error_kind
+        self.outcome = outcome
+        return self.advance("failed", error=str(outcome.error),
+                            error_kind=outcome.error_kind)
+
+    def push(self, name, **data):
+        """Append one stream event (caller holds the lock, or tolerates
+        the benign race of a lock-free append before waiters exist)."""
+        self.events.append({"ts": time.time(), "event": name,
+                            "job": self.id.value, **data})
+
+    def push_diag(self, diag_event):
+        """Append a DiagEvent from the executing batch to the stream."""
+        with self.cond:
+            self.events.append({
+                "ts": time.time(), "event": "diagnostic",
+                "job": self.id.value, "code": diag_event.code,
+                "category": diag_event.category,
+                "severity": diag_event.severity,
+                "message": diag_event.message,
+            })
+            self.cond.notify_all()
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self):
+        with self.cond:
+            return JobStatus(self.id, self.state, self.tenant,
+                             self.config.label, self.key, self.coalesced,
+                             self.error, self.error_kind,
+                             len(self.events))
+
+    def __repr__(self):
+        return "Job(%s, %s, key=%s...)" % (self.id.value, self.state,
+                                           self.key[:12])

@@ -1,0 +1,654 @@
+"""`RefinementService`: resilient refinement-as-a-service, in-process first.
+
+One service instance owns a directory with two write-ahead journals:
+
+* ``<root>/journal.jsonl`` — the durable tier of the
+  :class:`~repro.service.store.ContentStore` (completed outcomes,
+  content-addressed, bit-exact on replay);
+* ``<root>/submissions.jsonl`` — accepted-but-unfinished work.  Every
+  admitted job is journaled *before* it is queued and superseded by a
+  terminal record when it finishes, so after ``kill -9`` the service
+  knows exactly which jobs it still owes its tenants
+  (:meth:`recover`).
+
+The request path (:meth:`submit`) is: circuit breaker → token-bucket
+quota → bounded queue (all three reject deterministically with
+``retry_after`` hints, see :mod:`repro.service.admission`) → content
+fingerprint → dedupe (a store hit completes instantly; an identical
+in-flight job coalesces onto one computation) → submission journal →
+tenant FIFO lane.  The scheduler drains lanes fairly (round-robin
+across tenants), groups jobs by (design factory, engine) and runs each
+group through :func:`repro.parallel.run_simulations` — inheriting the
+fork pool, poison-job quarantine, per-job ``SIGALRM`` deadlines with
+parent-side hard kill, and journal-as-they-arrive durability.  Every
+quarantined job feeds the tenant's circuit breaker.
+
+Two execution modes:
+
+* ``async_mode=True`` — a daemon scheduler thread drains the backlog;
+  ``submit`` returns immediately and :meth:`result` /
+  :meth:`stream` block until the job lands.
+* ``async_mode=False`` — nothing runs until :meth:`step`,
+  :meth:`drain`, :meth:`result` or :meth:`run_batch` drives the
+  scheduler on the calling thread.  Fully deterministic; this is the
+  mode the chaos harness (:mod:`repro.robust.chaos`) exercises, since
+  a :class:`~repro.chaoshooks.ChaosCrash` then propagates to the
+  entry-point boundary exactly like a process death.
+
+Service events are triple-published: stable-coded diagnostics
+(DG213–DG218) into :attr:`diagnostics` and each affected job's
+:meth:`stream`, ``service.*`` counters in :mod:`repro.obs.counters`,
+and trace events/spans per job phase when a recorder is enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import replace
+
+from repro import chaoshooks
+from repro.core.errors import (AdmissionError, JobCancelled, JobNotFound,
+                               ServiceError)
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
+from repro.parallel.runner import (PoolPolicy, SimConfig, fingerprint,
+                                   run_simulations)
+from repro.robust.diagnostics import Diagnostics
+from repro.robust.recovery import Journal
+from repro.service.admission import AdmissionController, TenantPolicy
+from repro.service.jobs import Job, JobId, Submission
+from repro.service.store import ContentStore
+
+__all__ = ["RefinementService", "TenantPolicy"]
+
+_SUBMISSIONS_NAME = "submissions.jsonl"
+
+
+class RefinementService:
+    """In-process refinement job service (see module docstring).
+
+    ``root=None`` runs memory-only (no durability — tests and
+    throwaway sessions); with a directory, both journals live there
+    and :meth:`recover` resumes a predecessor's accepted work.
+    ``tenants`` maps tenant name to :class:`TenantPolicy`;
+    unknown tenants get ``default_policy`` (unmetered by default).
+    """
+
+    def __init__(self, root=None, tenants=None, default_policy=None,
+                 max_queued_total=256, workers=None, pool_policy=None,
+                 async_mode=False, max_batch=32, store=None, clock=None,
+                 sync=True):
+        self.root = None if root is None else os.fspath(root)
+        if self.root is not None:
+            os.makedirs(self.root, exist_ok=True)
+        self.workers = workers
+        self.pool_policy = pool_policy or PoolPolicy()
+        self.max_batch = max(1, int(max_batch))
+        self.async_mode = bool(async_mode)
+        self.store = store if store is not None \
+            else ContentStore(self.root, sync=sync)
+        self.admission = AdmissionController(
+            default_policy=default_policy, tenants=tenants,
+            max_queued_total=max_queued_total, clock=clock)
+        self.diagnostics = Diagnostics()
+        self._subs = None
+        if self.root is not None:
+            self._subs = Journal(
+                os.path.join(self.root, _SUBMISSIONS_NAME), sync=sync,
+                meta={"role": "service-submissions"},
+                compact_threshold=1 << 18)
+        self._lock = threading.RLock()
+        self._jobs = {}              # JobId.value -> Job
+        self._inflight = {}          # key -> [Job, ...] (first = primary)
+        self._seq = {}               # tenant -> itertools.count
+        self._pending_recovery = {}  # key -> Submission awaiting factory
+        if self._subs is not None:
+            # A fresh process must never reuse a predecessor's job ids:
+            # the journal keys records by id, so a collision would
+            # overwrite an accepted-but-unfinished record and silently
+            # orphan that job for every future recover().
+            for job_value in self._subs.entries():
+                self._bump_seq(job_value)
+        self._n_running = 0
+        self._closed = False
+        self._work = threading.Condition(self._lock)
+        self._thread = None
+        if self.async_mode:
+            self._thread = threading.Thread(target=self._loop,
+                                            name="repro-service",
+                                            daemon=True)
+            self._thread.start()
+
+    # -- diagnostics plumbing ----------------------------------------------
+
+    def _diag(self, category, severity, message, jobs=(), **data):
+        """Record one service event: diagnostics + job streams + trace."""
+        ev = self.diagnostics.add(category, severity, None, message,
+                                  **data)
+        for job in jobs:
+            job.push_diag(ev)
+        obs_trace.event("service." + category, severity=severity,
+                        message=message, **{
+                            k: v for k, v in data.items()
+                            if isinstance(v, (int, float, str, bool,
+                                              type(None)))})
+        return ev
+
+    # -- submission --------------------------------------------------------
+
+    def _next_id(self, tenant):
+        counter = self._seq.get(tenant)
+        if counter is None:
+            counter = self._seq[tenant] = itertools.count(1)
+        return JobId(tenant, next(counter))
+
+    def submit(self, factory, config=None, tenant="default",
+               deadline_seconds=None, seeded_factory=None, engine=None,
+               _charge_quota=True):
+        """Admit one refinement job; returns its :class:`JobId`.
+
+        ``config`` is a :class:`~repro.parallel.SimConfig` (a default
+        one when omitted); ``deadline_seconds`` overrides the config's
+        per-job wall-clock budget and propagates all the way into the
+        executing worker's ``SIGALRM`` guard (plus the parent-side
+        hard kill for workers that block their alarm).  Errors inside
+        the design never raise out of the service — ``catch_errors``
+        is forced on and failures surface as the job's ``failed``
+        state.
+
+        Raises :class:`~repro.core.errors.CircuitOpen`,
+        :class:`~repro.core.errors.QuotaExceeded` or
+        :class:`~repro.core.errors.QueueFull` when admission sheds the
+        submission (all carry ``retry_after``).
+        """
+        from repro.sim.engine import resolve_engine
+
+        if config is None:
+            config = SimConfig()
+        engine = resolve_engine(engine)
+        if deadline_seconds is not None:
+            config = replace(config, deadline_seconds=deadline_seconds)
+        if not config.catch_errors:
+            config = replace(config, catch_errors=True)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is closed")
+            obs_counters.inc("service.submitted")
+            key = fingerprint(factory, config, seeded_factory,
+                              engine=engine)
+            recovered = self._pending_recovery.pop(key, None)
+            try:
+                self.admission.admit(
+                    tenant,
+                    charge_quota=_charge_quota and recovered is None)
+            except AdmissionError as exc:
+                if recovered is not None:
+                    self._pending_recovery[key] = recovered
+                self._diag("service-reject", "warning",
+                           "tenant %r submission rejected: %s"
+                           % (tenant, exc), tenant=tenant,
+                           reason=type(exc).__name__,
+                           retry_after=exc.retry_after)
+                raise
+            job = Job(self._next_id(tenant), tenant, key, config,
+                      factory, seeded_factory, engine)
+            self._jobs[job.id.value] = job
+            job.push("job.accepted", tenant=tenant, key=key[:16],
+                     label=config.label)
+            obs_counters.inc("service.accepted")
+            self._journal_submission(job, "accepted")
+            if recovered is not None:
+                self._supersede(recovered, job.id.value)
+                obs_counters.inc("service.recovered")
+
+            # Dedupe tier 1: already computed, by anyone, ever.
+            hit = self.store.get(key)
+            if hit is not None:
+                obs_counters.inc("service.dedupe_hits")
+                self._diag("service-dedupe", "info",
+                           "job %s served from the content store "
+                           "(key %s...)" % (job.id, key[:12]),
+                           jobs=(job,), job=job.id.value)
+                self._finish(job, hit)
+                return job.id
+            # Dedupe tier 2: identical job already queued or running.
+            flight = self._inflight.get(key)
+            if flight is not None:
+                job.coalesced = True
+                flight.append(job)
+                obs_counters.inc("service.dedupe_hits")
+                obs_counters.inc("service.coalesced")
+                self._diag("service-dedupe", "info",
+                           "job %s coalesced onto in-flight %s "
+                           "(key %s...)"
+                           % (job.id, flight[0].id, key[:12]),
+                           jobs=(job,), job=job.id.value,
+                           primary=flight[0].id.value)
+                job.advance("queued", coalesced=True)
+                return job.id
+            self._inflight[key] = [job]
+            self.admission.enqueue(job)
+            job.advance("queued")
+            self._work.notify_all()
+        return job.id
+
+    def _journal_submission(self, job, state):
+        if self._subs is None:
+            return
+        payload = job.config if state == "accepted" else None
+        self._subs.append(job.id.value, Submission(
+            job.id.value, job.tenant, job.key, job.config.label, state,
+            factory_fp=_factory_fp(job.factory, job.seeded),
+            engine=job.engine, config=payload,
+            deadline_seconds=job.config.deadline_seconds))
+
+    def _supersede(self, sub, successor):
+        """Close out a replayed submission record under its *old* id so
+        a second restart does not replay it again (the successor job's
+        own records carry the obligation from here)."""
+        if self._subs is None:
+            return
+        self._subs.append(sub.job, Submission(
+            sub.job, sub.tenant, sub.key, sub.label, "superseded",
+            factory_fp=sub.factory_fp, engine=sub.engine,
+            config=None, deadline_seconds=sub.deadline_seconds))
+        obs_trace.event("service.superseded", old=sub.job,
+                        new=successor)
+
+    # -- the scheduler -----------------------------------------------------
+
+    def _loop(self):
+        """Async-mode scheduler thread: drain until closed."""
+        while True:
+            with self._lock:
+                while (not self._closed
+                       and self.admission.n_queued == 0):
+                    self._work.wait(timeout=0.5)
+                if self._closed and self.admission.n_queued == 0:
+                    return
+            self.step()
+
+    def step(self):
+        """Run one scheduling round; returns completed-job count.
+
+        Takes up to ``max_batch`` queued jobs (fair across tenants),
+        groups them by (factory, engine) and executes each group as one
+        :func:`run_simulations` batch against the shared store.
+        """
+        with self._lock:
+            batch = self.admission.take(limit=self.max_batch)
+            for job in batch:
+                job.advance("running")
+            self._n_running += len(batch)
+        if not batch:
+            return 0
+        try:
+            groups = {}
+            for job in batch:
+                gkey = (_factory_fp(job.factory, job.seeded), job.engine)
+                groups.setdefault(gkey, []).append(job)
+            n_done = 0
+            for jobs in groups.values():
+                n_done += self._dispatch_group(jobs)
+            return n_done
+        finally:
+            with self._lock:
+                self._n_running -= len(batch)
+                self._work.notify_all()
+
+    def _dispatch_group(self, jobs):
+        """One homogeneous group through ``run_simulations``."""
+        hook = chaoshooks.ACTIVE
+        if hook is not None:
+            # The accept records are journaled; a crash here is the
+            # "scheduler died between accept and dispatch" window the
+            # chaos matrix addresses as service.dispatch_crash.
+            hook.on_service_dispatch(jobs)
+        diag = Diagnostics()
+        with obs_trace.span("service.batch", jobs=len(jobs),
+                            engine=jobs[0].engine) as sp:
+            outcomes = run_simulations(
+                jobs[0].factory, [j.config for j in jobs],
+                workers=self.workers, cache=self.store.cache,
+                seeded_factory=jobs[0].seeded, journal=self.store.journal,
+                diagnostics=diag, pool_policy=self.pool_policy,
+                engine=jobs[0].engine)
+            sp.set(completed=sum(1 for o in outcomes if o.completed))
+        self._route_diagnostics(diag, jobs)
+        n_done = 0
+        for job, outcome in zip(jobs, outcomes):
+            self._publish(job, outcome)
+            n_done += 1
+        return n_done
+
+    def _route_diagnostics(self, diag, jobs):
+        """Deliver batch diagnostics to the jobs they belong to."""
+        by_label = {}
+        for job in jobs:
+            by_label.setdefault(job.config.label, job)
+        for ev in diag.events:
+            self.diagnostics.events.append(ev)
+            label = ev.data.get("label")
+            target = by_label.get(label)
+            if target is not None:
+                target.push_diag(ev)
+            else:
+                for job in jobs:
+                    job.push_diag(ev)
+
+    def _publish(self, job, outcome):
+        """Store the outcome, settle the job and every coalesced waiter,
+        and feed the tenant's circuit breaker."""
+        with self._lock:
+            waiters = self._inflight.pop(job.key, [job])
+            if outcome.error is None:
+                self.store.put(job.key, outcome)
+            for waiter in waiters:
+                if waiter.done:        # a cancelled coalesced waiter
+                    continue
+                self._finish(waiter, outcome)
+            self._breaker_account(job.tenant, outcome, waiters)
+
+    def _finish(self, job, outcome):
+        """Terminal bookkeeping of one job (lock held)."""
+        if outcome.label != job.config.label:
+            outcome = replace(outcome, label=job.config.label)
+        journal_state = "completed" if outcome.error is None else "failed"
+        job.complete(outcome)
+        self._journal_submission(job, journal_state)
+        obs_counters.inc("service.%s" % journal_state)
+        if outcome.error_kind == "deadline":
+            obs_counters.inc("service.deadline_hits")
+        obs_trace.event("service.job_done", job=job.id.value,
+                        state=journal_state,
+                        error_kind=outcome.error_kind)
+        self._work.notify_all()
+
+    def _breaker_account(self, tenant, outcome, jobs):
+        lane = self.admission.lane(tenant)
+        before = lane.breaker.state
+        if outcome.error_kind == "crash":
+            obs_counters.inc("service.quarantined")
+            self._diag("service-quarantine", "warning",
+                       "tenant %r job %s quarantined as poison "
+                       "(counted toward its circuit breaker)"
+                       % (tenant, jobs[0].id), jobs=jobs, tenant=tenant,
+                       label=jobs[0].config.label)
+            lane.breaker.record_quarantine()
+        else:
+            lane.breaker.record_success()
+        after = lane.breaker.state
+        if after != before:
+            severity = "warning" if after == "open" else "info"
+            self._diag("service-breaker", severity,
+                       "tenant %r circuit breaker: %s -> %s"
+                       % (tenant, before, after), jobs=jobs,
+                       tenant=tenant, before=before, after=after)
+
+    # -- the query side ----------------------------------------------------
+
+    def _job(self, job_id):
+        value = job_id.value if isinstance(job_id, JobId) else str(job_id)
+        job = self._jobs.get(value)
+        if job is None:
+            raise JobNotFound("unknown job id %r" % value)
+        return job
+
+    def status(self, job_id):
+        """Immutable :class:`~repro.service.jobs.JobStatus` snapshot."""
+        return self._job(job_id).snapshot()
+
+    def result(self, job_id, timeout=None):
+        """Block until the job settles; returns its ``SimOutcome``.
+
+        Failed jobs *return* their error outcome (``outcome.error`` /
+        ``error_kind`` set) — mirroring ``catch_errors=True`` batch
+        semantics — while a cancelled job raises
+        :class:`~repro.core.errors.JobCancelled`.  In sync mode this
+        call drives the scheduler itself.
+        """
+        job = self._job(job_id)
+        if not self.async_mode:
+            while not job.done:
+                if self.step() == 0 and not job.done:
+                    raise ServiceError(
+                        "job %s cannot make progress (state %s)"
+                        % (job.id, job.state))
+        with job.cond:
+            while not job.done:
+                if not job.cond.wait(timeout):
+                    raise ServiceError("timed out waiting for job %s"
+                                       % job.id)
+        if job.state == "cancelled":
+            raise JobCancelled("job %s was cancelled" % job.id)
+        return job.outcome
+
+    def stream(self, job_id, timeout=None):
+        """Yield the job's live event feed until it settles.
+
+        Events are dicts: lifecycle transitions (``job.accepted``,
+        ``job.queued``, ``job.running``, ``job.completed``, ...) and
+        ``diagnostic`` events carrying the stable DG code of every
+        recovery/service event the executing batch attributed to this
+        job.  In sync mode the scheduler is driven to completion
+        first, then the feed replays.
+        """
+        job = self._job(job_id)
+        if not self.async_mode and not job.done:
+            self.result(job_id)
+        idx = 0
+        while True:
+            with job.cond:
+                while len(job.events) <= idx and not job.done:
+                    if not job.cond.wait(timeout):
+                        raise ServiceError(
+                            "timed out streaming job %s" % job.id)
+                events = job.events[idx:]
+                idx += len(events)
+                done = job.done
+            for ev in events:
+                yield ev
+            if done and idx >= len(job.events):
+                return
+
+    def cancel(self, job_id):
+        """Cancel a job that has not finished; returns True on success.
+
+        A queued primary with coalesced waiters hands the computation
+        to the next waiter rather than aborting it; a coalesced waiter
+        detaches alone (the shared computation continues).  Running
+        jobs cannot be cancelled (the worker owns them).
+        """
+        job = self._job(job_id)
+        with self._lock:
+            if job.done or job.state == "running":
+                return False
+            flight = self._inflight.get(job.key)
+            if flight and job in flight:
+                flight.remove(job)
+                if not flight:
+                    del self._inflight[job.key]
+                    self.admission.discard(job)
+                elif not job.coalesced:
+                    # The primary leaves: promote the first waiter into
+                    # the queue slot (it inherits the computation).
+                    heir = flight[0]
+                    heir.coalesced = False
+                    self.admission.discard(job)
+                    self.admission.enqueue(heir)
+            job.advance("cancelled")
+            self._journal_submission(job, "cancelled")
+            obs_counters.inc("service.cancelled")
+            self._diag("service-cancel", "info",
+                       "job %s cancelled (%s)" % (job.id, job.tenant),
+                       jobs=(job,), job=job.id.value)
+        return True
+
+    def jobs(self, tenant=None):
+        """Snapshots of every known job (optionally one tenant's)."""
+        with self._lock:
+            return [j.snapshot() for j in self._jobs.values()
+                    if tenant is None or j.tenant == tenant]
+
+    # -- batch + drain convenience -----------------------------------------
+
+    def run_batch(self, factory, configs, tenant="default",
+                  seeded_factory=None, engine=None,
+                  deadline_seconds=None):
+        """Submit a whole batch and wait; outcomes in config order.
+
+        The service-flavored ``run_simulations``: same outcome list a
+        direct call would produce, with admission, dedupe and journal
+        recovery applied per job.  Used by the gallery matrix to run
+        as the service's first heavy tenant.
+        """
+        ids = [self.submit(factory, cfg, tenant=tenant,
+                           seeded_factory=seeded_factory, engine=engine,
+                           deadline_seconds=deadline_seconds)
+               for cfg in configs]
+        self.drain()
+        return [self.result(jid) for jid in ids]
+
+    def drain(self, timeout=None):
+        """Run (sync) or wait (async) until the backlog is empty."""
+        if not self.async_mode:
+            while self.admission.n_queued:
+                self.step()
+            return
+        with self._lock:
+            while self.admission.n_queued or self._n_running:
+                if not self._work.wait(timeout):
+                    raise ServiceError("timed out draining the service")
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover(self, factories=None, tenant_override=None):
+        """Resume a predecessor process's accepted-but-unfinished jobs.
+
+        Scans the submission journal for records whose latest state is
+        still ``accepted``.  Each one is settled the cheapest way that
+        preserves bit-exactness:
+
+        1. its content key is already in the result store — the job is
+           re-created and completed instantly from the stored outcome;
+        2. ``factories`` (a ``{factory_fingerprint: factory}`` or
+           ``{factory_fingerprint: (factory, seeded_factory)}`` map)
+           knows its design factory — the job is re-enqueued *without*
+           a quota charge (the original accept already paid);
+        3. otherwise it is parked: the next :meth:`submit` with the
+           same content fingerprint is admitted quota-free.
+
+        Returns ``{"completed": n, "requeued": n, "parked": n}``.
+        """
+        if self._subs is None:
+            return {"completed": 0, "requeued": 0, "parked": 0}
+        factories = dict(factories or {})
+        stats = {"completed": 0, "requeued": 0, "parked": 0}
+        with self._lock:
+            pending = [sub for sub in self._subs.entries().values()
+                       if getattr(sub, "state", None) == "accepted"]
+            pending.sort(key=lambda s: s.job)
+            for sub in pending:
+                self._bump_seq(sub.job)
+                tenant = tenant_override or sub.tenant
+                hit = self.store.get(sub.key)
+                entry = factories.get(sub.factory_fp)
+                if hit is None and entry is None:
+                    self._pending_recovery[sub.key] = sub
+                    stats["parked"] += 1
+                    continue
+                factory, seeded = entry if isinstance(entry, tuple) \
+                    else (entry, None)
+                job = Job(self._next_id(tenant), tenant, sub.key,
+                          sub.config, factory, seeded, sub.engine)
+                self._jobs[job.id.value] = job
+                obs_counters.inc("service.recovered")
+                self._journal_submission(job, "accepted")
+                self._supersede(sub, job.id.value)
+                if hit is not None:
+                    self._finish(job, hit)
+                    stats["completed"] += 1
+                else:
+                    self._inflight.setdefault(sub.key, []).append(job)
+                    self.admission.enqueue(job)
+                    job.advance("queued", recovered=True)
+                    stats["requeued"] += 1
+            if stats["completed"] or stats["requeued"] or stats["parked"]:
+                self._diag(
+                    "service-recover", "info",
+                    "submission journal replayed: %(completed)d "
+                    "completed from the store, %(requeued)d re-queued, "
+                    "%(parked)d parked awaiting factories" % stats,
+                    **stats)
+            self._work.notify_all()
+        return stats
+
+    def _bump_seq(self, job_value):
+        """Keep fresh ids above a recovered job's sequence number."""
+        tenant, _, seq = job_value.rpartition("/")
+        try:
+            seq = int(seq)
+        except ValueError:
+            return
+        counter = self._seq.get(tenant)
+        start = seq + 1
+        if counter is not None:
+            nxt = next(counter)
+            start = max(nxt, start)
+        self._seq[tenant] = itertools.count(start)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self):
+        """One merged service snapshot: store, admission, jobs."""
+        with self._lock:
+            states = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "jobs": states,
+                "queued": self.admission.n_queued,
+                "running": self._n_running,
+                "store": self.store.stats(),
+                "tenants": self.admission.stats(),
+                "parked_recoveries": len(self._pending_recovery),
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, drain=False):
+        """Shut down; ``drain=True`` finishes the backlog first."""
+        if drain:
+            self.drain()
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        if self._subs is not None:
+            self._subs.close()
+            self._subs = None
+        self.store.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "RefinementService(%r, %d job(s), %d queued)" % (
+            self.root, len(self._jobs), self.admission.n_queued)
+
+
+def _factory_fp(factory, seeded=None):
+    """Stable identity of a (factory, seeded_factory) pair."""
+    from repro.parallel.runner import _callable_fingerprint
+    fp = _callable_fingerprint(factory)
+    if seeded is not None:
+        fp += "+" + _callable_fingerprint(seeded)
+    return fp

@@ -1,0 +1,153 @@
+"""Content-addressed result store: one computation per fingerprint, ever.
+
+The store is the dedupe backbone of the service: results are addressed
+purely by the sha256 content fingerprint of the work that produced them
+(:func:`repro.parallel.runner.fingerprint` — design factory identity,
+dtype assignment, stimulus seed/samples, faults, engine + compiler
+version), so *who* asked is irrelevant and identical refinements
+submitted by any number of tenants are computed exactly once.
+
+Two tiers, both reused from the durability layer rather than
+re-invented:
+
+* hot tier — a checksummed LRU :class:`~repro.parallel.runner.SimCache`
+  (corrupted payloads are detected, evicted and recomputed);
+* durable tier — the write-ahead
+  :class:`~repro.robust.recovery.Journal`, so completed results survive
+  ``kill -9`` and are served bit-exactly after a restart.
+
+A lookup falls from cache to journal (promoting the hit back into the
+cache); a store writes both.  :meth:`stats` merges both tiers with the
+service-level dedupe tallies into one measurable snapshot — the number
+the ROADMAP cares about ("most traffic should be cache hits") is
+``stats()["dedupe_hits"]`` over ``stats()["lookups"]``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.obs import counters as obs_counters
+from repro.parallel.runner import SimCache
+from repro.robust.recovery import Journal
+
+__all__ = ["ContentStore"]
+
+
+class ContentStore:
+    """Shared content-addressed outcome store (cache + journal tiers).
+
+    ``root`` is the service directory; the durable tier lives at
+    ``<root>/journal.jsonl``.  ``root=None`` builds a memory-only store
+    (tests, throwaway services).  Pass ``journal=`` to adopt an
+    existing :class:`Journal` (the gallery's matrix journal, say)
+    instead of owning a new one.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, root=None, max_entries=4096, journal=None,
+                 sync=True, compact_threshold=1 << 20):
+        self.root = None if root is None else os.fspath(root)
+        self.cache = SimCache(max_entries=max_entries)
+        self._own_journal = journal is None and self.root is not None
+        if journal is not None:
+            self.journal = journal if hasattr(journal, "append") \
+                else Journal(journal, sync=sync,
+                             compact_threshold=compact_threshold)
+        elif self.root is not None:
+            self.journal = Journal(
+                os.path.join(self.root, self.JOURNAL_NAME), sync=sync,
+                meta={"role": "service-results"},
+                compact_threshold=compact_threshold)
+        else:
+            self.journal = None
+        self._lock = threading.Lock()
+        self.lookups = 0
+        self.dedupe_hits = 0
+
+    # -- the two-tier lookup ----------------------------------------------
+
+    def get(self, key):
+        """The completed outcome stored under ``key``, or None.
+
+        A journal hit is promoted into the cache; a corrupt cache entry
+        (checksum mismatch) is evicted by the cache itself and falls
+        through to the journal tier transparently.
+        """
+        with self._lock:
+            self.lookups += 1
+            hit = self.cache.get(key)
+            if hit is None and self.journal is not None:
+                hit = self.journal.get(key)
+                if hit is not None:
+                    self.cache.put(key, hit)
+            if hit is not None:
+                self.dedupe_hits += 1
+                obs_counters.inc("service.store_hits")
+            return hit
+
+    def put(self, key, outcome):
+        """Store a completed outcome under its fingerprint (both tiers).
+
+        Failed outcomes are not stored — errors may be environment
+        shaped (a deadline on a loaded box) and must re-run on demand.
+        """
+        if getattr(outcome, "error", None) is not None:
+            return False
+        with self._lock:
+            self.cache.put(key, outcome)
+            if self.journal is not None:
+                self.journal.append(key, outcome)
+        return True
+
+    def __contains__(self, key):
+        with self._lock:
+            if key in self.cache:
+                return True
+            return self.journal is not None and key in self.journal
+
+    def __len__(self):
+        with self._lock:
+            if self.journal is not None:
+                return len(self.journal)
+            return len(self.cache)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self):
+        """One merged snapshot of both tiers plus dedupe tallies."""
+        out = {
+            "lookups": self.lookups,
+            "dedupe_hits": self.dedupe_hits,
+            "cache": self.cache.stats(),
+            "entries": len(self),
+        }
+        if self.journal is not None:
+            out["journal"] = {
+                "path": self.journal.path,
+                "entries": len(self.journal),
+                "hits": self.journal.hits,
+                "misses": self.journal.misses,
+                "degraded": self.journal.degraded,
+                "size_bytes": self.journal.size_bytes(),
+            }
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self):
+        if self.journal is not None and self._own_journal:
+            self.journal.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "ContentStore(%r, %d entrie(s), %d dedupe hit(s))" % (
+            self.root, len(self), self.dedupe_hits)

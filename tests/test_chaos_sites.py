@@ -242,3 +242,119 @@ class TestHookProtocol:
                 raise ChaosCrash("simulated death")
             except Exception:                  # noqa: BLE001
                 pytest.fail("ChaosCrash must not be an Exception")
+
+
+class TestCompactContention:
+    """Two processes sharing a journal must not compact concurrently:
+    the loser degrades to a counted no-op, never a second rewrite."""
+
+    def _hold_lock(self, path):
+        import fcntl
+        fh = open(path + ".lock", "a")
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        return fh
+
+    def test_contended_compact_is_a_noop(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        for i in range(4):
+            j.append("k", _outcome("k", float(i)))
+        before = obs_counters.get("journal.compact_contended")
+        holder = self._hold_lock(path)
+        try:
+            assert j.compact() == 0
+            assert j.n_compact_skipped == 1
+            assert obs_counters.get("journal.compact_contended") \
+                == before + 1
+            # The file was left exactly as it was (stale lines intact)
+            # and the append handle is still live.
+            assert j._n_records == 4
+            assert j.append("post", _outcome("post"))
+        finally:
+            holder.close()
+        # Lock released: the same journal compacts normally again.
+        assert j.compact() == 3
+        assert j.n_compact_skipped == 1
+        j.close()
+
+    def test_runner_surfaces_contention_as_diagnostic(self, tmp_path):
+        from repro.robust.diagnostics import Diagnostics
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal(path, compact_threshold=64)
+        run_simulations(Tiny, [SimConfig(label="t", dtypes={"x": T8},
+                                         n_samples=64, seed=1)],
+                        workers=1, journal=journal)
+        journal.append(next(iter(journal.entries())), _outcome("stale"))
+        diag = Diagnostics()
+        holder = self._hold_lock(path)
+        try:
+            run_simulations(Tiny, [SimConfig(label="t2", dtypes={"x": T8},
+                                             n_samples=64, seed=2)],
+                            workers=1, journal=journal, diagnostics=diag)
+        finally:
+            holder.close()
+        contended = [e for e in diag.events
+                     if e.category == "journal-compact"
+                     and e.data.get("contended")]
+        assert len(contended) == 1
+        assert journal.n_compact_skipped == 1
+        journal.close()
+
+    def test_uncontended_compact_leaves_no_skip(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"))
+        j.append("a", _outcome("a"))
+        j.append("a", _outcome("a", 2.0))
+        assert j.compact() == 1
+        assert j.n_compact_skipped == 0
+        j.close()
+
+
+class TestServiceFaultSites:
+    """The three service-boundary injector sites key on the journal's
+    role tag, so sibling journals in the same root stay untouched."""
+
+    def test_submit_torn_ignores_other_journals(self, tmp_path):
+        inj = ChaosInjector("service.submit_torn", trigger=0, seed=1)
+        plain = Journal(str(tmp_path / "plain.jsonl"))
+        with armed(inj):
+            assert plain.append("k", _outcome())    # untouched
+        assert not inj.events
+        plain.close()
+
+    def test_submit_torn_kills_the_submission_append(self, tmp_path):
+        inj = ChaosInjector("service.submit_torn", trigger=0, seed=1)
+        subs = Journal(str(tmp_path / "subs.jsonl"),
+                       meta={"role": "service-submissions"})
+        with armed(inj):
+            with pytest.raises(ChaosCrash):
+                subs.append("k", _outcome())
+        assert inj.events and inj.events[0]["action"] == "torn"
+
+    def test_result_corrupt_garbles_only_result_writes(self, tmp_path):
+        inj = ChaosInjector("service.result_corrupt", trigger=0, seed=1)
+        subs = Journal(str(tmp_path / "subs.jsonl"),
+                       meta={"role": "service-submissions"})
+        results = Journal(str(tmp_path / "res.jsonl"),
+                          meta={"role": "service-results"})
+        with armed(inj):
+            assert subs.append("s", _outcome("s"))
+            assert results.append("r", _outcome("r"))
+        subs.close()
+        results.close()
+        # The submissions journal replays clean; the damaged result
+        # record fails its sha on reopen and is dropped.
+        assert list(Journal(str(tmp_path / "subs.jsonl")).entries()) \
+            == ["s"]
+        reloaded = Journal(str(tmp_path / "res.jsonl"))
+        assert list(reloaded.entries()) == []
+        assert reloaded.n_dropped == 1
+
+    def test_dispatch_crash_fires_at_its_trigger(self):
+        inj = ChaosInjector("service.dispatch_crash", trigger=1, seed=2)
+        inj.on_service_dispatch(["job0"])           # occurrence 0: armed
+        with pytest.raises(ChaosCrash):
+            inj.on_service_dispatch(["job1", "job2"])
+        assert inj.events[0]["jobs"] == 2
+
+    def test_dispatch_hook_default_is_noop(self):
+        assert ChaosHooks().on_service_dispatch(["j"]) is None

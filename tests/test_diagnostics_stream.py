@@ -96,6 +96,12 @@ class TestStableCodes:
             "verify-proved": "DG210",
             "verify-counterexample": "DG211",
             "verify-unknown": "DG212",
+            "service-reject": "DG213",
+            "service-dedupe": "DG214",
+            "service-breaker": "DG215",
+            "service-recover": "DG216",
+            "service-quarantine": "DG217",
+            "service-cancel": "DG218",
         }
 
     @pytest.mark.parametrize("category,code", sorted(CATEGORY_CODES.items()))

@@ -1,0 +1,293 @@
+"""Core `repro.service` behaviour: jobs, dedupe, store, streaming.
+
+The headline contracts under test:
+
+* two identical submissions — sequential or concurrent — run the
+  simulation exactly once (asserted via ``service.dedupe_hits``) and
+  return bit-identical outcomes;
+* the content store serves across service restarts, bit-exactly;
+* failures inside a design surface as ``failed`` jobs, never as
+  exceptions out of the scheduler;
+* `SimCache.stats()` and `ContentStore.stats()` expose the measurable
+  snapshot the ISSUE demands.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import DesignError, JobNotFound, ServiceError
+from repro.obs import counters as obs_counters
+from repro.parallel.runner import SimCache, SimConfig, SimOutcome
+from repro.refine import Design
+from repro.service import (ContentStore, JobId, RefinementService,
+                           TenantPolicy)
+from repro.signal import Reg, Sig
+
+T_IN = DType("T_in", 9, 7, "tc", "saturate", "round")
+T_ACC = DType("T_acc", 12, 9, "tc", "saturate", "round")
+TYPES = {"x": T_IN, "p": T_ACC, "acc": T_ACC, "y": T_ACC}
+
+
+class Leaky(Design):
+    name = "svc-leaky"
+    inputs = ("x",)
+    output = "y"
+
+    def __init__(self, seed=2024):
+        self.seed = seed
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.p = Sig("p")
+        self.acc = Reg("acc")
+        self.y = Sig("y")
+        rng = np.random.default_rng(self.seed)
+        self._stim = iter(rng.uniform(-1, 1, 65536).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.p.assign(self.x * 0.5)
+            self.acc.assign(self.acc * 0.75 + self.p)
+            self.y.assign(self.acc + self.x * 0.125)
+            ctx.tick()
+
+
+class Exploding(Design):
+    name = "svc-boom"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.y = Sig("y")
+
+    def run(self, ctx, n):
+        raise DesignError("designed to fail")
+
+
+def leaky_factory():
+    return Leaky()
+
+
+def boom_factory():
+    return Exploding()
+
+
+leaky_factory.fingerprint = "svc-leaky-v1"
+boom_factory.fingerprint = "svc-boom-v1"
+
+
+def cfg(i=0, n=96):
+    return SimConfig(label="job%d" % i, dtypes=TYPES, n_samples=n,
+                     seed=500 + i)
+
+
+def boom_cfg(i=0):
+    return SimConfig(label="boom%d" % i, dtypes={"x": T_IN, "y": T_ACC},
+                     n_samples=16, seed=700 + i)
+
+
+class TestJobBasics:
+    def test_submit_result_roundtrip(self):
+        with RefinementService() as svc:
+            jid = svc.submit(leaky_factory, cfg())
+            assert isinstance(jid, JobId)
+            out = svc.result(jid)
+            assert out.completed and out.label == "job0"
+            assert svc.status(jid).state == "completed"
+
+    def test_job_ids_are_per_tenant_sequences(self):
+        with RefinementService() as svc:
+            a1 = svc.submit(leaky_factory, cfg(0), tenant="a")
+            a2 = svc.submit(leaky_factory, cfg(1), tenant="a")
+            b1 = svc.submit(leaky_factory, cfg(2), tenant="b")
+            assert (a1.value, a2.value, b1.value) == ("a/1", "a/2", "b/1")
+
+    def test_unknown_job_raises(self):
+        with RefinementService() as svc:
+            with pytest.raises(JobNotFound):
+                svc.status("nobody/9")
+
+    def test_submit_after_close_raises(self):
+        svc = RefinementService()
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.submit(leaky_factory, cfg())
+
+    def test_design_error_becomes_failed_job(self):
+        with RefinementService() as svc:
+            jid = svc.submit(boom_factory, boom_cfg())
+            out = svc.result(jid)
+            assert out.error is not None
+            st = svc.status(jid)
+            assert st.state == "failed" and "designed to fail" in st.error
+
+    def test_stream_replays_lifecycle(self):
+        with RefinementService() as svc:
+            jid = svc.submit(leaky_factory, cfg())
+            names = [ev["event"] for ev in svc.stream(jid)]
+            assert names[0] == "job.accepted"
+            assert names[-1] == "job.completed"
+            assert "job.running" in names
+
+    def test_deadline_propagates_into_config(self):
+        with RefinementService() as svc:
+            jid = svc.submit(leaky_factory, cfg(), deadline_seconds=7.5)
+            job = svc._job(jid)
+            assert job.config.deadline_seconds == 7.5
+            assert job.config.catch_errors    # forced on
+            svc.result(jid)
+
+
+class TestDedupe:
+    def test_sequential_identical_submissions_run_once(self):
+        obs_counters.reset()
+        with RefinementService() as svc:
+            j1 = svc.submit(leaky_factory, cfg(), tenant="a")
+            o1 = svc.result(j1)
+            j2 = svc.submit(leaky_factory, cfg(), tenant="b")
+            o2 = svc.result(j2)
+        assert obs_counters.get("service.dedupe_hits") == 1
+        assert o1.output == o2.output
+        assert o1.sqnr_db() == o2.sqnr_db()
+
+    def test_inflight_coalescing_runs_once(self):
+        obs_counters.reset()
+        with RefinementService() as svc:
+            j1 = svc.submit(leaky_factory, cfg())
+            j2 = svc.submit(leaky_factory, cfg())
+            j3 = svc.submit(leaky_factory, cfg())
+            outs = [svc.result(j) for j in (j1, j2, j3)]
+        assert obs_counters.get("service.dedupe_hits") == 2
+        assert obs_counters.get("service.coalesced") == 2
+        assert outs[0].output == outs[1].output == outs[2].output
+        assert svc.status(j2).coalesced and svc.status(j3).coalesced
+
+    def test_concurrent_duplicate_submissions_run_once(self):
+        """The acceptance criterion: two threads race the same work;
+        exactly one simulation runs and both get bit-identical
+        results."""
+        obs_counters.reset()
+        with RefinementService(async_mode=True) as svc:
+            results = {}
+            barrier = threading.Barrier(2)
+
+            def submit(tag):
+                barrier.wait()
+                jid = svc.submit(leaky_factory, cfg(), tenant=tag)
+                results[tag] = svc.result(jid, timeout=60)
+
+            threads = [threading.Thread(target=submit, args=(t,))
+                       for t in ("t1", "t2")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+        assert results["t1"].completed and results["t2"].completed
+        assert results["t1"].output == results["t2"].output
+        assert obs_counters.get("service.dedupe_hits") == 1
+
+    def test_failed_outcomes_are_not_deduped(self):
+        obs_counters.reset()
+        with RefinementService() as svc:
+            o1 = svc.result(svc.submit(boom_factory, boom_cfg()))
+            o2 = svc.result(svc.submit(boom_factory, boom_cfg()))
+        assert o1.error is not None and o2.error is not None
+        # Second submission re-ran (errors may be environment-shaped).
+        assert obs_counters.get("service.dedupe_hits") == 0
+
+
+class TestContentStore:
+    def test_two_tier_lookup_promotes_journal_hits(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        out = SimOutcome(label="a", records={"v": 1.5}, output="v")
+        assert store.put("k1", out)
+        assert "k1" in store and len(store) == 1
+        # Drop the hot tier; the journal tier must serve and re-promote.
+        store.cache.clear()
+        got = store.get("k1")
+        assert got is not None and got.records == {"v": 1.5}
+        assert "k1" in store.cache
+        store.close()
+
+    def test_errored_outcomes_never_stored(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        bad = SimOutcome(label="a", records={}, output=None,
+                         error="boom", error_kind="error")
+        assert not store.put("k1", bad)
+        assert store.get("k1") is None
+        store.close()
+
+    def test_survives_reopen_bit_exactly(self, tmp_path):
+        out = SimOutcome(label="a", records={"v": 0.123456789}, output="v")
+        with ContentStore(str(tmp_path)) as store:
+            store.put("k1", out)
+        with ContentStore(str(tmp_path)) as store2:
+            got = store2.get("k1")
+            assert got is not None and got.records == out.records
+
+    def test_stats_snapshot(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        out = SimOutcome(label="a", records={"v": 1.0}, output="v")
+        store.put("k1", out)
+        store.get("k1")
+        store.get("missing")
+        s = store.stats()
+        assert s["lookups"] == 2 and s["dedupe_hits"] == 1
+        assert s["entries"] == 1
+        assert s["cache"]["hits"] == 1
+        assert s["journal"]["entries"] == 1
+        store.close()
+
+
+class TestSimCacheStats:
+    def test_stats_tracks_hits_misses_and_rate(self):
+        obs_counters.reset()
+        cache = SimCache(max_entries=8)
+        out = SimOutcome(label="a", records={"v": 1.0}, output="v")
+        cache.put("k", out)
+        assert cache.get("k") is not None
+        assert cache.get("nope") is None
+        s = cache.stats()
+        assert s == {"entries": 1, "max_entries": 8, "hits": 1,
+                     "misses": 1, "n_corrupt": 0, "hit_rate": 0.5}
+        assert obs_counters.get("cache.hits") == 1
+        assert obs_counters.get("cache.misses") == 1
+
+    def test_never_consulted_has_zero_rate(self):
+        assert SimCache().stats()["hit_rate"] == 0.0
+
+
+class TestBatchAndStats:
+    def test_run_batch_preserves_config_order(self):
+        with RefinementService() as svc:
+            configs = [cfg(i) for i in range(4)]
+            outs = svc.run_batch(leaky_factory, configs)
+            assert [o.label for o in outs] == [c.label for c in configs]
+            assert all(o.completed for o in outs)
+
+    def test_service_stats_merges_layers(self):
+        with RefinementService() as svc:
+            svc.result(svc.submit(leaky_factory, cfg(), tenant="a"))
+            s = svc.stats()
+            assert s["jobs"] == {"completed": 1}
+            assert s["queued"] == 0
+            assert "a" in s["tenants"]
+            assert s["store"]["entries"] == 1
+
+    def test_async_mode_batch(self):
+        with RefinementService(async_mode=True) as svc:
+            ids = [svc.submit(leaky_factory, cfg(i)) for i in range(3)]
+            outs = [svc.result(j, timeout=60) for j in ids]
+            assert all(o.completed for o in outs)
+
+    def test_service_emits_dg_codes_on_dedupe(self):
+        with RefinementService() as svc:
+            svc.result(svc.submit(leaky_factory, cfg()))
+            svc.result(svc.submit(leaky_factory, cfg()))
+            codes = {e.code for e in svc.diagnostics.events}
+            assert "DG214" in codes    # service-dedupe

@@ -1,0 +1,317 @@
+"""Admission-control edges: quotas, shedding, breakers, coalescing.
+
+Covers the ISSUE's satellite checklist explicitly: quota exhaustion
+and refill, queue-full shedding order (new submissions shed, accepted
+jobs never evicted; dequeue fair across tenants, FIFO within), breaker
+trip -> half-open -> close on the backoff schedule, and duplicate
+coalescing where one of the waiters cancels.
+
+Everything runs against an injected ``_FakeClock`` — no sleeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dtype import DType
+from repro.core.errors import (CircuitOpen, JobCancelled, QueueFull,
+                               QuotaExceeded)
+from repro.obs import counters as obs_counters
+from repro.parallel import PoolPolicy, SimConfig
+from repro.refine import Design
+from repro.robust.faults import WorkerCrash
+from repro.robust.retry import BackoffPolicy
+from repro.service import (AdmissionController, CircuitBreaker,
+                           RefinementService, TenantPolicy, TokenBucket)
+from repro.service.admission import _FakeClock
+from repro.signal import Reg, Sig
+
+T_IN = DType("T_in", 9, 7, "tc", "saturate", "round")
+T_ACC = DType("T_acc", 12, 9, "tc", "saturate", "round")
+TYPES = {"x": T_IN, "acc": T_ACC, "y": T_ACC}
+
+# Quick retries: the default pool backoff would sleep for real.
+FAST = PoolPolicy(max_retries=1,
+                  backoff=BackoffPolicy(base=0.01, cap=0.05, jitter=0.0))
+
+
+class Probe(Design):
+    name = "adm-probe"
+    inputs = ("x",)
+    output = "y"
+
+    def build(self, ctx):
+        self.x = Sig("x")
+        self.acc = Reg("acc")
+        self.y = Sig("y")
+        rng = np.random.default_rng(7)
+        self._stim = iter(rng.uniform(-1, 1, 65536).tolist())
+
+    def run(self, ctx, n):
+        for _ in range(n):
+            self.x.assign(next(self._stim))
+            self.acc.assign(self.acc * 0.5 + self.x * 0.5)
+            self.y.assign(self.acc)
+            ctx.tick()
+
+
+def probe_factory():
+    return Probe()
+
+
+probe_factory.fingerprint = "adm-probe-v1"
+
+
+def cfg(i, n=64):
+    return SimConfig(label="adm%d" % i, dtypes=TYPES, n_samples=n,
+                     seed=900 + i)
+
+
+def crash_cfg(i):
+    return SimConfig(label="poison%d" % i, dtypes=TYPES, n_samples=64,
+                     seed=950 + i, faults=(WorkerCrash("y", at=5),),
+                     catch_errors=True)
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaust_then_refill(self):
+        clock = _FakeClock()
+        b = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [b.try_take() for _ in range(4)] == [True, True, True,
+                                                   False]
+        assert b.retry_after() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert b.try_take() and not b.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = _FakeClock()
+        b = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert b.tokens == 2.0
+
+    def test_give_back_restores_tokens(self):
+        b = TokenBucket(rate=1.0, burst=1, clock=_FakeClock())
+        assert b.try_take() and not b.try_take()
+        b.give_back()
+        assert b.try_take()
+
+    def test_unmetered_never_rejects(self):
+        b = TokenBucket(rate=None, burst=1, clock=_FakeClock())
+        assert all(b.try_take() for _ in range(100))
+        assert b.retry_after() == 0.0
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=2, base=10.0):
+        return CircuitBreaker(
+            trip_threshold=threshold, clock=clock,
+            backoff=BackoffPolicy(base=base, factor=2.0, cap=300.0,
+                                  jitter=0.0))
+
+    def test_trip_half_open_close_cycle(self):
+        clock = _FakeClock()
+        cb = self._breaker(clock)
+        cb.record_quarantine()
+        assert cb.state == "closed"
+        cb.record_quarantine()
+        assert cb.state == "open" and not cb.allow()
+        assert cb.retry_after() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert cb.allow() and cb.state == "half-open"
+        assert not cb.allow()       # exactly one probe
+        cb.record_success()
+        assert cb.state == "closed" and cb.allow()
+
+    def test_half_open_failure_reopens_with_longer_wait(self):
+        clock = _FakeClock()
+        cb = self._breaker(clock)
+        cb.record_quarantine()
+        cb.record_quarantine()      # trip 1: delay 10
+        clock.advance(10.0)
+        assert cb.allow()           # the probe
+        cb.record_quarantine()      # probe poisoned -> trip 2
+        assert cb.state == "open"
+        assert cb.retry_after() == pytest.approx(20.0)
+        clock.advance(19.0)
+        assert not cb.allow()
+        clock.advance(1.0)
+        assert cb.allow()
+
+    def test_success_resets_consecutive_count(self):
+        cb = self._breaker(_FakeClock(), threshold=3)
+        cb.record_quarantine()
+        cb.record_quarantine()
+        cb.record_success()
+        cb.record_quarantine()
+        cb.record_quarantine()
+        assert cb.state == "closed"
+
+
+class _StubJob:
+    def __init__(self, tenant, n):
+        self.tenant = tenant
+        self.label = "%s#%d" % (tenant, n)
+        self.done = False
+
+
+class TestBacklogFairness:
+    def test_take_is_fair_across_fifo_within(self):
+        ctl = AdmissionController(clock=_FakeClock())
+        a1, a2, a3 = (_StubJob("a", i) for i in range(3))
+        b1, b2 = (_StubJob("b", i) for i in range(2))
+        for job in (a1, a2, a3, b1, b2):
+            ctl.enqueue(job)
+        got = [j.label for j in ctl.take()]
+        assert got == ["a#0", "b#0", "a#1", "b#1", "a#2"]
+        assert ctl.n_queued == 0
+
+    def test_take_skips_cancelled_jobs(self):
+        ctl = AdmissionController(clock=_FakeClock())
+        jobs = [_StubJob("a", i) for i in range(3)]
+        for j in jobs:
+            ctl.enqueue(j)
+        jobs[1].done = True
+        assert [j.label for j in ctl.take()] == ["a#0", "a#2"]
+
+    def test_tenant_queue_full_sheds_the_new_submission(self):
+        ctl = AdmissionController(
+            tenants={"a": TenantPolicy(max_queued=2)},
+            clock=_FakeClock())
+        for i in range(2):
+            ctl.admit("a")
+            ctl.enqueue(_StubJob("a", i))
+        with pytest.raises(QueueFull):
+            ctl.admit("a")
+        # The accepted jobs were never evicted to make room.
+        assert [j.label for j in ctl.take()] == ["a#0", "a#1"]
+
+    def test_global_bound_spans_tenants(self):
+        ctl = AdmissionController(max_queued_total=2, clock=_FakeClock())
+        ctl.admit("a")
+        ctl.enqueue(_StubJob("a", 0))
+        ctl.admit("b")
+        ctl.enqueue(_StubJob("b", 0))
+        with pytest.raises(QueueFull):
+            ctl.admit("c")
+
+    def test_discard_removes_only_queued(self):
+        ctl = AdmissionController(clock=_FakeClock())
+        job = _StubJob("a", 0)
+        ctl.enqueue(job)
+        assert ctl.discard(job) and ctl.n_queued == 0
+        assert not ctl.discard(job)
+
+
+class TestServiceQuota:
+    def test_quota_rejection_is_deterministic_and_isolated(self):
+        """The acceptance criterion: a tenant over quota is rejected
+        with a retry-after hint while a second tenant is unaffected."""
+        obs_counters.reset()
+        clock = _FakeClock()
+        tenants = {"alice": TenantPolicy(rate=1.0, burst=2)}
+        with RefinementService(tenants=tenants, clock=clock) as svc:
+            a1 = svc.submit(probe_factory, cfg(0), tenant="alice")
+            a2 = svc.submit(probe_factory, cfg(1), tenant="alice")
+            with pytest.raises(QuotaExceeded) as exc:
+                svc.submit(probe_factory, cfg(2), tenant="alice")
+            assert exc.value.tenant == "alice"
+            assert exc.value.retry_after == pytest.approx(1.0)
+            # bob (unmetered default policy) is untouched by alice's
+            # exhaustion.
+            b1 = svc.submit(probe_factory, cfg(3), tenant="bob")
+            assert svc.result(b1).completed
+            # One refill interval later alice is admitted again.
+            clock.advance(1.0)
+            a3 = svc.submit(probe_factory, cfg(2), tenant="alice")
+            for j in (a1, a2, a3):
+                assert svc.result(j).completed
+            codes = {e.code for e in svc.diagnostics.events}
+            assert "DG213" in codes     # service-reject
+        assert obs_counters.get("service.rejected_quota") == 1
+
+    def test_rejected_submission_creates_no_job(self):
+        clock = _FakeClock()
+        tenants = {"a": TenantPolicy(rate=1.0, burst=1)}
+        with RefinementService(tenants=tenants, clock=clock) as svc:
+            svc.submit(probe_factory, cfg(0), tenant="a")
+            with pytest.raises(QuotaExceeded):
+                svc.submit(probe_factory, cfg(1), tenant="a")
+            assert len(svc.jobs()) == 1
+
+
+class TestServiceBreaker:
+    def test_poison_tenant_trips_then_recovers(self):
+        """Two quarantined jobs trip the breaker; the half-open window
+        admits exactly one probe; a healthy probe closes it."""
+        obs_counters.reset()
+        clock = _FakeClock()
+        tenants = {"evil": TenantPolicy(
+            trip_threshold=2,
+            breaker_backoff=BackoffPolicy(base=5.0, factor=2.0,
+                                          cap=300.0, jitter=0.0))}
+        with RefinementService(tenants=tenants, clock=clock, workers=2,
+                               pool_policy=FAST) as svc:
+            j1 = svc.submit(probe_factory, crash_cfg(0), tenant="evil")
+            j2 = svc.submit(probe_factory, crash_cfg(1), tenant="evil")
+            o1, o2 = svc.result(j1), svc.result(j2)
+            assert o1.error_kind == "crash" and o2.error_kind == "crash"
+            assert svc.admission.lane("evil").breaker.state == "open"
+            with pytest.raises(CircuitOpen) as exc:
+                svc.submit(probe_factory, cfg(0), tenant="evil")
+            assert exc.value.retry_after == pytest.approx(5.0)
+            # Other tenants never see evil's breaker.
+            ok = svc.submit(probe_factory, cfg(1), tenant="good")
+            assert svc.result(ok).completed
+            # Half-open: one probe passes, a second is still rejected.
+            clock.advance(5.0)
+            probe = svc.submit(probe_factory, cfg(2), tenant="evil")
+            with pytest.raises(CircuitOpen):
+                svc.submit(probe_factory, cfg(3), tenant="evil")
+            assert svc.result(probe).completed
+            assert svc.admission.lane("evil").breaker.state == "closed"
+            svc.submit(probe_factory, cfg(3), tenant="evil")
+            codes = {e.code for e in svc.diagnostics.events}
+            assert "DG215" in codes     # service-breaker
+            assert "DG217" in codes     # service-quarantine
+        assert obs_counters.get("service.breaker_trips") == 1
+        assert obs_counters.get("service.quarantined") == 2
+
+
+class TestCoalescingCancel:
+    def test_waiter_cancel_leaves_primary_running(self):
+        obs_counters.reset()
+        with RefinementService() as svc:
+            j1 = svc.submit(probe_factory, cfg(0))
+            j2 = svc.submit(probe_factory, cfg(0))    # coalesces
+            assert svc.status(j2).coalesced
+            assert svc.cancel(j2)
+            out = svc.result(j1)
+            assert out.completed
+            assert svc.status(j2).state == "cancelled"
+            with pytest.raises(JobCancelled):
+                svc.result(j2)
+            codes = {e.code for e in svc.diagnostics.events}
+            assert "DG218" in codes     # service-cancel
+        assert obs_counters.get("service.cancelled") == 1
+
+    def test_primary_cancel_promotes_a_waiter(self):
+        with RefinementService() as svc:
+            j1 = svc.submit(probe_factory, cfg(0))
+            j2 = svc.submit(probe_factory, cfg(0))
+            assert svc.cancel(j1)
+            out = svc.result(j2)
+            assert out.completed and out.label == "adm0"
+            assert svc.status(j1).state == "cancelled"
+            assert not svc.status(j2).coalesced   # promoted to primary
+
+    def test_sole_queued_cancel(self):
+        with RefinementService() as svc:
+            jid = svc.submit(probe_factory, cfg(0))
+            assert svc.cancel(jid)
+            assert not svc.cancel(jid)      # already terminal
+            assert svc.status(jid).state == "cancelled"
+
+    def test_completed_job_cannot_be_cancelled(self):
+        with RefinementService() as svc:
+            jid = svc.submit(probe_factory, cfg(0))
+            svc.result(jid)
+            assert not svc.cancel(jid)
