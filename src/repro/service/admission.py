@@ -98,7 +98,10 @@ class TokenBucket:
         return False
 
     def give_back(self, n=1):
-        """Return tokens (an admitted job that was coalesced away)."""
+        """Refund tokens charged for a submission a *later* admission
+        gate shed (the queue-full rollback).  Dedupe hits keep their
+        charge: a submission served from the store or coalesced onto an
+        in-flight twin was still admitted and served."""
         if self.rate is not None:
             self._tokens = min(float(self.burst), self._tokens + n)
 
@@ -183,6 +186,20 @@ class CircuitBreaker:
             return 0.0
         return max(0.0, self._opened_at + self._reopen_delay()
                    - self.clock())
+
+    def abort_probe(self):
+        """Release the half-open probe slot without a verdict.
+
+        The probe admitted by :meth:`allow` never actually ran — a
+        later admission gate shed the submission, or the caller
+        cancelled it while queued — so neither :meth:`record_success`
+        nor :meth:`record_quarantine` will ever report back for it.
+        Without this the slot would stay taken and every future
+        submission would be rejected forever.  No-op unless the
+        breaker is half-open with an outstanding probe.
+        """
+        if self.state == "half-open":
+            self._probing = False
 
     def record_quarantine(self):
         """One of the tenant's jobs was quarantined as poison."""
@@ -288,6 +305,7 @@ class AdmissionController:
                 "poison-job quarantines" % tenant, tenant=tenant,
                 retry_after=lane.breaker.retry_after())
         if charge_quota and not lane.bucket.try_take():
+            lane.breaker.abort_probe()
             obs_counters.inc("service.rejected_quota")
             raise QuotaExceeded(
                 "tenant %r is over its quota (%.3g jobs/s, burst %d)"
@@ -296,12 +314,14 @@ class AdmissionController:
                 tenant=tenant, retry_after=lane.bucket.retry_after())
         if len(lane.queue) >= lane.policy.max_queued:
             lane.bucket.give_back()
+            lane.breaker.abort_probe()
             obs_counters.inc("service.rejected_queue")
             raise QueueFull(
                 "tenant %r backlog is full (%d queued)"
                 % (tenant, len(lane.queue)), tenant=tenant)
         if self._n_queued >= self.max_queued_total:
             lane.bucket.give_back()
+            lane.breaker.abort_probe()
             obs_counters.inc("service.rejected_queue")
             raise QueueFull(
                 "service backlog is full (%d queued across all tenants)"
@@ -351,6 +371,14 @@ class AdmissionController:
         except ValueError:
             return False
         self._n_queued -= 1
+        if not lane.queue:
+            # Keep the round-robin roster in sync with queue emptiness:
+            # a stale entry would let enqueue() append the tenant a
+            # second time, handing it two slots per fairness sweep.
+            try:
+                self._rr.remove(job.tenant)
+            except ValueError:
+                pass
         return True
 
     @property

@@ -46,6 +46,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from dataclasses import replace
 
 from repro import chaoshooks
@@ -212,6 +213,10 @@ class RefinementService:
                            "(key %s...)" % (job.id, key[:12]),
                            jobs=(job,), job=job.id.value)
                 self._finish(job, hit)
+                # A store hit is still a served submission: settle the
+                # breaker verdict here, or a half-open probe that
+                # deduped would leave its slot taken forever.
+                self._breaker_account(tenant, hit, (job,))
                 return job.id
             # Dedupe tier 2: identical job already queued or running.
             flight = self._inflight.get(key)
@@ -345,11 +350,19 @@ class RefinementService:
             waiters = self._inflight.pop(job.key, [job])
             if outcome.error is None:
                 self.store.put(job.key, outcome)
-            for waiter in waiters:
-                if waiter.done:        # a cancelled coalesced waiter
-                    continue
+            live = [w for w in waiters if not w.done]
+            for waiter in live:
                 self._finish(waiter, outcome)
-            self._breaker_account(job.tenant, outcome, waiters)
+            # The verdict lands on every waiter's own tenant lane
+            # (once per tenant): a coalesced waiter may be another
+            # tenant's half-open probe, and only its own lane's
+            # accounting releases that probe slot.  Cancelled waiters
+            # already released theirs in cancel().
+            by_tenant = {}
+            for waiter in live:
+                by_tenant.setdefault(waiter.tenant, []).append(waiter)
+            for tenant, tenant_jobs in by_tenant.items():
+                self._breaker_account(tenant, outcome, tenant_jobs)
 
     def _finish(self, job, outcome):
         """Terminal bookkeeping of one job (lock held)."""
@@ -416,11 +429,19 @@ class RefinementService:
                     raise ServiceError(
                         "job %s cannot make progress (state %s)"
                         % (job.id, job.state))
+        # One absolute deadline for the whole wait: every job event
+        # notifies the condition, so restarting ``timeout`` per wake-up
+        # would let a slow, chatty job stretch the bound indefinitely.
+        deadline = None if timeout is None else time.monotonic() + timeout
         with job.cond:
             while not job.done:
-                if not job.cond.wait(timeout):
-                    raise ServiceError("timed out waiting for job %s"
-                                       % job.id)
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            "timed out waiting for job %s" % job.id)
+                job.cond.wait(remaining)
         if job.state == "cancelled":
             raise JobCancelled("job %s was cancelled" % job.id)
         return job.outcome
@@ -441,10 +462,19 @@ class RefinementService:
         idx = 0
         while True:
             with job.cond:
+                # ``timeout`` bounds the wait for the *next* batch of
+                # events as one absolute deadline — spurious wake-ups
+                # (every event notifies all waiters) must not reset it.
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
                 while len(job.events) <= idx and not job.done:
-                    if not job.cond.wait(timeout):
-                        raise ServiceError(
-                            "timed out streaming job %s" % job.id)
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise ServiceError(
+                                "timed out streaming job %s" % job.id)
+                    job.cond.wait(remaining)
                 events = job.events[idx:]
                 idx += len(events)
                 done = job.done
@@ -480,6 +510,10 @@ class RefinementService:
                     self.admission.enqueue(heir)
             job.advance("cancelled")
             self._journal_submission(job, "cancelled")
+            # A cancelled job never reports a breaker verdict; if it
+            # held its tenant's half-open probe slot, release it so
+            # the next submission can probe instead.
+            self.admission.lane(job.tenant).breaker.abort_probe()
             obs_counters.inc("service.cancelled")
             self._diag("service-cancel", "info",
                        "job %s cancelled (%s)" % (job.id, job.tenant),
@@ -517,10 +551,16 @@ class RefinementService:
             while self.admission.n_queued:
                 self.step()
             return
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while self.admission.n_queued or self._n_running:
-                if not self._work.wait(timeout):
-                    raise ServiceError("timed out draining the service")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            "timed out draining the service")
+                self._work.wait(remaining)
 
     # -- crash recovery ----------------------------------------------------
 
@@ -571,9 +611,22 @@ class RefinementService:
                     self._finish(job, hit)
                     stats["completed"] += 1
                 else:
-                    self._inflight.setdefault(sub.key, []).append(job)
-                    self.admission.enqueue(job)
-                    job.advance("queued", recovered=True)
+                    flight = self._inflight.setdefault(sub.key, [])
+                    flight.append(job)
+                    if len(flight) == 1:
+                        # This job became the primary for its key.
+                        self.admission.enqueue(job)
+                        job.advance("queued", recovered=True)
+                    else:
+                        # A second journaled submission with the same
+                        # content key (a coalesced waiter that crashed
+                        # mid-flight): re-coalesce instead of queueing
+                        # the identical computation twice.
+                        job.coalesced = True
+                        obs_counters.inc("service.dedupe_hits")
+                        obs_counters.inc("service.coalesced")
+                        job.advance("queued", recovered=True,
+                                    coalesced=True)
                     stats["requeued"] += 1
             if stats["completed"] or stats["requeued"] or stats["parked"]:
                 self._diag(

@@ -13,6 +13,7 @@ The headline contracts under test:
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -24,6 +25,7 @@ from repro.parallel.runner import SimCache, SimConfig, SimOutcome
 from repro.refine import Design
 from repro.service import (ContentStore, JobId, RefinementService,
                            TenantPolicy)
+from repro.service.jobs import Job
 from repro.signal import Reg, Sig
 
 T_IN = DType("T_in", 9, 7, "tc", "saturate", "round")
@@ -199,6 +201,37 @@ class TestDedupe:
         assert o1.error is not None and o2.error is not None
         # Second submission re-ran (errors may be environment-shaped).
         assert obs_counters.get("service.dedupe_hits") == 0
+
+
+class TestResultTimeout:
+    def test_timeout_is_absolute_not_per_event(self):
+        """``result(timeout=...)`` must honour one absolute deadline.
+        Every job event calls ``notify_all``, and the wait used to
+        restart the full timeout on each wake-up — a chatty unfinished
+        job could block the caller for timeout x n_events."""
+        with RefinementService(async_mode=True) as svc:
+            job = Job(JobId("t", 1), "t", "k" * 64, cfg(), leaky_factory)
+            svc._jobs[job.id.value] = job   # never scheduled, never done
+            stop = threading.Event()
+
+            def chatter():
+                end = time.monotonic() + 2.0
+                while not stop.is_set() and time.monotonic() < end:
+                    with job.cond:
+                        job.push("job.chatter")
+                        job.cond.notify_all()
+                    time.sleep(0.02)
+
+            t = threading.Thread(target=chatter, daemon=True)
+            t.start()
+            t0 = time.monotonic()
+            try:
+                with pytest.raises(ServiceError):
+                    svc.result(job.id, timeout=0.2)
+            finally:
+                stop.set()
+                t.join(5.0)
+            assert time.monotonic() - t0 < 1.5
 
 
 class TestContentStore:

@@ -146,6 +146,103 @@ class TestCircuitBreaker:
         assert cb.state == "closed"
 
 
+class TestProbeSlotRelease:
+    """The half-open probe slot must be released whenever its verdict
+    can never arrive — a later admission gate shed the submission, the
+    probe deduped, or it was cancelled — or the tenant is locked out
+    forever (every later ``allow()`` returns False)."""
+
+    def _policy(self, **kw):
+        kw.setdefault("trip_threshold", 1)
+        kw.setdefault("breaker_backoff",
+                      BackoffPolicy(base=10.0, factor=2.0, cap=300.0,
+                                    jitter=0.0))
+        return TenantPolicy(**kw)
+
+    def test_quota_shed_releases_probe(self):
+        clock = _FakeClock()
+        ctl = AdmissionController(
+            tenants={"t": self._policy(rate=1.0, burst=1)}, clock=clock)
+        lane = ctl.lane("t")
+        lane.breaker.record_quarantine()
+        assert lane.breaker.state == "open"
+        clock.advance(10.0)             # half-open window reached
+        lane.bucket.try_take()          # quota empty at probe time
+        with pytest.raises(QuotaExceeded):
+            ctl.admit("t")              # breaker passed, quota shed
+        assert lane.breaker.state == "half-open"
+        clock.advance(1.0)              # one token refills
+        ctl.admit("t")                  # slot free: new probe admitted
+
+    def test_queue_full_shed_releases_probe(self):
+        clock = _FakeClock()
+        ctl = AdmissionController(
+            tenants={"t": self._policy(max_queued=1)}, clock=clock)
+        lane = ctl.lane("t")
+        queued = _StubJob("t", 0)
+        ctl.enqueue(queued)             # backlog full
+        lane.breaker.record_quarantine()
+        clock.advance(10.0)
+        with pytest.raises(QueueFull):
+            ctl.admit("t")              # breaker passed, queue shed
+        assert lane.breaker.state == "half-open"
+        assert ctl.discard(queued)
+        ctl.admit("t")                  # slot free: new probe admitted
+
+    def test_abort_probe_is_a_noop_when_not_probing(self):
+        cb = CircuitBreaker(trip_threshold=1, clock=_FakeClock())
+        cb.abort_probe()
+        assert cb.state == "closed" and cb.allow()
+
+    def _poisoned_service(self, clock):
+        tenants = {"evil": TenantPolicy(
+            trip_threshold=2,
+            breaker_backoff=BackoffPolicy(base=5.0, factor=2.0,
+                                          cap=300.0, jitter=0.0))}
+        svc = RefinementService(tenants=tenants, clock=clock, workers=2,
+                                pool_policy=FAST)
+        jobs = [svc.submit(probe_factory, crash_cfg(i), tenant="evil")
+                for i in range(2)]
+        for out in (svc.result(j) for j in jobs):
+            assert out.error_kind == "crash"
+        assert svc.admission.lane("evil").breaker.state == "open"
+        clock.advance(5.0)              # half-open window reached
+        return svc
+
+    def test_store_hit_probe_settles_breaker(self):
+        clock = _FakeClock()
+        with self._poisoned_service(clock) as svc:
+            # Another tenant already computed cfg(5): evil's probe will
+            # dedupe against the store instead of being dispatched.
+            svc.result(svc.submit(probe_factory, cfg(5), tenant="good"))
+            probe = svc.submit(probe_factory, cfg(5), tenant="evil")
+            assert svc.result(probe).completed
+            assert svc.admission.lane("evil").breaker.state == "closed"
+            ok = svc.submit(probe_factory, cfg(6), tenant="evil")
+            assert svc.result(ok).completed
+
+    def test_coalesced_probe_settles_on_own_lane(self):
+        clock = _FakeClock()
+        with self._poisoned_service(clock) as svc:
+            primary = svc.submit(probe_factory, cfg(7), tenant="good")
+            probe = svc.submit(probe_factory, cfg(7), tenant="evil")
+            assert svc.status(probe).coalesced
+            assert svc.result(primary).completed
+            assert svc.result(probe).completed
+            assert svc.admission.lane("evil").breaker.state == "closed"
+            ok = svc.submit(probe_factory, cfg(8), tenant="evil")
+            assert svc.result(ok).completed
+
+    def test_cancelled_probe_releases_slot(self):
+        clock = _FakeClock()
+        with self._poisoned_service(clock) as svc:
+            probe = svc.submit(probe_factory, cfg(9), tenant="evil")
+            assert svc.cancel(probe)
+            again = svc.submit(probe_factory, cfg(9), tenant="evil")
+            assert svc.result(again).completed
+            assert svc.admission.lane("evil").breaker.state == "closed"
+
+
 class _StubJob:
     def __init__(self, tenant, n):
         self.tenant = tenant
@@ -192,6 +289,19 @@ class TestBacklogFairness:
         ctl.enqueue(_StubJob("b", 0))
         with pytest.raises(QueueFull):
             ctl.admit("c")
+
+    def test_discard_then_enqueue_keeps_rotation_fair(self):
+        """Emptying a lane via discard() must drop the tenant from the
+        round-robin roster; a stale entry would give it two slots (two
+        jobs per sweep) after its next enqueue."""
+        ctl = AdmissionController(clock=_FakeClock())
+        a0, a1, a2 = (_StubJob("a", i) for i in range(3))
+        b0 = _StubJob("b", 0)
+        ctl.enqueue(a0)
+        assert ctl.discard(a0)
+        for job in (a1, a2, b0):
+            ctl.enqueue(job)
+        assert [j.label for j in ctl.take()] == ["a#1", "b#0", "a#2"]
 
     def test_discard_removes_only_queued(self):
         ctl = AdmissionController(clock=_FakeClock())

@@ -118,6 +118,33 @@ class TestJournalReplay:
             stats = svc.recover()     # note: no factories needed
             assert stats == {"completed": 2, "requeued": 0, "parked": 0}
 
+    def test_duplicate_key_records_recover_as_one_computation(
+            self, tmp_path):
+        """A primary plus a coalesced waiter that both died mid-flight
+        leave two ``accepted`` records sharing one content key; replay
+        must re-coalesce them (one queue slot, one simulation), not
+        compute the key twice."""
+        import repro.obs.counters as obs_counters
+
+        root = str(tmp_path / "svc")
+        svc = RefinementService(root=root)
+        j1 = svc.submit(probe_factory, cfg(0))
+        j2 = svc.submit(probe_factory, cfg(0))      # coalesces onto j1
+        assert svc.status(j2).coalesced
+        svc.close()                                 # both still owed
+        obs_counters.reset()
+        with RefinementService(root=root) as svc:
+            stats = svc.recover(factories=FACTORIES)
+            assert stats == {"completed": 0, "requeued": 2, "parked": 0}
+            assert svc.admission.n_queued == 1      # one primary only
+            svc.drain()
+            outs = [s for s in svc.jobs() if s.state == "completed"]
+            assert len(outs) == 2
+            results = [svc.store.get(s.key) for s in outs]
+            assert results[0] is not None
+            assert results[0].records == results[1].records
+        assert obs_counters.get("service.dedupe_hits") == 1
+
     def test_parked_records_resubmit_quota_free(self, tmp_path):
         root = str(tmp_path / "svc")
         _strand(root)
